@@ -1,0 +1,143 @@
+//! Access-control lists over identities and groups.
+//!
+//! DLHub models are published with fine-grained visibility: the CANDLE
+//! project (§VI-A) shares in-development models with "a subset of
+//! selected users prior to their general release", then flips them
+//! public. [`Acl`] captures exactly that lifecycle.
+
+use crate::identity::IdentityId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Who may see / invoke a resource.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Visibility {
+    /// Anyone, authenticated or not.
+    Public,
+    /// Only the listed identities (owners are always included by the
+    /// enclosing [`Acl`]).
+    Restricted,
+}
+
+/// An access-control policy: owners, explicitly allowed identities and
+/// allowed groups.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Acl {
+    /// Overall visibility.
+    pub visibility: Visibility,
+    /// Owning identities; always allowed, and only owners may edit.
+    pub owners: BTreeSet<IdentityId>,
+    /// Additional identities allowed when `Restricted`.
+    pub allowed_users: BTreeSet<IdentityId>,
+    /// Group names allowed when `Restricted`.
+    pub allowed_groups: BTreeSet<String>,
+}
+
+impl Acl {
+    /// A public ACL owned by `owner`.
+    pub fn public(owner: IdentityId) -> Self {
+        Acl {
+            visibility: Visibility::Public,
+            owners: BTreeSet::from([owner]),
+            allowed_users: BTreeSet::new(),
+            allowed_groups: BTreeSet::new(),
+        }
+    }
+
+    /// A restricted ACL owned by `owner` with no other members yet.
+    pub fn restricted(owner: IdentityId) -> Self {
+        Acl {
+            visibility: Visibility::Restricted,
+            owners: BTreeSet::from([owner]),
+            allowed_users: BTreeSet::new(),
+            allowed_groups: BTreeSet::new(),
+        }
+    }
+
+    /// Allow an additional identity.
+    pub fn allow_user(&mut self, id: IdentityId) -> &mut Self {
+        self.allowed_users.insert(id);
+        self
+    }
+
+    /// Allow a group.
+    pub fn allow_group(&mut self, group: impl Into<String>) -> &mut Self {
+        self.allowed_groups.insert(group.into());
+        self
+    }
+
+    /// Make the resource public (the CANDLE "general release" flip).
+    pub fn make_public(&mut self) -> &mut Self {
+        self.visibility = Visibility::Public;
+        self
+    }
+
+    /// Evaluate access for a caller described by their linked identity
+    /// set and group memberships. Anonymous callers pass an empty
+    /// identity slice.
+    pub fn permits(&self, identities: &[IdentityId], groups: &[String]) -> bool {
+        if self.visibility == Visibility::Public {
+            return true;
+        }
+        identities
+            .iter()
+            .any(|id| self.owners.contains(id) || self.allowed_users.contains(id))
+            || groups.iter().any(|g| self.allowed_groups.contains(g))
+    }
+
+    /// True if any of `identities` is an owner (may edit metadata,
+    /// change the ACL, publish new versions).
+    pub fn is_owner(&self, identities: &[IdentityId]) -> bool {
+        identities.iter().any(|id| self.owners.contains(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_permits_anonymous() {
+        let acl = Acl::public(IdentityId(1));
+        assert!(acl.permits(&[], &[]));
+    }
+
+    #[test]
+    fn restricted_denies_strangers() {
+        let acl = Acl::restricted(IdentityId(1));
+        assert!(!acl.permits(&[IdentityId(2)], &[]));
+        assert!(acl.permits(&[IdentityId(1)], &[]));
+    }
+
+    #[test]
+    fn allowed_user_and_group_grant_access() {
+        let mut acl = Acl::restricted(IdentityId(1));
+        acl.allow_user(IdentityId(2)).allow_group("candle-testers");
+        assert!(acl.permits(&[IdentityId(2)], &[]));
+        assert!(acl.permits(&[IdentityId(3)], &["candle-testers".into()]));
+        assert!(!acl.permits(&[IdentityId(3)], &["other".into()]));
+    }
+
+    #[test]
+    fn linked_identity_grants_access() {
+        let mut acl = Acl::restricted(IdentityId(1));
+        acl.allow_user(IdentityId(5));
+        // Caller holds two linked identities; the second is allowed.
+        assert!(acl.permits(&[IdentityId(9), IdentityId(5)], &[]));
+    }
+
+    #[test]
+    fn make_public_flips_visibility() {
+        let mut acl = Acl::restricted(IdentityId(1));
+        assert!(!acl.permits(&[IdentityId(2)], &[]));
+        acl.make_public();
+        assert!(acl.permits(&[IdentityId(2)], &[]));
+    }
+
+    #[test]
+    fn ownership_check() {
+        let acl = Acl::restricted(IdentityId(1));
+        assert!(acl.is_owner(&[IdentityId(1)]));
+        assert!(!acl.is_owner(&[IdentityId(2)]));
+    }
+}

@@ -1,0 +1,67 @@
+//! Identities and identity providers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque identity id, unique within an [`crate::AuthService`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct IdentityId(pub u64);
+
+impl fmt::Display for IdentityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "id-{}", self.0)
+    }
+}
+
+/// An identity issued by one provider (e.g. `kchard@uchicago.edu`,
+/// `0000-0002-…@orcid.org`). A person may hold several, linked
+/// together in the service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Identity {
+    /// Service-assigned id.
+    pub id: IdentityId,
+    /// Provider domain this identity belongs to.
+    pub provider: String,
+    /// Username at the provider.
+    pub username: String,
+    /// Display name used to pre-complete publication metadata
+    /// (DLHub fills creator fields from profile information, §IV-D).
+    pub display_name: String,
+}
+
+impl Identity {
+    /// Canonical `user@provider` form.
+    pub fn qualified_name(&self) -> String {
+        format!("{}@{}", self.username, self.provider)
+    }
+}
+
+/// A registered identity provider (campus, ORCID, Google, …).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdentityProvider {
+    /// Provider domain, e.g. `uchicago.edu`.
+    pub domain: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualified_name_formats() {
+        let id = Identity {
+            id: IdentityId(1),
+            provider: "orcid.org".into(),
+            username: "0000-0001".into(),
+            display_name: "A Researcher".into(),
+        };
+        assert_eq!(id.qualified_name(), "0000-0001@orcid.org");
+    }
+
+    #[test]
+    fn identity_id_display() {
+        assert_eq!(IdentityId(7).to_string(), "id-7");
+    }
+}

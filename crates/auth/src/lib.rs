@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # dlhub-auth
+//!
+//! A Globus-Auth-like identity and access-management substrate.
+//!
+//! DLHub (§IV-D) brokers every operation through Globus Auth: users
+//! authenticate via one of hundreds of identity providers, the
+//! Management Service is registered as a *resource server* with its own
+//! scope, and short-term access tokens let the service act on the
+//! user's behalf (profile lookup, linked identities, data transfer).
+//! Model visibility is controlled with fine-grained ACLs (the CANDLE
+//! use case, §VI-A).
+//!
+//! This crate reproduces that decision structure:
+//!
+//! * [`IdentityProvider`]s issue [`Identity`]s; identities belonging to
+//!   the same person can be **linked**.
+//! * [`AuthService`] registers resource servers and their scopes,
+//!   issues expiring bearer [`Token`]s, and answers **introspection**
+//!   queries (who is this, which scopes, which linked identities).
+//! * [`Acl`] policies (public / users / groups) are evaluated against
+//!   the full linked-identity set, so sharing with any of a user's
+//!   identities grants access.
+//!
+//! ```
+//! use dlhub_auth::{AuthService, Scope};
+//!
+//! let auth = AuthService::new();
+//! auth.register_provider("uchicago.edu");
+//! let user = auth.register_identity("uchicago.edu", "kchard").unwrap();
+//! auth.register_resource_server("dlhub", &["dlhub:serve", "dlhub:publish"]);
+//! let token = auth
+//!     .issue_token(user, &[Scope::new("dlhub", "dlhub:serve")])
+//!     .unwrap();
+//! let info = auth.introspect(&token).unwrap();
+//! assert!(info.has_scope(&Scope::new("dlhub", "dlhub:serve")));
+//! ```
+
+pub mod acl;
+pub mod identity;
+pub mod service;
+pub mod token;
+
+pub use acl::{Acl, Visibility};
+pub use identity::{Identity, IdentityId, IdentityProvider};
+pub use service::{AuthError, AuthService};
+pub use token::{Scope, Token, TokenInfo};

@@ -1,0 +1,114 @@
+//! Bearer tokens, scopes and introspection results.
+
+use crate::identity::IdentityId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A scope is owned by a resource server and named within it, e.g. the
+/// DLHub Management Service registers scope `dlhub:serve` (§IV-D).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Scope {
+    /// Resource server that owns the scope.
+    pub resource_server: String,
+    /// Scope name, conventionally `server:action`.
+    pub name: String,
+}
+
+impl Scope {
+    /// Construct a scope.
+    pub fn new(resource_server: impl Into<String>, name: impl Into<String>) -> Self {
+        Scope {
+            resource_server: resource_server.into(),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.resource_server, self.name)
+    }
+}
+
+/// An opaque bearer token string. The value is random; all semantics
+/// live server-side, exactly like Globus Auth opaque access tokens.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Token(pub String);
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Avoid leaking full token material in logs.
+        let shown = &self.0[..self.0.len().min(8)];
+        write!(f, "tok-{shown}…")
+    }
+}
+
+/// Result of token introspection: everything a resource server learns
+/// about the caller.
+#[derive(Debug, Clone)]
+pub struct TokenInfo {
+    /// Primary identity the token was issued to.
+    pub identity: IdentityId,
+    /// All identities linked to the primary one (including itself).
+    pub linked_identities: Vec<IdentityId>,
+    /// Scopes granted to the token.
+    pub scopes: Vec<Scope>,
+    /// Instant at which the token stops validating.
+    pub expires_at: Instant,
+    /// Whether this is a dependent token minted for a resource server
+    /// acting on the user's behalf (e.g. the Management Service
+    /// fetching model components from a Globus endpoint).
+    pub dependent: bool,
+}
+
+impl TokenInfo {
+    /// True if the token carries `scope`.
+    pub fn has_scope(&self, scope: &Scope) -> bool {
+        self.scopes.iter().any(|s| s == scope)
+    }
+
+    /// Remaining validity; zero if expired.
+    pub fn ttl(&self) -> Duration {
+        self.expires_at.saturating_duration_since(Instant::now())
+    }
+
+    /// True once the expiry instant has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.expires_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_display_and_eq() {
+        let s = Scope::new("dlhub", "dlhub:serve");
+        assert_eq!(s.to_string(), "dlhub/dlhub:serve");
+        assert_eq!(s, Scope::new("dlhub", "dlhub:serve"));
+        assert_ne!(s, Scope::new("dlhub", "dlhub:publish"));
+    }
+
+    #[test]
+    fn token_display_truncates() {
+        let t = Token("abcdefghijklmnop".into());
+        assert_eq!(t.to_string(), "tok-abcdefgh…");
+    }
+
+    #[test]
+    fn token_info_scope_and_ttl() {
+        let info = TokenInfo {
+            identity: IdentityId(1),
+            linked_identities: vec![IdentityId(1)],
+            scopes: vec![Scope::new("dlhub", "dlhub:serve")],
+            expires_at: Instant::now() + Duration::from_secs(60),
+            dependent: false,
+        };
+        assert!(info.has_scope(&Scope::new("dlhub", "dlhub:serve")));
+        assert!(!info.has_scope(&Scope::new("dlhub", "dlhub:publish")));
+        assert!(!info.expired());
+        assert!(info.ttl() > Duration::from_secs(50));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests of identity linking and ACL evaluation.
+
+use dlhub_auth::{Acl, AuthService, IdentityId, Scope};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Identity linking forms equivalence classes: after an arbitrary
+    /// sequence of link operations, membership is symmetric and
+    /// transitive (every member of a set reports the same set).
+    #[test]
+    fn linking_forms_equivalence_classes(
+        links in proptest::collection::vec((0usize..8, 0usize..8), 0..12)
+    ) {
+        let auth = AuthService::new();
+        auth.register_provider("p");
+        let ids: Vec<IdentityId> = (0..8)
+            .map(|i| auth.register_identity("p", &format!("u{i}-{links:?}").replace([' ', ',', '(', ')', '[', ']'], "")).unwrap())
+            .collect();
+        for (a, b) in &links {
+            auth.link_identities(ids[*a], ids[*b]).unwrap();
+        }
+        for &id in &ids {
+            let set = auth.linked_identities(id).unwrap();
+            prop_assert!(set.contains(&id), "reflexivity");
+            for member in &set {
+                let other_set = auth.linked_identities(*member).unwrap();
+                prop_assert_eq!(&set, &other_set, "symmetry/transitivity");
+            }
+        }
+    }
+
+    /// ACL evaluation: a restricted ACL permits exactly the owners,
+    /// allowed users, and allowed-group members — never anyone else.
+    #[test]
+    fn restricted_acl_is_exact(
+        owner in 0u64..4,
+        allowed in proptest::collection::btree_set(0u64..12, 0..5),
+        caller in 0u64..12,
+    ) {
+        let mut acl = Acl::restricted(IdentityId(owner));
+        for a in &allowed {
+            acl.allow_user(IdentityId(*a));
+        }
+        let permitted = acl.permits(&[IdentityId(caller)], &[]);
+        let expected = caller == owner || allowed.contains(&caller);
+        prop_assert_eq!(permitted, expected);
+        // Public always permits, regardless of caller.
+        acl.make_public();
+        prop_assert!(acl.permits(&[IdentityId(caller)], &[]));
+        prop_assert!(acl.permits(&[], &[]));
+    }
+}
+
+#[test]
+fn tokens_issued_after_linking_carry_the_full_set() {
+    let auth = AuthService::new();
+    auth.register_provider("p");
+    auth.register_resource_server("rs", &["s"]);
+    let a = auth.register_identity("p", "a").unwrap();
+    let b = auth.register_identity("p", "b").unwrap();
+    let c = auth.register_identity("p", "c").unwrap();
+    auth.link_identities(a, b).unwrap();
+    let before = auth.issue_token(a, &[Scope::new("rs", "s")]).unwrap();
+    assert_eq!(auth.introspect(&before).unwrap().linked_identities.len(), 2);
+    // Linking after issuance does not retroactively grow old tokens
+    // (they captured their linked set at issue time) …
+    auth.link_identities(b, c).unwrap();
+    assert_eq!(auth.introspect(&before).unwrap().linked_identities.len(), 2);
+    // … but new tokens see all three.
+    let after = auth.issue_token(a, &[Scope::new("rs", "s")]).unwrap();
+    assert_eq!(auth.introspect(&after).unwrap().linked_identities.len(), 3);
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # dlhub-baselines
+//!
+//! Native implementations of the serving systems the paper compares
+//! DLHub against (§III-B, §V-B5):
+//!
+//! * [`tfserving::TensorFlowModelServer`] — the
+//!   `tensorflow_model_server` analogue: multi-model, multi-version
+//!   serving of TensorFlow-exportable servables over both a gRPC-style
+//!   binary protocol and a REST/JSON protocol.
+//! * [`sagemaker::SageMaker`] — the hosted platform: training jobs,
+//!   model creation, endpoint deployment with instance counts, Flask-
+//!   style JSON invocation, and container export.
+//! * [`clipper::Clipper`] — the low-latency prediction server: one
+//!   Docker container per model on the cluster, a query frontend with
+//!   memoization and batching, and a model-selection policy.
+//!
+//! Each system keeps the architectural property that drives its
+//! measured behaviour in Fig 8 (binary vs JSON protocol costs, cache
+//! placement, container-per-model deployment); see DESIGN.md.
+
+pub mod clipper;
+pub mod protocol;
+pub mod sagemaker;
+pub mod tfserving;
+
+pub use clipper::Clipper;
+pub use sagemaker::SageMaker;
+pub use tfserving::TensorFlowModelServer;

@@ -1,0 +1,254 @@
+//! Wire protocols: a compact gRPC-style binary encoding and a
+//! REST-style JSON encoding for [`dlhub_core::Value`].
+//!
+//! The paper attributes part of Fig 8's ordering to protocol choice:
+//! "gRPC leads to slightly better performance than REST due to the
+//! overhead of the HTTP protocol". Encoding a tensor as length-
+//! prefixed little-endian floats versus a JSON array reproduces that
+//! cost difference for real.
+
+use dlhub_core::Value;
+
+/// Protocol selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Binary, length-prefixed (gRPC-like).
+    Grpc,
+    /// JSON over HTTP (REST-like).
+    Rest,
+}
+
+/// Encode a value for transport.
+pub fn encode(protocol: Protocol, value: &Value) -> Result<Vec<u8>, String> {
+    match protocol {
+        Protocol::Grpc => Ok(encode_binary(value)),
+        Protocol::Rest => serde_json::to_vec(value).map_err(|e| e.to_string()),
+    }
+}
+
+/// Decode a transported value.
+pub fn decode(protocol: Protocol, bytes: &[u8]) -> Result<Value, String> {
+    match protocol {
+        Protocol::Grpc => {
+            let mut cursor = 0usize;
+            let v = decode_binary(bytes, &mut cursor)?;
+            if cursor != bytes.len() {
+                return Err("trailing bytes in binary payload".into());
+            }
+            Ok(v)
+        }
+        Protocol::Rest => serde_json::from_slice(bytes).map_err(|e| e.to_string()),
+    }
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_BYTES: u8 = 5;
+const TAG_TENSOR: u8 = 6;
+const TAG_LIST: u8 = 7;
+const TAG_JSON: u8 = 8;
+
+fn encode_binary(value: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(value.approx_size() + 16);
+    write_binary(value, &mut out);
+    out
+}
+
+fn write_binary(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        Value::Tensor { shape, data } => {
+            out.push(TAG_TENSOR);
+            out.extend_from_slice(&(shape.len() as u64).to_le_bytes());
+            for d in shape {
+                out.extend_from_slice(&(*d as u64).to_le_bytes());
+            }
+            out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+            for v in data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Value::List(items) => {
+            out.push(TAG_LIST);
+            out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                write_binary(item, out);
+            }
+        }
+        Value::Json(j) => {
+            let text = j.to_string();
+            out.push(TAG_JSON);
+            out.extend_from_slice(&(text.len() as u64).to_le_bytes());
+            out.extend_from_slice(text.as_bytes());
+        }
+    }
+}
+
+fn read_u64(bytes: &[u8], cursor: &mut usize) -> Result<u64, String> {
+    let end = *cursor + 8;
+    if end > bytes.len() {
+        return Err("truncated binary payload".into());
+    }
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[*cursor..end]);
+    *cursor = end;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_slice<'a>(bytes: &'a [u8], cursor: &mut usize, len: usize) -> Result<&'a [u8], String> {
+    let end = *cursor + len;
+    if end > bytes.len() {
+        return Err("truncated binary payload".into());
+    }
+    let s = &bytes[*cursor..end];
+    *cursor = end;
+    Ok(s)
+}
+
+fn decode_binary(bytes: &[u8], cursor: &mut usize) -> Result<Value, String> {
+    let tag = *bytes.get(*cursor).ok_or("empty binary payload")?;
+    *cursor += 1;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL => {
+            let b = *bytes.get(*cursor).ok_or("truncated bool")?;
+            *cursor += 1;
+            Ok(Value::Bool(b != 0))
+        }
+        TAG_INT => Ok(Value::Int(read_u64(bytes, cursor)? as i64)),
+        TAG_FLOAT => Ok(Value::Float(f64::from_bits(read_u64(bytes, cursor)?))),
+        TAG_STR => {
+            let len = read_u64(bytes, cursor)? as usize;
+            let raw = read_slice(bytes, cursor, len)?;
+            Ok(Value::Str(
+                String::from_utf8(raw.to_vec()).map_err(|e| e.to_string())?,
+            ))
+        }
+        TAG_BYTES => {
+            let len = read_u64(bytes, cursor)? as usize;
+            Ok(Value::Bytes(read_slice(bytes, cursor, len)?.to_vec()))
+        }
+        TAG_TENSOR => {
+            let rank = read_u64(bytes, cursor)? as usize;
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                shape.push(read_u64(bytes, cursor)? as usize);
+            }
+            let n = read_u64(bytes, cursor)? as usize;
+            let raw = read_slice(bytes, cursor, n * 4)?;
+            let data = raw
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            Ok(Value::Tensor { shape, data })
+        }
+        TAG_LIST => {
+            let n = read_u64(bytes, cursor)? as usize;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(decode_binary(bytes, cursor)?);
+            }
+            Ok(Value::List(items))
+        }
+        TAG_JSON => {
+            let len = read_u64(bytes, cursor)? as usize;
+            let raw = read_slice(bytes, cursor, len)?;
+            Ok(Value::Json(
+                serde_json::from_slice(raw).map_err(|e| e.to_string())?,
+            ))
+        }
+        other => Err(format!("unknown binary tag {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-7),
+            Value::Float(2.5),
+            Value::Str("héllo".into()),
+            Value::Bytes(vec![0, 255, 3]),
+            Value::Tensor {
+                shape: vec![2, 2],
+                data: vec![1.0, -1.0, 0.5, 0.0],
+            },
+            Value::List(vec![Value::Int(1), Value::Str("x".into())]),
+            Value::Json(serde_json::json!({"a": [1, 2], "b": "c"})),
+        ]
+    }
+
+    #[test]
+    fn grpc_round_trips_all_types() {
+        for v in samples() {
+            let bytes = encode(Protocol::Grpc, &v).unwrap();
+            assert_eq!(decode(Protocol::Grpc, &bytes).unwrap(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn rest_round_trips_all_types() {
+        for v in samples() {
+            let bytes = encode(Protocol::Rest, &v).unwrap();
+            assert_eq!(decode(Protocol::Rest, &bytes).unwrap(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn binary_is_smaller_for_tensors() {
+        let t = Value::Tensor {
+            shape: vec![1000],
+            data: (0..1000).map(|i| i as f32 * 0.123).collect(),
+        };
+        let binary = encode(Protocol::Grpc, &t).unwrap();
+        let json = encode(Protocol::Rest, &t).unwrap();
+        assert!(
+            binary.len() < json.len() / 2,
+            "binary {} vs json {}",
+            binary.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_binary_is_rejected() {
+        assert!(decode(Protocol::Grpc, &[]).is_err());
+        assert!(decode(Protocol::Grpc, &[99]).is_err());
+        let mut good = encode(Protocol::Grpc, &Value::Str("abc".into())).unwrap();
+        good.truncate(good.len() - 1);
+        assert!(decode(Protocol::Grpc, &good).is_err());
+        // Trailing garbage is also an error.
+        let mut extra = encode(Protocol::Grpc, &Value::Int(1)).unwrap();
+        extra.push(0);
+        assert!(decode(Protocol::Grpc, &extra).is_err());
+    }
+}

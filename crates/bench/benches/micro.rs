@@ -1,0 +1,325 @@
+//! Criterion micro-benchmarks for the design choices DESIGN.md calls
+//! out: memo-cache lookups, batcher coalescing, broker RPC round
+//! trips, wire protocols (the gRPC-vs-REST ablation behind Fig 8),
+//! compute kernels, search queries and container builds.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use dlhub_baselines::protocol::{decode, encode, Protocol};
+use dlhub_core::memo::{MemoCache, MemoKey};
+use dlhub_core::value::Value;
+use dlhub_queue::{Broker, BrokerConfig, RpcClient, RpcServer};
+use dlhub_search::{Document, Index, Query};
+
+fn bench_memo_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memo");
+    group.measurement_time(Duration::from_secs(2));
+    let cache = MemoCache::new(64 * 1024 * 1024);
+    let hot = MemoKey::new("m", &Value::Int(0));
+    cache.put(hot.clone(), Value::Str("out".into()));
+    for i in 0..1000 {
+        cache.put(MemoKey::new("m", &Value::Int(i)), Value::Int(i));
+    }
+    group.bench_function("hit", |b| b.iter(|| black_box(cache.get(&hot))));
+    let cold = MemoKey::new("m", &Value::Int(-1));
+    group.bench_function("miss", |b| b.iter(|| black_box(cache.get(&cold))));
+    // Key construction includes the content hash of the input — the
+    // per-request cost of enabling memoization at all.
+    let image = Value::Tensor {
+        shape: vec![3, 32, 32],
+        data: vec![0.5; 3 * 32 * 32],
+    };
+    group.bench_function("key_hash_cifar_input", |b| {
+        b.iter(|| black_box(MemoKey::new("m", &image)))
+    });
+    group.finish();
+}
+
+fn bench_queue_rpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue");
+    group.measurement_time(Duration::from_secs(3));
+    let broker = Broker::new(BrokerConfig::default());
+    let client = RpcClient::connect(&broker, "bench");
+    let server = RpcServer::bind(&broker, "bench");
+    let worker = std::thread::spawn(move || {
+        server.serve_forever(|req| bytes::Bytes::copy_from_slice(req));
+    });
+    group.bench_function("rpc_round_trip_small", |b| {
+        b.iter(|| {
+            client
+                .call_wait(bytes::Bytes::from_static(b"ping"), Duration::from_secs(5))
+                .unwrap()
+        })
+    });
+    let payload = bytes::Bytes::from(vec![7u8; 64 * 1024]);
+    group.bench_function("rpc_round_trip_64k", |b| {
+        b.iter(|| {
+            client
+                .call_wait(payload.clone(), Duration::from_secs(5))
+                .unwrap()
+        })
+    });
+    group.finish();
+    broker.close_topic("bench").unwrap();
+    let _ = worker.join();
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    // The Fig 8 ablation: binary vs JSON transport of a CIFAR-10
+    // input tensor.
+    let mut group = c.benchmark_group("protocol");
+    group.measurement_time(Duration::from_secs(2));
+    let tensor = Value::Tensor {
+        shape: vec![3, 32, 32],
+        data: (0..3 * 32 * 32).map(|i| (i % 255) as f32 / 255.0).collect(),
+    };
+    for protocol in [Protocol::Grpc, Protocol::Rest] {
+        let label = match protocol {
+            Protocol::Grpc => "grpc",
+            Protocol::Rest => "rest",
+        };
+        group.bench_function(format!("encode_{label}"), |b| {
+            b.iter(|| black_box(encode(protocol, &tensor).unwrap()))
+        });
+        let encoded = encode(protocol, &tensor).unwrap();
+        group.bench_function(format!("decode_{label}"), |b| {
+            b.iter(|| black_box(decode(protocol, &encoded).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    // GEMM at the size the CIFAR-10 conv layers hit.
+    let m = 64;
+    let k = 288;
+    let n = 1024;
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32).collect();
+    let b_mat: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32).collect();
+    group.bench_function("gemm_64x288x1024", |bch| {
+        bch.iter(|| black_box(dlhub_tensor::ops::matmul(&a, &b_mat, m, k, n)))
+    });
+    let cifar = dlhub_tensor::models::cifar10(7);
+    let img = dlhub_tensor::models::synthetic_image(&dlhub_tensor::models::CIFAR10_INPUT, 0);
+    group.bench_function("cifar10_forward", |bch| {
+        bch.iter(|| black_box(cifar.forward(img.clone())))
+    });
+    group.finish();
+}
+
+fn bench_matsci(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matsci");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("parse_formula", |b| {
+        b.iter(|| black_box(dlhub_matsci::parse_formula("Ba(Ti0.8Zr0.2)O3").unwrap()))
+    });
+    let composition = dlhub_matsci::parse_formula("BaTiO3").unwrap();
+    group.bench_function("featurize", |b| {
+        b.iter(|| black_box(dlhub_matsci::featurize(&composition)))
+    });
+    let data = dlhub_matsci::dataset::generate(300, 1);
+    let forest = dlhub_matsci::RandomForest::fit(
+        &data.features(),
+        &data.targets(),
+        &dlhub_matsci::ForestConfig {
+            n_trees: 25,
+            ..Default::default()
+        },
+    );
+    let probe = dlhub_matsci::featurize(&composition);
+    group.bench_function("forest_predict", |b| {
+        b.iter(|| black_box(forest.predict(&probe)))
+    });
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search");
+    group.measurement_time(Duration::from_secs(2));
+    let index = Index::new();
+    for i in 0..1000 {
+        index
+            .upsert(Document::new(
+                format!("model-{i}"),
+                serde_json::json!({
+                    "title": format!("model number {i} for domain {}", i % 7),
+                    "model_type": if i % 2 == 0 { "keras" } else { "sklearn" },
+                    "year": 2015 + (i % 5),
+                }),
+                vec!["public".into()],
+            ))
+            .unwrap();
+    }
+    group.bench_function("free_text_1k_docs", |b| {
+        b.iter(|| black_box(index.search(&Query::free_text("model domain 3"), &[])))
+    });
+    group.bench_function("boolean_range_1k_docs", |b| {
+        let q = Query::field_match("model_type", "keras")
+            .and(Query::range("year", Some(2017.0), None));
+        b.iter(|| black_box(index.search(&q, &[])))
+    });
+    group.finish();
+}
+
+fn bench_container_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("container");
+    group.measurement_time(Duration::from_secs(2));
+    let mut recipe = dlhub_container::Recipe::from_base("python:3.7");
+    recipe
+        .add_dependency(dlhub_container::Dependency::new("keras", "2.2.4"))
+        .unwrap();
+    recipe.add_file("weights.h5", vec![7u8; 64 * 1024]);
+    recipe.entrypoint("dlhub-shim");
+    group.bench_function("image_build_cold_cache", |b| {
+        b.iter_batched(
+            dlhub_container::ImageBuilder::new,
+            |mut builder| black_box(builder.build(&recipe)),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut warm = dlhub_container::ImageBuilder::new();
+    warm.build(&recipe);
+    group.bench_function("image_build_warm_cache", |b| {
+        b.iter(|| black_box(warm.build(&recipe)))
+    });
+    group.finish();
+}
+
+fn bench_hpc_scheduler(c: &mut Criterion) {
+    use dlhub_container::hpc::{BatchScheduler, JobRequest};
+    let mut group = c.benchmark_group("hpc");
+    group.measurement_time(Duration::from_secs(2));
+    // Submit+advance a 200-job backfill workload: the scheduler's
+    // decision cost, not the (virtual) job time.
+    group.bench_function("schedule_200_jobs_with_backfill", |b| {
+        b.iter(|| {
+            let sched = BatchScheduler::new(64);
+            for i in 0..200u64 {
+                sched
+                    .submit(JobRequest {
+                        name: format!("j{i}"),
+                        nodes: 1 + (i % 16) as usize,
+                        walltime_s: 10 + i % 50,
+                        sif: dlhub_container::Digest(1, 1),
+                    })
+                    .unwrap();
+            }
+            sched.advance(100_000);
+            black_box(sched.free_nodes())
+        })
+    });
+    group.finish();
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    use dlhub_transfer::TransferService;
+    let mut group = c.benchmark_group("transfer");
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    let svc = TransferService::new();
+    let src = svc.create_endpoint("src", 1000.0);
+    let dst = svc.create_endpoint("dst", 1000.0);
+    src.put("/mb", vec![7u8; 1024 * 1024]);
+    group.bench_function("staged_1mb_verified", |b| {
+        b.iter(|| {
+            let task = svc.submit(&src, "/mb", &dst, "/mb").unwrap();
+            black_box(svc.wait(&task).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    use dlhub_tensor::layer::Layer;
+    use dlhub_tensor::{Tensor, Trainable};
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    let make_net = || {
+        Trainable::new(
+            vec![1, 16, 16],
+            vec![
+                Layer::Conv2d {
+                    weights: vec![0.01; 8 * 9],
+                    bias: vec![0.0; 8],
+                    c_out: 8,
+                    kh: 3,
+                    kw: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+                Layer::ReLU,
+                Layer::MaxPool { size: 2, stride: 2 },
+                Layer::Flatten,
+                Layer::Dense {
+                    weights: vec![0.01; 4 * 512],
+                    bias: vec![0.0; 4],
+                    out: 4,
+                    input: 512,
+                },
+            ],
+        )
+        .unwrap()
+    };
+    let batch: Vec<(Tensor, usize)> = (0..16)
+        .map(|i| {
+            (
+                Tensor::new(
+                    vec![1, 16, 16],
+                    (0..256).map(|p| ((p + i) % 7) as f32 / 7.0).collect(),
+                )
+                .unwrap(),
+                i % 4,
+            )
+        })
+        .collect();
+    group.bench_function("sgd_step_batch16_conv8_16x16", |b| {
+        b.iter_batched(
+            make_net,
+            |mut net| black_box(net.sgd_step(&batch, 0.05, 0.9).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_uncertainty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uq");
+    group.measurement_time(Duration::from_secs(2));
+    let data = dlhub_matsci::dataset::generate(300, 1);
+    let forest = dlhub_matsci::RandomForest::fit(
+        &data.features(),
+        &data.targets(),
+        &dlhub_matsci::ForestConfig {
+            n_trees: 25,
+            ..Default::default()
+        },
+    );
+    let probe =
+        dlhub_matsci::featurize(&dlhub_matsci::parse_formula("BaTiO3").unwrap());
+    group.bench_function("forest_predict_with_uncertainty", |b| {
+        b.iter(|| black_box(forest.predict_with_uncertainty(&probe)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_memo_cache,
+    bench_queue_rpc,
+    bench_protocols,
+    bench_kernels,
+    bench_matsci,
+    bench_search,
+    bench_container_build,
+    bench_hpc_scheduler,
+    bench_training,
+    bench_transfer,
+    bench_uncertainty,
+);
+criterion_main!(benches);

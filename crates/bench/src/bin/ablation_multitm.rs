@@ -1,0 +1,90 @@
+//! Ablation: scaling Task Managers past the Fig 7 dispatch ceiling.
+//!
+//! ```text
+//! cargo run --release -p dlhub-bench --bin ablation_multitm
+//! ```
+//!
+//! Fig 7 saturates because a single Task Manager serializes dispatch
+//! at ~1/d req/s. The paper deploys "one or more Task Managers" (§IV);
+//! this ablation sweeps the TM count on the testbed model and shows
+//! the ceiling lifting to k/d until the replica pool becomes the
+//! bottleneck instead.
+
+use dlhub_bench::calibrate_servables;
+use dlhub_bench::report::{print_table, shape_check, write_csv};
+use dlhub_sim::testbed;
+
+const TASK_MANAGERS: [usize; 4] = [1, 2, 4, 8];
+const REPLICAS: usize = 64;
+const N_REQUESTS: usize = 5000;
+
+fn main() {
+    println!("calibrating real kernels…");
+    let servables = calibrate_servables(7);
+    let profile = testbed::dlhub();
+    let inception = dlhub_bench::calibrate::find(&servables, "inception");
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut throughputs = Vec::new();
+    for (k, tms) in TASK_MANAGERS.iter().enumerate() {
+        let makespan = profile.run_throughput_multi_tm(
+            &inception.model,
+            N_REQUESTS,
+            REPLICAS,
+            *tms,
+            55 + k as u64,
+        );
+        let throughput = N_REQUESTS as f64 / makespan.as_secs();
+        throughputs.push((*tms, throughput));
+        rows.push(vec![
+            tms.to_string(),
+            format!("{:.2}", makespan.as_secs()),
+            format!("{throughput:.0}"),
+        ]);
+        csv.push(vec![
+            tms.to_string(),
+            makespan.as_millis().to_string(),
+            throughput.to_string(),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Ablation: Task-Manager scaling ({N_REQUESTS} Inception inferences, {REPLICAS} replicas)"
+        ),
+        &["task managers", "makespan s", "req/s"],
+        &rows,
+    );
+    let path = write_csv(
+        "ablation_multitm.csv",
+        &["task_managers", "makespan_ms", "throughput_rps"],
+        &csv,
+    );
+    println!("\nwrote {}", path.display());
+
+    println!("\nshape checks:");
+    let rate = |tms: usize| {
+        throughputs
+            .iter()
+            .find(|(t, _)| *t == tms)
+            .map(|(_, r)| *r)
+            .unwrap()
+    };
+    shape_check(
+        &format!(
+            "2 TMs ≈ 2x the single-TM dispatch ceiling ({:.0} -> {:.0} req/s)",
+            rate(1),
+            rate(2)
+        ),
+        rate(2) / rate(1) > 1.7,
+    );
+    shape_check(
+        &format!(
+            "scaling flattens once the {REPLICAS}-replica pool binds ({:.0} -> {:.0} req/s from 4 -> 8 TMs)",
+            rate(4),
+            rate(8)
+        ),
+        rate(8) / rate(4) < rate(2) / rate(1),
+    );
+}

@@ -1,0 +1,85 @@
+//! Fig 5: servable invocation time with and without batching, for
+//! 1–100 requests (§V-B3).
+//!
+//! Expected shape (paper): "batching significantly reduces overall
+//! invocation time" — the unbatched series pays per-request dispatch,
+//! the batched series amortizes it across the batch.
+
+use dlhub_bench::calibrate_servables;
+use dlhub_bench::report::{ms, print_table, shape_check, write_csv};
+use dlhub_sim::{testbed, BatchPolicy};
+
+const SIZES: [usize; 7] = [1, 2, 5, 10, 20, 50, 100];
+const SERVABLES: [&str; 3] = ["noop", "cifar10", "matminer model"];
+
+fn main() {
+    println!("calibrating real kernels…");
+    let servables = calibrate_servables(7);
+    let profile = testbed::dlhub();
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut ratio_at_100 = Vec::new();
+    for name in SERVABLES {
+        let c = dlhub_bench::calibrate::find(&servables, name);
+        for (k, n) in SIZES.iter().enumerate() {
+            let unbatched = profile.run_batch(&c.model, *n, None, 7 + k as u64);
+            let batched = profile.run_batch(
+                &c.model,
+                *n,
+                Some(BatchPolicy { max_batch: 10_000 }),
+                7 + k as u64,
+            );
+            rows.push(vec![
+                name.to_string(),
+                n.to_string(),
+                ms(unbatched.as_millis()),
+                ms(batched.as_millis()),
+                format!("{:.2}x", unbatched.as_millis() / batched.as_millis()),
+            ]);
+            csv.push(vec![
+                name.to_string(),
+                n.to_string(),
+                unbatched.as_millis().to_string(),
+                batched.as_millis().to_string(),
+            ]);
+            if *n == 100 {
+                ratio_at_100.push((name, unbatched.as_millis() / batched.as_millis()));
+            }
+        }
+    }
+
+    print_table(
+        "Fig 5: total invocation time (ms) for n requests, unbatched vs batched",
+        &["servable", "n", "unbatched", "batched", "speedup"],
+        &rows,
+    );
+    let path = write_csv(
+        "fig5.csv",
+        &["servable", "n_requests", "unbatched_ms", "batched_ms"],
+        &csv,
+    );
+    println!("\nwrote {}", path.display());
+
+    println!("\nshape checks against the paper:");
+    shape_check(
+        "batching reduces invocation time for every servable at n=100",
+        ratio_at_100.iter().all(|(_, r)| *r > 1.0),
+    );
+    let cheap_gain = ratio_at_100
+        .iter()
+        .find(|(n, _)| *n == "noop")
+        .map(|(_, r)| *r)
+        .unwrap();
+    let heavy_gain = ratio_at_100
+        .iter()
+        .find(|(n, _)| *n == "cifar10")
+        .map(|(_, r)| *r)
+        .unwrap();
+    shape_check(
+        &format!(
+            "cheap servables gain most (noop {cheap_gain:.1}x vs cifar10 {heavy_gain:.1}x): overheads dominate their unbatched time"
+        ),
+        cheap_gain > heavy_gain,
+    );
+}

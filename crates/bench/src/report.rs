@@ -1,0 +1,136 @@
+//! Table printing and CSV output for the experiment binaries.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to (`results/` at the
+/// workspace root, created on demand).
+pub fn results_dir() -> PathBuf {
+    // The binaries run from the workspace root under `cargo run`; fall
+    // back to CWD otherwise.
+    let dir = std::env::current_dir()
+        .unwrap_or_else(|_| PathBuf::from("."))
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a CSV with a header row.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
+    writeln!(file, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(file, "{}", row.join(",")).expect("write row");
+    }
+    file.flush().expect("flush csv");
+    path
+}
+
+/// Print an aligned text table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    println!("{}", render(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", render(row));
+    }
+}
+
+/// Format milliseconds with sensible precision.
+pub fn ms(value: f64) -> String {
+    if value < 0.1 {
+        format!("{value:.3}")
+    } else if value < 10.0 {
+        format!("{value:.2}")
+    } else {
+        format!("{value:.1}")
+    }
+}
+
+/// A PASS/FAIL shape check printed under each figure, recording
+/// whether the paper's qualitative claim holds in our reproduction.
+pub fn shape_check(description: &str, holds: bool) {
+    println!(
+        "  [{}] {description}",
+        if holds { "PASS" } else { "FAIL" }
+    );
+}
+
+/// Least-squares linear fit `y = a + b x`, returning `(a, b, r2)`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x) * (x - mean_x)).sum();
+    let b = sxy / sxx;
+    let a = mean_y - b * mean_x;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let pred = a + b * x;
+            (y - pred) * (y - pred)
+        })
+        .sum();
+    let r2 = 1.0 - ss_res / ss_tot;
+    (a, b, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_a_line() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ms_formats_by_magnitude() {
+        assert_eq!(ms(0.0123), "0.012");
+        assert_eq!(ms(1.234), "1.23");
+        assert_eq!(ms(123.456), "123.5");
+    }
+
+    #[test]
+    fn csv_is_written() {
+        let path = write_csv(
+            "unit-test.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

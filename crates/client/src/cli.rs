@@ -1,0 +1,322 @@
+//! The Git-like CLI (§IV-E): `init`, `update`, `publish`, `run`, `ls`
+//! against a local working directory with a `.dlhub/` metadata file.
+
+use crate::kinds::instantiate;
+use crate::toolbox::MetadataBuilder;
+use dlhub_auth::Token;
+use dlhub_core::repository::PublishVisibility;
+use dlhub_core::serving::ManagementService;
+use dlhub_core::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The on-disk servable description stored at `.dlhub/dlhub.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalServable {
+    /// Servable name.
+    pub name: String,
+    /// Built-in implementation kind (`noop`, `echo`, `matminer-util`,
+    /// `matminer-featurize`, `matminer-model`, `inception`,
+    /// `cifar10`).
+    pub kind: String,
+    /// Description (required at publish time).
+    pub description: String,
+    /// Discovery tags.
+    pub tags: Vec<String>,
+    /// Last publication receipt, if any.
+    pub published_id: Option<String>,
+    /// Version from the last publication.
+    pub published_version: Option<u32>,
+}
+
+/// CLI errors are plain strings (they are printed to the terminal).
+pub type CliError = String;
+
+/// The CLI, bound to a service and user token (what `dlhub login`
+/// would establish).
+pub struct Cli {
+    service: Arc<ManagementService>,
+    token: Token,
+}
+
+fn metadata_path(workdir: &Path) -> PathBuf {
+    workdir.join(".dlhub").join("dlhub.json")
+}
+
+fn load(workdir: &Path) -> Result<LocalServable, CliError> {
+    let path = metadata_path(workdir);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|_| format!("no servable here; run 'dlhub init' first ({})", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("corrupt {}: {e}", path.display()))
+}
+
+fn store(workdir: &Path, local: &LocalServable) -> Result<(), CliError> {
+    let dir = workdir.join(".dlhub");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    std::fs::write(
+        metadata_path(workdir),
+        serde_json::to_string_pretty(local).expect("local servable serializes"),
+    )
+    .map_err(|e| e.to_string())
+}
+
+impl Cli {
+    /// Bind the CLI to a service and token.
+    pub fn new(service: Arc<ManagementService>, token: Token) -> Self {
+        Cli { service, token }
+    }
+
+    /// Execute one command. `args` is the argv after the program name,
+    /// e.g. `["init", "my-model", "--kind", "echo"]`. Returns the text
+    /// the command prints.
+    pub fn execute(&self, workdir: &Path, args: &[&str]) -> Result<String, CliError> {
+        match args {
+            ["init", rest @ ..] => self.init(workdir, rest),
+            ["update", rest @ ..] => self.update(workdir, rest),
+            ["publish"] => self.publish(workdir),
+            ["run", input] => self.run(workdir, input),
+            ["ls"] => self.ls(workdir),
+            [] => Err("usage: dlhub <init|update|publish|run|ls>".into()),
+            other => Err(format!("unknown command: {}", other.join(" "))),
+        }
+    }
+
+    /// `init <name> [--kind k]`: create `.dlhub/dlhub.json`.
+    fn init(&self, workdir: &Path, args: &[&str]) -> Result<String, CliError> {
+        let name = args
+            .first()
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("usage: dlhub init <name> [--kind k]")?;
+        let kind = flag_value(args, "--kind").unwrap_or("echo");
+        instantiate(kind)?; // validate early
+        if metadata_path(workdir).exists() {
+            return Err("a servable is already initialized here".into());
+        }
+        let local = LocalServable {
+            name: name.to_string(),
+            kind: kind.to_string(),
+            description: String::new(),
+            tags: Vec::new(),
+            published_id: None,
+            published_version: None,
+        };
+        store(workdir, &local)?;
+        Ok(format!("Initialized servable '{name}' (kind {kind})"))
+    }
+
+    /// `update [--description d] [--tag t]...`: modify local metadata.
+    fn update(&self, workdir: &Path, args: &[&str]) -> Result<String, CliError> {
+        let mut local = load(workdir)?;
+        if let Some(d) = flag_value(args, "--description") {
+            local.description = d.to_string();
+        }
+        for tag in flag_values(args, "--tag") {
+            if !local.tags.iter().any(|t| t == tag) {
+                local.tags.push(tag.to_string());
+            }
+        }
+        store(workdir, &local)?;
+        Ok(format!("Updated metadata for '{}'", local.name))
+    }
+
+    /// `publish`: push the local servable to DLHub.
+    fn publish(&self, workdir: &Path) -> Result<String, CliError> {
+        let mut local = load(workdir)?;
+        let (servable, model_type, input, output) = instantiate(&local.kind)?;
+        let mut builder = MetadataBuilder::new(&local.name, model_type)
+            .description(if local.description.is_empty() {
+                format!("{} servable published via the DLHub CLI", local.kind)
+            } else {
+                local.description.clone()
+            })
+            .input(input)
+            .output(output);
+        for tag in &local.tags {
+            builder = builder.tag(tag.clone());
+        }
+        let metadata = builder.build()?;
+        // Ship the local metadata file as a model component, like the
+        // real CLI uploads the working directory's artifacts.
+        let components = BTreeMap::from([(
+            ".dlhub/dlhub.json".to_string(),
+            serde_json::to_vec(&local).expect("local servable serializes"),
+        )]);
+        let receipt = self
+            .service
+            .publish(
+                &self.token,
+                metadata,
+                servable,
+                components,
+                PublishVisibility::Public,
+            )
+            .map_err(|e| e.to_string())?;
+        local.published_id = Some(receipt.id.clone());
+        local.published_version = Some(receipt.version);
+        store(workdir, &local)?;
+        Ok(format!(
+            "Published {} v{} (doi {})",
+            receipt.id, receipt.version, receipt.doi
+        ))
+    }
+
+    /// `run <json-input>`: invoke the published servable.
+    fn run(&self, workdir: &Path, input: &str) -> Result<String, CliError> {
+        let local = load(workdir)?;
+        let id = local
+            .published_id
+            .ok_or("not published yet; run 'dlhub publish' first")?;
+        // Accept either a bare string (shorthand) or a JSON value.
+        let value: Value = match serde_json::from_str(input) {
+            Ok(v) => v,
+            Err(_) => Value::Str(input.to_string()),
+        };
+        let result = self
+            .service
+            .run(&self.token, &id, value)
+            .map_err(|e| e.to_string())?;
+        Ok(format!(
+            "{}\n(request {:.2} ms, invocation {:.2} ms, inference {:.2} ms{})",
+            result.value,
+            result.timings.request.as_secs_f64() * 1e3,
+            result.timings.invocation.as_secs_f64() * 1e3,
+            result.timings.inference.as_secs_f64() * 1e3,
+            if result.timings.cache_hit {
+                ", cached"
+            } else {
+                ""
+            }
+        ))
+    }
+
+    /// `ls`: show the tracked servable in this directory.
+    fn ls(&self, workdir: &Path) -> Result<String, CliError> {
+        let local = load(workdir)?;
+        let status = match (&local.published_id, local.published_version) {
+            (Some(id), Some(v)) => format!("published as {id} v{v}"),
+            _ => "unpublished".to_string(),
+        };
+        Ok(format!("{} (kind {}) — {status}", local.name, local.kind))
+    }
+}
+
+fn flag_value<'a>(args: &[&'a str], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| args.get(i + 1).copied())
+}
+
+fn flag_values<'a>(args: &[&'a str], flag: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| **a == flag)
+        .filter_map(|(i, _)| args.get(i + 1).copied())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlhub_core::hub::TestHub;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "dlhub-cli-test-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id(),
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn cli(hub: &TestHub) -> Cli {
+        Cli::new(Arc::clone(&hub.service), hub.token.clone())
+    }
+
+    #[test]
+    fn full_lifecycle_init_update_publish_run_ls() {
+        let hub = TestHub::builder().without_eval_servables().build();
+        let cli = cli(&hub);
+        let dir = TempDir::new("lifecycle");
+        let out = cli
+            .execute(&dir.0, &["init", "parser", "--kind", "matminer-util"])
+            .unwrap();
+        assert!(out.contains("Initialized"));
+        cli.execute(
+            &dir.0,
+            &[
+                "update",
+                "--description",
+                "Parses compositions",
+                "--tag",
+                "materials",
+            ],
+        )
+        .unwrap();
+        let out = cli.execute(&dir.0, &["publish"]).unwrap();
+        assert!(out.contains("Published dlhub/parser v1"), "{out}");
+        let out = cli.execute(&dir.0, &["run", "NaCl"]).unwrap();
+        assert!(out.contains("formula"), "{out}");
+        assert!(out.contains("request"), "{out}");
+        let out = cli.execute(&dir.0, &["ls"]).unwrap();
+        assert!(out.contains("published as dlhub/parser v1"), "{out}");
+        // Republishing bumps the version.
+        let out = cli.execute(&dir.0, &["publish"]).unwrap();
+        assert!(out.contains("v2"), "{out}");
+    }
+
+    #[test]
+    fn init_rejects_double_init_and_bad_kind() {
+        let hub = TestHub::builder().without_eval_servables().build();
+        let cli = cli(&hub);
+        let dir = TempDir::new("double");
+        cli.execute(&dir.0, &["init", "m"]).unwrap();
+        assert!(cli.execute(&dir.0, &["init", "m"]).is_err());
+        let dir2 = TempDir::new("badkind");
+        assert!(cli
+            .execute(&dir2.0, &["init", "m", "--kind", "quantum"])
+            .is_err());
+    }
+
+    #[test]
+    fn commands_require_init() {
+        let hub = TestHub::builder().without_eval_servables().build();
+        let cli = cli(&hub);
+        let dir = TempDir::new("noinit");
+        for cmd in [vec!["ls"], vec!["publish"], vec!["update"]] {
+            let err = cli.execute(&dir.0, &cmd).unwrap_err();
+            assert!(err.contains("dlhub init"), "{err}");
+        }
+    }
+
+    #[test]
+    fn run_requires_publication() {
+        let hub = TestHub::builder().without_eval_servables().build();
+        let cli = cli(&hub);
+        let dir = TempDir::new("nopub");
+        cli.execute(&dir.0, &["init", "m"]).unwrap();
+        let err = cli.execute(&dir.0, &["run", "x"]).unwrap_err();
+        assert!(err.contains("publish"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let hub = TestHub::builder().without_eval_servables().build();
+        let cli = cli(&hub);
+        let dir = TempDir::new("unknown");
+        assert!(cli.execute(&dir.0, &["frobnicate"]).is_err());
+        assert!(cli.execute(&dir.0, &[]).is_err());
+    }
+}

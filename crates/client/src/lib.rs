@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # dlhub-client
+//!
+//! DLHub's user-facing interfaces (§IV-E): "DLHub offers a REST API,
+//! Command Line Interface (CLI), and a Python Software Development Kit
+//! (SDK) for publishing, managing, and invoking models. We also
+//! provide a user toolbox to assist with the creation of metadata."
+//!
+//! * [`rest::RestApi`] — the HTTP-style API: method + path + JSON
+//!   body in, status + JSON body out.
+//! * [`sdk::DlhubClient`] — the SDK: typed wrappers over the REST API.
+//! * [`cli::Cli`] — the Git-like CLI with `init`, `update`,
+//!   `publish`, `run` and `ls` working against a local `.dlhub/`
+//!   directory.
+//! * [`toolbox`] — metadata builder plus local servable execution for
+//!   model development and testing.
+
+pub mod cli;
+pub mod kinds;
+pub mod rest;
+pub mod sdk;
+pub mod toolbox;
+
+pub use rest::{RestApi, RestResponse};
+pub use sdk::DlhubClient;
+pub use toolbox::MetadataBuilder;

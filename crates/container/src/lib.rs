@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # dlhub-container
+//!
+//! A Docker/Kubernetes-like substrate: image builds, a registry, and a
+//! cluster model with a replica scheduler.
+//!
+//! DLHub (§IV-A) "combines DLHub-specific dependencies with
+//! user-supplied model dependencies into a Dockerfile … uses the
+//! Dockerfile to create a Docker container with the uploaded model
+//! components and all required dependencies … uploads the container to
+//! the DLHub model repository". At serving time the Parsl executor
+//! "creates a Kubernetes Deployment consisting of *n* pods for each
+//! servable" on PetrelKube, a 14-node cluster (§V-A).
+//!
+//! This crate rebuilds those pieces natively and deterministically:
+//!
+//! * [`Recipe`] — a Dockerfile analogue: base image, merged dependency
+//!   set (with version-conflict detection), copied model components,
+//!   entrypoint.
+//! * [`ImageBuilder`] — produces content-addressed, layered [`Image`]s
+//!   with a build cache, so rebuilding an unchanged recipe is free and
+//!   identical recipes share layers (reproducibility, §II).
+//! * [`Registry`] — push/pull by `name:tag`, resolving to digests.
+//! * [`Cluster`] — nodes with CPU/memory capacity, a least-loaded
+//!   bin-packing scheduler, [`Deployment`]s with `n` replicas, pod
+//!   lifecycle, and node-drain rescheduling.
+
+pub mod cluster;
+pub mod hpc;
+pub mod image;
+pub mod recipe;
+pub mod registry;
+
+pub use cluster::{Cluster, ClusterError, Deployment, NodeSpec, Pod, PodId, PodPhase, PodSpec};
+pub use hpc::{singularity_build, BatchScheduler, JobId, JobRequest, JobState, SifImage};
+pub use image::{Digest, Image, ImageBuilder, Layer};
+pub use recipe::{Dependency, Recipe, RecipeError};
+pub use registry::{Registry, RegistryError};

@@ -1,0 +1,204 @@
+//! Build recipes: the Dockerfile analogue.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A versioned package dependency (`keras==2.2.4` style).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dependency {
+    /// Package name.
+    pub name: String,
+    /// Exact version pin.
+    pub version: String,
+}
+
+impl Dependency {
+    /// Construct a pinned dependency.
+    pub fn new(name: impl Into<String>, version: impl Into<String>) -> Self {
+        Dependency {
+            name: name.into(),
+            version: version.into(),
+        }
+    }
+}
+
+impl fmt::Display for Dependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}=={}", self.name, self.version)
+    }
+}
+
+/// Errors raised while assembling a recipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecipeError {
+    /// The same package is pinned at two different versions — the
+    /// conflict DLHub must detect when merging its own dependencies
+    /// with user-supplied ones.
+    VersionConflict {
+        /// Conflicting package name.
+        package: String,
+        /// Version already pinned.
+        existing: String,
+        /// Version being added.
+        requested: String,
+    },
+}
+
+impl fmt::Display for RecipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecipeError::VersionConflict {
+                package,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "dependency conflict on {package}: {existing} vs {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecipeError {}
+
+/// A servable build recipe: base image, merged dependencies, copied
+/// model components and an entrypoint. Field ordering is canonical
+/// (BTreeMap) so identical recipes hash identically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Recipe {
+    /// Base image, e.g. `python:3.7`.
+    pub base: String,
+    /// Pinned dependencies, name -> version.
+    pub dependencies: BTreeMap<String, String>,
+    /// Model components copied into the image: path -> content.
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// Command run when a pod starts, e.g. `dlhub-shim --serve`.
+    pub entrypoint: String,
+}
+
+impl Recipe {
+    /// Start a recipe from a base image.
+    pub fn from_base(base: impl Into<String>) -> Self {
+        Recipe {
+            base: base.into(),
+            dependencies: BTreeMap::new(),
+            files: BTreeMap::new(),
+            entrypoint: String::new(),
+        }
+    }
+
+    /// Add a dependency, detecting version conflicts.
+    pub fn add_dependency(&mut self, dep: Dependency) -> Result<&mut Self, RecipeError> {
+        match self.dependencies.get(&dep.name) {
+            Some(existing) if *existing != dep.version => Err(RecipeError::VersionConflict {
+                package: dep.name,
+                existing: existing.clone(),
+                requested: dep.version,
+            }),
+            _ => {
+                self.dependencies.insert(dep.name, dep.version);
+                Ok(self)
+            }
+        }
+    }
+
+    /// Merge another dependency set (DLHub merges its shim/runtime
+    /// dependencies with the user's model dependencies, §IV-A).
+    pub fn merge_dependencies<I>(&mut self, deps: I) -> Result<&mut Self, RecipeError>
+    where
+        I: IntoIterator<Item = Dependency>,
+    {
+        for dep in deps {
+            self.add_dependency(dep)?;
+        }
+        Ok(self)
+    }
+
+    /// Copy a model component into the image.
+    pub fn add_file(&mut self, path: impl Into<String>, content: Vec<u8>) -> &mut Self {
+        self.files.insert(path.into(), content);
+        self
+    }
+
+    /// Set the entrypoint command.
+    pub fn entrypoint(&mut self, cmd: impl Into<String>) -> &mut Self {
+        self.entrypoint = cmd.into();
+        self
+    }
+
+    /// Render as Dockerfile text (for inspection / export).
+    pub fn to_dockerfile(&self) -> String {
+        let mut out = format!("FROM {}\n", self.base);
+        for (name, version) in &self.dependencies {
+            out.push_str(&format!("RUN pip install {name}=={version}\n"));
+        }
+        for path in self.files.keys() {
+            out.push_str(&format!("COPY {path} {path}\n"));
+        }
+        if !self.entrypoint.is_empty() {
+            out.push_str(&format!("ENTRYPOINT [\"{}\"]\n", self.entrypoint));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_dependency_dedups_same_version() {
+        let mut r = Recipe::from_base("python:3.7");
+        r.add_dependency(Dependency::new("keras", "2.2.4")).unwrap();
+        r.add_dependency(Dependency::new("keras", "2.2.4")).unwrap();
+        assert_eq!(r.dependencies.len(), 1);
+    }
+
+    #[test]
+    fn version_conflict_detected() {
+        let mut r = Recipe::from_base("python:3.7");
+        r.add_dependency(Dependency::new("keras", "2.2.4")).unwrap();
+        let err = r
+            .add_dependency(Dependency::new("keras", "2.3.0"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RecipeError::VersionConflict {
+                package: "keras".into(),
+                existing: "2.2.4".into(),
+                requested: "2.3.0".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn merge_combines_user_and_system_deps() {
+        let mut r = Recipe::from_base("python:3.7");
+        r.merge_dependencies([
+            Dependency::new("dlhub-shim", "0.1"),
+            Dependency::new("parsl", "0.7"),
+        ])
+        .unwrap();
+        r.merge_dependencies([Dependency::new("scikit-learn", "0.20")])
+            .unwrap();
+        assert_eq!(r.dependencies.len(), 3);
+    }
+
+    #[test]
+    fn dockerfile_rendering_is_canonical() {
+        let mut r = Recipe::from_base("python:3.7");
+        r.add_dependency(Dependency::new("zlib", "1")).unwrap();
+        r.add_dependency(Dependency::new("abc", "2")).unwrap();
+        r.add_file("model.pkl", vec![1, 2, 3]);
+        r.entrypoint("dlhub-shim");
+        let text = r.to_dockerfile();
+        // BTreeMap ordering: abc before zlib regardless of insert order.
+        let abc = text.find("abc").unwrap();
+        let zlib = text.find("zlib").unwrap();
+        assert!(abc < zlib);
+        assert!(text.starts_with("FROM python:3.7\n"));
+        assert!(text.contains("COPY model.pkl model.pkl"));
+        assert!(text.ends_with("ENTRYPOINT [\"dlhub-shim\"]\n"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests of the Slurm-like batch scheduler.
+
+use dlhub_container::hpc::{BatchScheduler, JobRequest, JobState};
+use dlhub_container::Digest;
+use proptest::prelude::*;
+
+fn job(name: String, nodes: usize, walltime_s: u64) -> JobRequest {
+    JobRequest {
+        name,
+        nodes,
+        walltime_s,
+        sif: Digest(0, 0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation + safety: node accounting never goes negative or
+    /// above the partition, every job terminates, and — the backfill
+    /// guarantee — no job starts before an earlier-submitted job whose
+    /// walltime it would have delayed (conservative backfill only
+    /// admits jobs that finish by the head's reservation).
+    #[test]
+    fn scheduler_invariants_hold(
+        jobs in proptest::collection::vec((1usize..8, 1u64..40), 1..25)
+    ) {
+        let partition = 8usize;
+        let sched = BatchScheduler::new(partition);
+        let ids: Vec<_> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, (nodes, walltime))| {
+                sched
+                    .submit(job(format!("j{i}"), *nodes, *walltime))
+                    .unwrap()
+            })
+            .collect();
+        prop_assert!(sched.free_nodes() <= partition);
+        // Run everything to completion.
+        let total_walltime: u64 = jobs.iter().map(|(_, w)| w).sum();
+        sched.advance(total_walltime + 1);
+        prop_assert_eq!(sched.free_nodes(), partition);
+        for id in &ids {
+            prop_assert_eq!(sched.job_state(*id).unwrap(), JobState::Completed);
+        }
+        // Makespan bound: never worse than strictly serial execution.
+        let times: Vec<(u64, u64)> = ids
+            .iter()
+            .map(|id| {
+                let (s, f) = sched.job_times(*id).unwrap();
+                (s.unwrap(), f.unwrap())
+            })
+            .collect();
+        let last_finish = times.iter().map(|(_, f)| *f).max().unwrap();
+        prop_assert!(last_finish <= total_walltime);
+        // Every job ran for exactly its requested walltime.
+        for ((_, walltime), (start, finish)) in jobs.iter().zip(&times) {
+            prop_assert_eq!(finish - start, *walltime);
+        }
+        // No-overcommit, replayed over time: at every start instant,
+        // the nodes held by running jobs fit the partition.
+        for &(t, _) in &times {
+            let in_use: usize = jobs
+                .iter()
+                .zip(&times)
+                .filter(|(_, (s, f))| *s <= t && t < *f)
+                .map(|((nodes, _), _)| *nodes)
+                .sum();
+            prop_assert!(
+                in_use <= partition,
+                "overcommitted at t={t}: {in_use} > {partition}"
+            );
+        }
+        // EASY-backfill fairness for the first job: nothing ever
+        // delays the initial queue head, which starts at t=0 if it
+        // fits (the partition is empty at submission).
+        prop_assert_eq!(times[0].0, 0);
+    }
+
+    /// Cancelling any subset of jobs still drains the queue and
+    /// returns every node.
+    #[test]
+    fn cancellation_never_leaks_nodes(
+        jobs in proptest::collection::vec((1usize..4, 1u64..20), 1..15),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 15),
+    ) {
+        let sched = BatchScheduler::new(4);
+        let ids: Vec<_> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, (n, w))| sched.submit(job(format!("j{i}"), *n, *w)).unwrap())
+            .collect();
+        for (id, cancel) in ids.iter().zip(&cancel_mask) {
+            if *cancel {
+                sched.cancel(*id).unwrap();
+            }
+        }
+        sched.advance(jobs.iter().map(|(_, w)| w).sum::<u64>() + 1);
+        prop_assert_eq!(sched.free_nodes(), 4);
+        for id in ids {
+            let state = sched.job_state(id).unwrap();
+            prop_assert!(matches!(state, JobState::Completed | JobState::Cancelled));
+        }
+    }
+}

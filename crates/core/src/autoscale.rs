@@ -1,0 +1,189 @@
+//! Replica autoscaling from servable profiles.
+//!
+//! Fig 7 shows throughput saturating once the Task Manager's
+//! serialized dispatch dominates (`replicas ≈ service / dispatch`);
+//! the paper leaves replica counts "configurable in the Management
+//! Service" and names "automated tuning of servable execution" as
+//! ongoing work (§VII). [`Autoscaler`] closes that loop: it reads the
+//! live [`ProfileRegistry`] and drives each servable's Parsl pool to
+//! its knee — enough replicas to stay compute-bound, no more.
+
+use crate::executor::ParslExecutor;
+use crate::profile::ProfileRegistry;
+use std::sync::Arc;
+
+/// Autoscaling policy bounds.
+#[derive(Debug, Clone)]
+pub struct AutoscalePolicy {
+    /// Lower bound on replicas per servable.
+    pub min_replicas: usize,
+    /// Upper bound on replicas per servable (cluster budget).
+    pub max_replicas: usize,
+    /// Observations required before trusting a profile.
+    pub min_samples: u64,
+}
+
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        AutoscalePolicy {
+            min_replicas: 1,
+            max_replicas: 16,
+            min_samples: 5,
+        }
+    }
+}
+
+/// A scaling decision for one servable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalingDecision {
+    /// Servable id.
+    pub servable: String,
+    /// Replicas before the decision.
+    pub current: usize,
+    /// Replicas the policy wants.
+    pub desired: usize,
+}
+
+/// Profile-driven replica autoscaler.
+pub struct Autoscaler {
+    registry: ProfileRegistry,
+    executor: Arc<ParslExecutor>,
+    policy: AutoscalePolicy,
+}
+
+impl Autoscaler {
+    /// Wire an autoscaler to a profile source and the executor whose
+    /// pools it manages.
+    pub fn new(
+        registry: ProfileRegistry,
+        executor: Arc<ParslExecutor>,
+        policy: AutoscalePolicy,
+    ) -> Self {
+        Autoscaler {
+            registry,
+            executor,
+            policy,
+        }
+    }
+
+    /// Desired replica count for one servable, or `None` if its
+    /// profile is missing or too thin to act on.
+    pub fn desired(&self, servable: &str) -> Option<usize> {
+        let profile = self.registry.get(servable)?;
+        if profile.samples < self.policy.min_samples {
+            return None;
+        }
+        Some(
+            profile
+                .suggested_replicas(self.policy.max_replicas)
+                .max(self.policy.min_replicas),
+        )
+    }
+
+    /// Evaluate every profiled servable and rescale pools that are off
+    /// their knee. Returns the decisions that changed something.
+    pub fn reconcile(&self) -> Vec<ScalingDecision> {
+        let mut changed = Vec::new();
+        for servable in self.registry.servables() {
+            let Some(desired) = self.desired(&servable) else {
+                continue;
+            };
+            let current = self.executor.replicas(&servable);
+            if current != desired {
+                self.executor.scale(&servable, desired);
+                changed.push(ScalingDecision {
+                    servable,
+                    current,
+                    desired,
+                });
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlhub_container::Cluster;
+    use std::time::Duration;
+
+    fn setup() -> (ProfileRegistry, Arc<ParslExecutor>, Autoscaler) {
+        let registry = ProfileRegistry::new();
+        let executor = Arc::new(ParslExecutor::new(Cluster::petrelkube(), 1));
+        let scaler = Autoscaler::new(
+            registry.clone(),
+            Arc::clone(&executor),
+            AutoscalePolicy::default(),
+        );
+        (registry, executor, scaler)
+    }
+
+    fn feed(registry: &ProfileRegistry, servable: &str, inference_ms: u64, invocation_ms: u64) {
+        for _ in 0..10 {
+            registry.record(
+                servable,
+                Duration::from_millis(inference_ms),
+                Duration::from_millis(invocation_ms),
+                1,
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_servables_scale_to_the_knee() {
+        let (registry, executor, scaler) = setup();
+        // 40ms inference behind 3ms overhead: knee ≈ 14.
+        feed(&registry, "u/inception", 40, 43);
+        executor.scale("u/inception", 1);
+        let decisions = scaler.reconcile();
+        assert_eq!(decisions.len(), 1);
+        let d = &decisions[0];
+        assert_eq!(d.current, 1);
+        assert!((12..=16).contains(&d.desired), "desired {}", d.desired);
+        assert_eq!(executor.replicas("u/inception"), d.desired);
+        // Second reconcile is a no-op: already at the knee.
+        assert!(scaler.reconcile().is_empty());
+    }
+
+    #[test]
+    fn cheap_servables_stay_at_min() {
+        let (registry, executor, scaler) = setup();
+        feed(&registry, "u/util", 0, 3);
+        executor.scale("u/util", 8);
+        let decisions = scaler.reconcile();
+        assert_eq!(decisions[0].desired, 1);
+        assert_eq!(executor.replicas("u/util"), 1);
+    }
+
+    #[test]
+    fn thin_profiles_are_not_acted_on() {
+        let (registry, _executor, scaler) = setup();
+        registry.record(
+            "u/new",
+            Duration::from_millis(40),
+            Duration::from_millis(43),
+            1,
+        );
+        assert_eq!(scaler.desired("u/new"), None);
+        assert!(scaler.reconcile().is_empty());
+        assert_eq!(scaler.desired("u/ghost"), None);
+    }
+
+    #[test]
+    fn max_replicas_caps_the_knee() {
+        let registry = ProfileRegistry::new();
+        let executor = Arc::new(ParslExecutor::new(Cluster::petrelkube(), 1));
+        let scaler = Autoscaler::new(
+            registry.clone(),
+            Arc::clone(&executor),
+            AutoscalePolicy {
+                max_replicas: 4,
+                ..AutoscalePolicy::default()
+            },
+        );
+        feed(&registry, "u/huge", 400, 403); // knee would be ~134
+        scaler.reconcile();
+        assert_eq!(executor.replicas("u/huge"), 4);
+    }
+}

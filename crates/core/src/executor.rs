@@ -1,0 +1,492 @@
+//! The flexible executor model (§IV-C).
+//!
+//! "DLHub … implements an arbitrary executor model that currently
+//! supports three serving systems: TensorFlow Serving, SageMaker, and
+//! a general-purpose Parsl executor." Inference tasks go to the
+//! serving executor matching the model type; everything else (pre/post
+//! processing functions) goes to the Parsl executor.
+
+use crate::servable::{ModelType, Servable};
+use crate::value::Value;
+use crossbeam::channel;
+use dlhub_container::{Cluster, Digest, PodSpec};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Executors run batches of inputs against one servable and report
+/// per-input inference times (the innermost measurement point, §V-A).
+pub trait Executor: Send + Sync {
+    /// Executor name for routing diagnostics.
+    fn name(&self) -> &str;
+
+    /// Whether this executor can serve the given model family.
+    fn supports(&self, model_type: ModelType) -> bool;
+
+    /// Execute all `inputs` against `servable`, returning outputs in
+    /// order plus per-input inference durations.
+    fn execute(
+        &self,
+        servable_id: &str,
+        servable: &Arc<dyn Servable>,
+        inputs: &[Value],
+    ) -> Result<(Vec<Value>, Vec<Duration>), String>;
+
+    /// Number of tasks dispatched so far.
+    fn dispatched(&self) -> u64;
+}
+
+struct Job {
+    servable: Arc<dyn Servable>,
+    input: Value,
+    reply: channel::Sender<(usize, Result<Value, String>, Duration)>,
+    index: usize,
+}
+
+struct Pool {
+    sender: channel::Sender<Job>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    replicas: usize,
+}
+
+impl Pool {
+    fn spawn(servable_id: &str, replicas: usize) -> Pool {
+        let (sender, receiver) = channel::unbounded::<Job>();
+        let workers = (0..replicas)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("pod-{servable_id}-{i}"))
+                    .spawn(move || {
+                        // Each worker models one pod replica: pull the
+                        // next request (IPP-style load balancing across
+                        // the pool), run the servable, reply. A panic
+                        // inside user code must not kill the pod — the
+                        // real system's container would trap the crash
+                        // and report it — so unwind is caught and
+                        // surfaced as an execution error.
+                        while let Ok(job) = rx.recv() {
+                            let start = Instant::now();
+                            let result = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| job.servable.run(&job.input)),
+                            )
+                            .unwrap_or_else(|panic| {
+                                let msg = panic
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.to_string())
+                                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "unknown panic".into());
+                                Err(format!("servable panicked: {msg}"))
+                            });
+                            let inference = start.elapsed();
+                            let _ = job.reply.send((job.index, result, inference));
+                        }
+                    })
+                    .expect("spawn pod worker")
+            })
+            .collect();
+        Pool {
+            sender,
+            workers,
+            replicas,
+        }
+    }
+
+    fn shutdown(self) {
+        drop(self.sender);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The general-purpose Parsl executor (§IV-C): deploys `n` pod
+/// replicas per servable on the cluster, load-balances requests across
+/// them, and supports *any* servable type — the property that lets
+/// DLHub serve "any Python 3-compatible model or processing function".
+pub struct ParslExecutor {
+    cluster: Cluster,
+    pools: Mutex<HashMap<String, Pool>>,
+    default_replicas: usize,
+    dispatched: AtomicU64,
+}
+
+impl ParslExecutor {
+    /// Create over a cluster with a default replica count per
+    /// servable ("a number configurable in the Management Service").
+    pub fn new(cluster: Cluster, default_replicas: usize) -> Self {
+        ParslExecutor {
+            cluster,
+            pools: Mutex::new(HashMap::new()),
+            default_replicas: default_replicas.max(1),
+            dispatched: AtomicU64::new(0),
+        }
+    }
+
+    /// Scale a servable's replica pool, mirroring the change into the
+    /// cluster's Deployment. Returns the new replica count.
+    pub fn scale(&self, servable_id: &str, replicas: usize) -> usize {
+        let replicas = replicas.max(1);
+        let deployment = format!("parsl-{}", servable_id.replace('/', "-"));
+        if self.cluster.running_pods(&deployment).is_empty() {
+            let _ = self.cluster.create_deployment(
+                &deployment,
+                PodSpec {
+                    image: Digest(0, 0),
+                    cpu_millis: 1000,
+                    memory_mib: 2048,
+                },
+                replicas,
+            );
+        } else {
+            let _ = self.cluster.scale(&deployment, replicas);
+        }
+        let mut pools = self.pools.lock();
+        if let Some(pool) = pools.remove(servable_id) {
+            if pool.replicas == replicas {
+                pools.insert(servable_id.to_string(), pool);
+                return replicas;
+            }
+            pool.shutdown();
+        }
+        pools.insert(servable_id.to_string(), Pool::spawn(servable_id, replicas));
+        replicas
+    }
+
+    /// Current replica count for a servable (0 if never deployed).
+    pub fn replicas(&self, servable_id: &str) -> usize {
+        self.pools
+            .lock()
+            .get(servable_id)
+            .map_or(0, |p| p.replicas)
+    }
+
+    fn ensure_pool(&self, servable_id: &str) {
+        if !self.pools.lock().contains_key(servable_id) {
+            self.scale(servable_id, self.default_replicas);
+        }
+    }
+}
+
+impl Executor for ParslExecutor {
+    fn name(&self) -> &str {
+        "parsl"
+    }
+
+    fn supports(&self, _model_type: ModelType) -> bool {
+        true
+    }
+
+    fn execute(
+        &self,
+        servable_id: &str,
+        servable: &Arc<dyn Servable>,
+        inputs: &[Value],
+    ) -> Result<(Vec<Value>, Vec<Duration>), String> {
+        self.ensure_pool(servable_id);
+        let (reply_tx, reply_rx) = channel::unbounded();
+        {
+            let pools = self.pools.lock();
+            let pool = pools.get(servable_id).expect("pool ensured above");
+            for (index, input) in inputs.iter().enumerate() {
+                self.dispatched.fetch_add(1, Ordering::Relaxed);
+                pool.sender
+                    .send(Job {
+                        servable: Arc::clone(servable),
+                        input: input.clone(),
+                        reply: reply_tx.clone(),
+                        index,
+                    })
+                    .map_err(|_| "executor pool shut down".to_string())?;
+            }
+        }
+        drop(reply_tx);
+        let mut outputs: Vec<Option<Value>> = vec![None; inputs.len()];
+        let mut inference = vec![Duration::ZERO; inputs.len()];
+        let mut first_error = None;
+        for (index, result, time) in reply_rx {
+            inference[index] = time;
+            match result {
+                Ok(v) => outputs[index] = Some(v),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let outputs = outputs
+            .into_iter()
+            .map(|o| o.ok_or_else(|| "worker dropped a reply".to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((outputs, inference))
+    }
+
+    fn dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ParslExecutor {
+    fn drop(&mut self) {
+        for (_, pool) in self.pools.lock().drain() {
+            pool.shutdown();
+        }
+    }
+}
+
+/// TensorFlow-Serving executor: a dedicated low-overhead server that
+/// only accepts TensorFlow-exportable servables (§IV-C). Inference is
+/// executed inline — there is no Python hop — which models the C++
+/// `tensorflow_model_server`'s minimal per-request cost.
+pub struct TfServingExecutor {
+    dispatched: AtomicU64,
+}
+
+impl TfServingExecutor {
+    /// Create the executor.
+    pub fn new() -> Self {
+        TfServingExecutor {
+            dispatched: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for TfServingExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor for TfServingExecutor {
+    fn name(&self) -> &str {
+        "tfserving"
+    }
+
+    fn supports(&self, model_type: ModelType) -> bool {
+        matches!(model_type, ModelType::TensorFlow | ModelType::Keras)
+    }
+
+    fn execute(
+        &self,
+        _servable_id: &str,
+        servable: &Arc<dyn Servable>,
+        inputs: &[Value],
+    ) -> Result<(Vec<Value>, Vec<Duration>), String> {
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut times = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            self.dispatched.fetch_add(1, Ordering::Relaxed);
+            let start = Instant::now();
+            outputs.push(servable.run(input)?);
+            times.push(start.elapsed());
+        }
+        Ok((outputs, times))
+    }
+
+    fn dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+}
+
+/// SageMaker executor: "a Python Flask application that exposes an
+/// HTTP-based model inference interface" (§IV-C). Every request pays a
+/// JSON serialize/deserialize round trip of both payloads, modelling
+/// the HTTP interface the Task Manager composes requests against.
+pub struct SageMakerExecutor {
+    dispatched: AtomicU64,
+}
+
+impl SageMakerExecutor {
+    /// Create the executor.
+    pub fn new() -> Self {
+        SageMakerExecutor {
+            dispatched: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for SageMakerExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor for SageMakerExecutor {
+    fn name(&self) -> &str {
+        "sagemaker"
+    }
+
+    fn supports(&self, _model_type: ModelType) -> bool {
+        true
+    }
+
+    fn execute(
+        &self,
+        _servable_id: &str,
+        servable: &Arc<dyn Servable>,
+        inputs: &[Value],
+    ) -> Result<(Vec<Value>, Vec<Duration>), String> {
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut times = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            self.dispatched.fetch_add(1, Ordering::Relaxed);
+            // HTTP body round trip in, …
+            let body = serde_json::to_vec(input).map_err(|e| e.to_string())?;
+            let decoded: Value =
+                serde_json::from_slice(&body).map_err(|e| e.to_string())?;
+            let start = Instant::now();
+            let output = servable.run(&decoded)?;
+            times.push(start.elapsed());
+            // … and out.
+            let body = serde_json::to_vec(&output).map_err(|e| e.to_string())?;
+            outputs.push(serde_json::from_slice(&body).map_err(|e| e.to_string())?);
+        }
+        Ok((outputs, times))
+    }
+
+    fn dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::servable::builtins::NoopServable;
+    use crate::servable::servable_fn;
+    use dlhub_container::NodeSpec;
+
+    fn cluster() -> Cluster {
+        Cluster::new(vec![NodeSpec::new("n0", 64_000, 65_536)])
+    }
+
+    #[test]
+    fn parsl_executes_and_orders_outputs() {
+        let ex = ParslExecutor::new(cluster(), 4);
+        let echo = servable_fn(|v| Ok(v.clone()));
+        let inputs: Vec<Value> = (0..20).map(Value::Int).collect();
+        let (outputs, times) = ex.execute("u/echo", &echo, &inputs).unwrap();
+        assert_eq!(outputs, inputs);
+        assert_eq!(times.len(), 20);
+        assert_eq!(ex.dispatched(), 20);
+    }
+
+    #[test]
+    fn parsl_parallelizes_across_replicas() {
+        let ex = ParslExecutor::new(cluster(), 4);
+        let slow = servable_fn(|v| {
+            std::thread::sleep(Duration::from_millis(25));
+            Ok(v.clone())
+        });
+        let inputs = vec![Value::Null; 4];
+        let start = Instant::now();
+        ex.execute("u/slow", &slow, &inputs).unwrap();
+        let elapsed = start.elapsed();
+        // 4 x 25ms on 4 replicas must overlap (well under serial 100ms).
+        assert!(elapsed < Duration::from_millis(80), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn parsl_scale_changes_pool_and_cluster() {
+        let ex = ParslExecutor::new(cluster(), 1);
+        ex.scale("u/m", 3);
+        assert_eq!(ex.replicas("u/m"), 3);
+        assert_eq!(ex.cluster.running_pods("parsl-u-m").len(), 3);
+        ex.scale("u/m", 1);
+        assert_eq!(ex.replicas("u/m"), 1);
+        assert_eq!(ex.cluster.running_pods("parsl-u-m").len(), 1);
+        // Pool still works after rescale.
+        let echo = servable_fn(|v| Ok(v.clone()));
+        let (out, _) = ex.execute("u/m", &echo, &[Value::Int(1)]).unwrap();
+        assert_eq!(out, vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn parsl_propagates_servable_errors() {
+        let ex = ParslExecutor::new(cluster(), 2);
+        let failing = servable_fn(|_| Err("kaboom".into()));
+        let err = ex
+            .execute("u/fail", &failing, &[Value::Null, Value::Null])
+            .unwrap_err();
+        assert_eq!(err, "kaboom");
+    }
+
+    #[test]
+    fn panicking_servable_does_not_kill_the_pool() {
+        let ex = ParslExecutor::new(cluster(), 2);
+        let bomb = servable_fn(|v| {
+            if matches!(v, Value::Int(13)) {
+                panic!("simulated crash in user code");
+            }
+            Ok(v.clone())
+        });
+        // The panicking input yields an error, not a hang.
+        let err = ex
+            .execute("u/bomb", &bomb, &[Value::Int(13)])
+            .unwrap_err();
+        assert!(err.contains("panicked"), "{err}");
+        assert!(err.contains("simulated crash"), "{err}");
+        // Both replicas are still alive and serving afterwards.
+        let inputs: Vec<Value> = (0..8).map(Value::Int).collect();
+        let (outputs, _) = ex.execute("u/bomb", &bomb, &inputs).unwrap();
+        assert_eq!(outputs, inputs);
+        // A mixed batch reports the panic but the pool survives it.
+        let mixed = vec![Value::Int(1), Value::Int(13), Value::Int(2)];
+        assert!(ex.execute("u/bomb", &bomb, &mixed).is_err());
+        let (outputs, _) = ex.execute("u/bomb", &bomb, &[Value::Int(0)]).unwrap();
+        assert_eq!(outputs, vec![Value::Int(0)]);
+    }
+
+    #[test]
+    fn executor_support_matrix() {
+        let parsl = ParslExecutor::new(cluster(), 1);
+        let tfs = TfServingExecutor::new();
+        let sm = SageMakerExecutor::new();
+        assert!(parsl.supports(ModelType::PythonFunction));
+        assert!(parsl.supports(ModelType::TensorFlow));
+        assert!(tfs.supports(ModelType::TensorFlow));
+        assert!(tfs.supports(ModelType::Keras));
+        assert!(!tfs.supports(ModelType::ScikitLearn));
+        assert!(!tfs.supports(ModelType::PythonFunction));
+        assert!(sm.supports(ModelType::ScikitLearn));
+    }
+
+    #[test]
+    fn tfserving_executes_inline() {
+        let tfs = TfServingExecutor::new();
+        let noop: Arc<dyn Servable> = Arc::new(NoopServable);
+        let (out, times) = tfs.execute("u/noop", &noop, &[Value::Null]).unwrap();
+        assert_eq!(out[0], Value::Str("hello world".into()));
+        assert_eq!(times.len(), 1);
+        assert_eq!(tfs.dispatched(), 1);
+    }
+
+    #[test]
+    fn sagemaker_round_trips_payloads() {
+        let sm = SageMakerExecutor::new();
+        let echo = servable_fn(|v| Ok(v.clone()));
+        let input = Value::Tensor {
+            shape: vec![2],
+            data: vec![0.25, -1.5],
+        };
+        let (out, _) = sm
+            .execute("u/echo", &echo, std::slice::from_ref(&input))
+            .unwrap();
+        assert_eq!(out[0], input);
+    }
+
+    #[test]
+    fn inference_times_are_positive_for_real_work() {
+        let ex = ParslExecutor::new(cluster(), 1);
+        let busy = servable_fn(|_| {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(Value::Null)
+        });
+        let (_, times) = ex.execute("u/busy", &busy, &[Value::Null]).unwrap();
+        assert!(times[0] >= Duration::from_millis(4));
+    }
+}

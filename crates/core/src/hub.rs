@@ -1,0 +1,299 @@
+//! A fully wired single-process DLHub deployment for tests, examples
+//! and benchmarks.
+//!
+//! `TestHub` assembles the whole stack — auth service, repository with
+//! the paper's six evaluation servables, broker, a Task Manager with a
+//! Parsl executor over a PetrelKube-shaped cluster, and the Management
+//! Service — exactly as Fig 2 wires them, but in one process.
+
+use crate::executor::{Executor, ParslExecutor};
+use crate::repository::{
+    PublishVisibility, Repository, PUBLISH_SCOPE, RESOURCE_SERVER, SERVE_SCOPE,
+};
+use crate::servable::builtins::evaluation_servables;
+use crate::servable::{ModelType, Servable, ServableMetadata};
+use crate::serving::{ManagementService, ServingConfig};
+use crate::task_manager::TaskManager;
+use dlhub_auth::{AuthService, Scope, Token};
+use dlhub_container::Cluster;
+use dlhub_queue::{Broker, BrokerConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Builder for [`TestHub`].
+pub struct TestHubBuilder {
+    replicas: usize,
+    consumers: usize,
+    task_managers: usize,
+    seed: u64,
+    memo: bool,
+    eval_servables: bool,
+    extra_executors: Vec<Arc<dyn Executor>>,
+    config: ServingConfig,
+}
+
+impl TestHubBuilder {
+    /// Replicas per servable for the Parsl executor pools.
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas = n;
+        self
+    }
+
+    /// Task Manager consumer threads.
+    pub fn consumers(mut self, n: usize) -> Self {
+        self.consumers = n;
+        self
+    }
+
+    /// Number of Task Managers pulling from the task queue ("one or
+    /// more Task Managers", §IV). Each gets its own Parsl executor
+    /// over the shared cluster, like TMs on separate login nodes.
+    pub fn task_managers(mut self, n: usize) -> Self {
+        self.task_managers = n.max(1);
+        self
+    }
+
+    /// Weight seed for the evaluation models.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Start with memoization on/off.
+    pub fn memo(mut self, enabled: bool) -> Self {
+        self.memo = enabled;
+        self
+    }
+
+    /// Skip publishing the six evaluation servables (faster startup
+    /// for tests that publish their own).
+    pub fn without_eval_servables(mut self) -> Self {
+        self.eval_servables = false;
+        self
+    }
+
+    /// Prepend an executor ahead of the default Parsl executor in the
+    /// Task Manager's routing order.
+    pub fn with_executor(mut self, executor: Arc<dyn Executor>) -> Self {
+        self.extra_executors.push(executor);
+        self
+    }
+
+    /// Override the full serving configuration.
+    pub fn config(mut self, config: ServingConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Assemble the hub.
+    pub fn build(self) -> TestHub {
+        let auth = AuthService::new();
+        auth.register_provider("dlhub.org");
+        let repo = Arc::new(Repository::new(auth.clone()));
+        let owner_id = auth.register_identity("dlhub.org", "dlhub").unwrap();
+        let token = auth
+            .issue_token(
+                owner_id,
+                &[
+                    Scope::new(RESOURCE_SERVER, PUBLISH_SCOPE),
+                    Scope::new(RESOURCE_SERVER, SERVE_SCOPE),
+                ],
+            )
+            .unwrap();
+
+        if self.eval_servables {
+            for builtin in evaluation_servables("dlhub@dlhub.org", self.seed) {
+                repo.publish(
+                    &token,
+                    builtin.metadata,
+                    builtin.servable,
+                    BTreeMap::new(),
+                    PublishVisibility::Public,
+                )
+                .unwrap();
+            }
+        }
+
+        let broker = Broker::new(BrokerConfig::default());
+        let cluster = Cluster::petrelkube();
+        let parsl = Arc::new(ParslExecutor::new(cluster.clone(), self.replicas));
+        let mut config = self.config;
+        config.memo_enabled = self.memo;
+        let mut task_managers = Vec::with_capacity(self.task_managers);
+        for i in 0..self.task_managers {
+            // The first TM shares the exposed Parsl executor so tests
+            // and benches can inspect/scale it; additional TMs get
+            // their own executors over the same cluster (like TMs on
+            // separate login nodes).
+            let mut executors = self.extra_executors.clone();
+            if i == 0 {
+                executors.push(Arc::clone(&parsl) as Arc<dyn Executor>);
+            } else {
+                executors.push(Arc::new(ParslExecutor::new(
+                    cluster.clone(),
+                    self.replicas,
+                )) as Arc<dyn Executor>);
+            }
+            task_managers.push(TaskManager::start(
+                &format!("cooley-tm-{i}"),
+                &broker,
+                &config.task_topic,
+                Arc::clone(&repo),
+                executors,
+                self.consumers,
+            ));
+        }
+        let service = ManagementService::new(Arc::clone(&repo), &broker, config);
+        TestHub {
+            auth,
+            repo,
+            broker,
+            cluster,
+            parsl,
+            service,
+            token,
+            owner: "dlhub@dlhub.org".to_string(),
+            _task_managers: task_managers,
+        }
+    }
+}
+
+/// A complete in-process DLHub deployment.
+pub struct TestHub {
+    /// The auth service.
+    pub auth: AuthService,
+    /// The model repository.
+    pub repo: Arc<Repository>,
+    /// The message broker between MS and TM.
+    pub broker: Broker,
+    /// The PetrelKube-shaped cluster the Parsl executor deploys onto.
+    pub cluster: Cluster,
+    /// The Parsl executor (exposed so benchmarks can scale replicas).
+    pub parsl: Arc<ParslExecutor>,
+    /// The Management Service.
+    pub service: Arc<ManagementService>,
+    /// A token for the hub owner, carrying publish + serve scopes.
+    pub token: Token,
+    /// The owner's qualified identity.
+    pub owner: String,
+    _task_managers: Vec<TaskManager>,
+}
+
+impl TestHub {
+    /// Start building a hub (defaults: 2 replicas, 2 consumers,
+    /// memoization on, evaluation servables published, seed 7).
+    pub fn builder() -> TestHubBuilder {
+        TestHubBuilder {
+            replicas: 2,
+            consumers: 2,
+            task_managers: 1,
+            seed: 7,
+            memo: true,
+            eval_servables: true,
+            extra_executors: Vec::new(),
+            config: ServingConfig::default(),
+        }
+    }
+
+    /// Publish a public servable under the hub owner with minimal
+    /// metadata — a shorthand for tests and examples.
+    pub fn publish_simple(
+        &self,
+        name: &str,
+        model_type: ModelType,
+        servable: Arc<dyn Servable>,
+    ) -> String {
+        let metadata = ServableMetadata::new(name, &self.owner, model_type);
+        self.service
+            .publish(
+                &self.token,
+                metadata,
+                servable,
+                BTreeMap::new(),
+                PublishVisibility::Public,
+            )
+            .expect("publish_simple")
+            .id
+    }
+
+    /// Issue a serve-only token for a fresh user `username`.
+    pub fn user_token(&self, username: &str) -> Token {
+        let id = self
+            .auth
+            .register_identity("dlhub.org", username)
+            .or_else(|_| {
+                self.auth
+                    .lookup(&format!("{username}@dlhub.org"))
+                    .ok_or(dlhub_auth::AuthError::UnknownProvider("dlhub.org".into()))
+            })
+            .unwrap();
+        self.auth
+            .issue_token(id, &[Scope::new(RESOURCE_SERVER, SERVE_SCOPE)])
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn hub_serves_all_six_eval_servables() {
+        let hub = TestHub::builder().build();
+        let ids = hub.repo.all_ids();
+        assert_eq!(ids.len(), 6);
+        for id in [
+            "dlhub/noop",
+            "dlhub/inception",
+            "dlhub/cifar10",
+            "dlhub/matminer-util",
+            "dlhub/matminer-featurize",
+            "dlhub/matminer-model",
+        ] {
+            assert!(ids.contains(&id.to_string()), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn hub_without_eval_servables_is_empty() {
+        let hub = TestHub::builder().without_eval_servables().build();
+        assert!(hub.repo.all_ids().is_empty());
+    }
+
+    #[test]
+    fn user_token_can_serve_but_not_publish() {
+        let hub = TestHub::builder().without_eval_servables().build();
+        hub.publish_simple(
+            "m",
+            ModelType::PythonFunction,
+            crate::servable::servable_fn(|_| Ok(Value::Int(1))),
+        );
+        let user = hub.user_token("visitor");
+        assert!(hub.service.run(&user, "dlhub/m", Value::Null).is_ok());
+        let err = hub
+            .service
+            .publish(
+                &user,
+                ServableMetadata::new("theirs", "x@y", ModelType::PythonFunction),
+                crate::servable::servable_fn(|_| Ok(Value::Null)),
+                BTreeMap::new(),
+                PublishVisibility::Public,
+            )
+            .unwrap_err();
+        assert!(matches!(err, crate::DlhubError::Auth(_)));
+    }
+
+    #[test]
+    fn replicas_are_deployed_on_the_cluster() {
+        let hub = TestHub::builder().replicas(3).without_eval_servables().build();
+        hub.publish_simple(
+            "m",
+            ModelType::PythonFunction,
+            crate::servable::servable_fn(|v| Ok(v.clone())),
+        );
+        hub.service.run(&hub.token, "dlhub/m", Value::Null).unwrap();
+        assert_eq!(hub.parsl.replicas("dlhub/m"), 3);
+        assert_eq!(hub.cluster.running_pods("parsl-dlhub-m").len(), 3);
+    }
+}

@@ -1,0 +1,268 @@
+//! Memoization cache (§V-B2).
+//!
+//! "DLHub's Parsl executor implements memoization, caching the inputs
+//! and outputs for each request and returning the recorded output for
+//! a new request if its inputs are in the cache." The cache is keyed
+//! by `(servable id, canonical input hash)` and lives at the Task
+//! Manager — which is why, unlike Clipper's cluster-side cache, a
+//! DLHub hit costs ~1 ms (§V-B5).
+//!
+//! ```
+//! use dlhub_core::memo::{MemoCache, MemoKey};
+//! use dlhub_core::value::Value;
+//!
+//! let cache = MemoCache::new(1024 * 1024);
+//! let key = MemoKey::new("dlhub/cifar10", &Value::Str("input".into()));
+//! assert_eq!(cache.get(&key), None);
+//! cache.put(key.clone(), Value::Str("cat".into()));
+//! assert_eq!(cache.get(&key), Some(Value::Str("cat".into())));
+//! assert_eq!(cache.stats().hits, 1);
+//! ```
+
+use crate::value::Value;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Cache key: servable id plus the input's 128-bit content hash.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    servable: String,
+    input_hash: (u64, u64),
+}
+
+impl MemoKey {
+    /// Build the key for `servable` applied to `input`.
+    pub fn new(servable: &str, input: &Value) -> Self {
+        MemoKey {
+            servable: servable.to_string(),
+            input_hash: input.content_hash(),
+        }
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted under memory pressure.
+    pub evictions: u64,
+}
+
+struct Entry {
+    output: Value,
+    size: usize,
+    last_used: u64,
+}
+
+struct State {
+    entries: HashMap<MemoKey, Entry>,
+    stats: MemoStats,
+    bytes: usize,
+    clock: u64,
+}
+
+/// An LRU-evicting memo cache with a byte budget.
+pub struct MemoCache {
+    state: Mutex<State>,
+    capacity_bytes: usize,
+}
+
+impl MemoCache {
+    /// Create a cache bounded to `capacity_bytes` of stored outputs.
+    pub fn new(capacity_bytes: usize) -> Self {
+        MemoCache {
+            state: Mutex::new(State {
+                entries: HashMap::new(),
+                stats: MemoStats::default(),
+                bytes: 0,
+                clock: 0,
+            }),
+            capacity_bytes,
+        }
+    }
+
+    /// Look up a cached output.
+    pub fn get(&self, key: &MemoKey) -> Option<Value> {
+        let mut st = self.state.lock();
+        st.clock += 1;
+        let clock = st.clock;
+        match st.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = clock;
+                let out = entry.output.clone();
+                st.stats.hits += 1;
+                Some(out)
+            }
+            None => {
+                st.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert an output, evicting least-recently-used entries if the
+    /// byte budget would be exceeded. Outputs larger than the whole
+    /// budget are not cached.
+    pub fn put(&self, key: MemoKey, output: Value) {
+        let size = output.approx_size();
+        if size > self.capacity_bytes {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.clock += 1;
+        let clock = st.clock;
+        if let Some(old) = st.entries.remove(&key) {
+            st.bytes -= old.size;
+        }
+        while st.bytes + size > self.capacity_bytes {
+            let victim = st
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    let e = st.entries.remove(&k).expect("victim present");
+                    st.bytes -= e.size;
+                    st.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        st.bytes += size;
+        st.entries.insert(
+            key,
+            Entry {
+                output,
+                size,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> MemoStats {
+        self.state.lock().stats
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently stored.
+    pub fn bytes(&self) -> usize {
+        self.state.lock().bytes
+    }
+
+    /// Drop all entries (used when a servable is republished: stale
+    /// outputs must not survive a version bump).
+    pub fn invalidate_servable(&self, servable: &str) {
+        let mut st = self.state.lock();
+        let victims: Vec<MemoKey> = st
+            .entries
+            .keys()
+            .filter(|k| k.servable == servable)
+            .cloned()
+            .collect();
+        for k in victims {
+            let e = st.entries.remove(&k).expect("victim present");
+            st.bytes -= e.size;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> MemoCache {
+        MemoCache::new(10_000)
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let c = cache();
+        let key = MemoKey::new("m", &Value::Int(1));
+        assert_eq!(c.get(&key), None);
+        c.put(key.clone(), Value::Str("out".into()));
+        assert_eq!(c.get(&key), Some(Value::Str("out".into())));
+        let stats = c.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn different_servables_do_not_collide() {
+        let c = cache();
+        let input = Value::Int(1);
+        c.put(MemoKey::new("a", &input), Value::Str("from-a".into()));
+        assert_eq!(c.get(&MemoKey::new("b", &input)), None);
+    }
+
+    #[test]
+    fn equal_inputs_hit_regardless_of_identity() {
+        let c = cache();
+        let k1 = MemoKey::new("m", &Value::List(vec![Value::Int(1), Value::Str("x".into())]));
+        let k2 = MemoKey::new("m", &Value::List(vec![Value::Int(1), Value::Str("x".into())]));
+        c.put(k1, Value::Bool(true));
+        assert_eq!(c.get(&k2), Some(Value::Bool(true)));
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_budget() {
+        let c = MemoCache::new(100);
+        // ~40-byte entries: only 2 fit.
+        let val = |i: i64| Value::Bytes(vec![i as u8; 40]);
+        let k = |i: i64| MemoKey::new("m", &Value::Int(i));
+        c.put(k(1), val(1));
+        c.put(k(2), val(2));
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.get(&k(1)).is_some());
+        c.put(k(3), val(3));
+        assert!(c.get(&k(1)).is_some());
+        assert_eq!(c.get(&k(2)), None, "LRU entry must be evicted");
+        assert!(c.get(&k(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.bytes() <= 100);
+    }
+
+    #[test]
+    fn oversized_outputs_are_not_cached() {
+        let c = MemoCache::new(10);
+        let key = MemoKey::new("m", &Value::Int(1));
+        c.put(key.clone(), Value::Bytes(vec![0; 100]));
+        assert_eq!(c.get(&key), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn put_same_key_replaces() {
+        let c = cache();
+        let key = MemoKey::new("m", &Value::Int(1));
+        c.put(key.clone(), Value::Int(1));
+        c.put(key.clone(), Value::Int(2));
+        assert_eq!(c.get(&key), Some(Value::Int(2)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_servable_clears_only_its_entries() {
+        let c = cache();
+        c.put(MemoKey::new("a", &Value::Int(1)), Value::Int(10));
+        c.put(MemoKey::new("a", &Value::Int(2)), Value::Int(20));
+        c.put(MemoKey::new("b", &Value::Int(1)), Value::Int(30));
+        c.invalidate_servable("a");
+        assert_eq!(c.get(&MemoKey::new("a", &Value::Int(1))), None);
+        assert_eq!(c.get(&MemoKey::new("b", &Value::Int(1))), Some(Value::Int(30)));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! The paper's three measurement points (§V-A) and summary helpers.
+
+use std::time::Duration;
+
+/// Nested timings of one request.
+///
+/// * `inference` — "captured at the servable; the time taken … to run
+///   the component".
+/// * `invocation` — "captured at the Task Manager; elapsed time from
+///   when a request is made to the executor to when the result is
+///   received".
+/// * `request` — "captured at the Management Service; the time from
+///   receipt of the task request to receipt of its result".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timings {
+    /// Servable execution time.
+    pub inference: Duration,
+    /// Executor round trip as seen by the Task Manager.
+    pub invocation: Duration,
+    /// End-to-end time as seen by the Management Service.
+    pub request: Duration,
+    /// Whether the memo cache served this request.
+    pub cache_hit: bool,
+}
+
+/// Percentile summary of a duration series: `(p5, median, p95)` —
+/// exactly the statistics the paper's error bars show.
+pub fn percentile_summary(series: &[Duration]) -> (Duration, Duration, Duration) {
+    assert!(!series.is_empty(), "empty timing series");
+    let mut sorted = series.to_vec();
+    sorted.sort();
+    let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+    (at(0.05), at(0.5), at(0.95))
+}
+
+/// Mean of a duration series.
+pub fn mean(series: &[Duration]) -> Duration {
+    if series.is_empty() {
+        return Duration::ZERO;
+    }
+    let total: Duration = series.iter().sum();
+    total / series.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_ordered() {
+        let series: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let (p5, p50, p95) = percentile_summary(&series);
+        // round(99 * 0.5) = 50 -> the 51st value of 1..=100.
+        assert_eq!(p50, Duration::from_millis(51));
+        assert!(p5 < p50 && p50 < p95);
+        assert_eq!(p5, Duration::from_millis(6));
+        assert_eq!(p95, Duration::from_millis(95));
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let (p5, p50, p95) = percentile_summary(&[Duration::from_millis(7)]);
+        assert_eq!(p5, p50);
+        assert_eq!(p50, p95);
+    }
+
+    #[test]
+    fn mean_of_series() {
+        let series = vec![Duration::from_millis(10), Duration::from_millis(30)];
+        assert_eq!(mean(&series), Duration::from_millis(20));
+        assert_eq!(mean(&[]), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty timing series")]
+    fn empty_percentiles_panic() {
+        percentile_summary(&[]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Multi-servable pipelines (§VI-D).
+//!
+//! "Defining these steps as a pipeline means data are automatically
+//! passed between each servable in the pipeline, meaning the entire
+//! execution is performed server-side, drastically lowering both the
+//! latency and user burden."
+
+use serde::{Deserialize, Serialize};
+
+/// A named, ordered sequence of servable ids. The output of step *k*
+/// becomes the input of step *k + 1*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// Pipeline name (registered in the same namespace as servables).
+    pub name: String,
+    /// Servable ids in execution order.
+    pub steps: Vec<String>,
+    /// Human description for discovery.
+    pub description: String,
+}
+
+impl Pipeline {
+    /// Build a pipeline definition.
+    pub fn new(name: impl Into<String>, steps: Vec<String>) -> Self {
+        Pipeline {
+            name: name.into(),
+            steps,
+            description: String::new(),
+        }
+    }
+
+    /// Validate structural invariants: non-empty name and steps, no
+    /// immediate self-loops.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("pipeline name must be non-empty".into());
+        }
+        if self.steps.is_empty() {
+            return Err("pipeline must have at least one step".into());
+        }
+        for pair in self.steps.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(format!(
+                    "pipeline repeats step '{}' consecutively",
+                    pair[0]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-step timing of a pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTiming {
+    /// Which servable ran.
+    pub servable: String,
+    /// That step's request timings.
+    pub timings: crate::metrics::Timings,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_pipeline_passes() {
+        let p = Pipeline::new(
+            "formation-enthalpy",
+            vec![
+                "logan/matminer-util".into(),
+                "logan/matminer-featurize".into(),
+                "logan/matminer-model".into(),
+            ],
+        );
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn structural_violations_rejected() {
+        assert!(Pipeline::new("", vec!["a".into()]).validate().is_err());
+        assert!(Pipeline::new("p", vec![]).validate().is_err());
+        assert!(Pipeline::new("p", vec!["a".into(), "a".into()])
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn serializes() {
+        let p = Pipeline::new("p", vec!["a/b".into()]);
+        let s = serde_json::to_string(&p).unwrap();
+        let back: Pipeline = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,264 @@
+//! Task wire protocol and the async task table.
+//!
+//! The Management Service "packages up the request and posts it to a
+//! ZeroMQ queue"; in asynchronous mode it "returns a unique task UUID
+//! that can be used subsequently to monitor the status of the task and
+//! retrieve its result" (§IV-A).
+
+use crate::value::Value;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A task sent from the Management Service to a Task Manager. Batched
+/// requests carry several inputs for one servable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRequest {
+    /// Unique task id (the paper's task UUID).
+    pub task_id: String,
+    /// Target servable id (`owner/name`).
+    pub servable: String,
+    /// One or more inputs (|inputs| > 1 means a coalesced batch).
+    pub inputs: Vec<Value>,
+}
+
+/// The Task Manager's reply, carrying outputs plus the timings it
+/// measured locally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskResponse {
+    /// Echoed task id.
+    pub task_id: String,
+    /// Outputs (one per input) or the execution error.
+    pub outcome: Result<Vec<Value>, String>,
+    /// Per-input inference times in nanoseconds, measured at the
+    /// servable.
+    pub inference_nanos: Vec<u64>,
+    /// Executor round-trip time in nanoseconds, measured at the TM.
+    pub invocation_nanos: u64,
+}
+
+impl TaskRequest {
+    /// Serialize for the broker.
+    pub fn to_bytes(&self) -> Bytes {
+        Bytes::from(serde_json::to_vec(self).expect("task request serializes"))
+    }
+
+    /// Deserialize from the broker.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        serde_json::from_slice(bytes).map_err(|e| format!("malformed task request: {e}"))
+    }
+}
+
+impl TaskResponse {
+    /// Serialize for the broker.
+    pub fn to_bytes(&self) -> Bytes {
+        Bytes::from(serde_json::to_vec(self).expect("task response serializes"))
+    }
+
+    /// Deserialize from the broker.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        serde_json::from_slice(bytes).map_err(|e| format!("malformed task response: {e}"))
+    }
+}
+
+/// Allocate a fresh task id.
+pub fn next_task_id() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    format!("task-{:08x}", SEQ.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Lifecycle of an asynchronous task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskStatus {
+    /// Accepted, not yet finished.
+    Pending,
+    /// Finished successfully.
+    Completed(Value),
+    /// Finished with an error.
+    Failed(String),
+}
+
+struct TableState {
+    tasks: HashMap<String, TaskStatus>,
+}
+
+/// Shared task-status table backing async handles.
+pub struct TaskTable {
+    state: Mutex<TableState>,
+    cv: Condvar,
+}
+
+impl TaskTable {
+    /// Empty table.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TaskTable {
+            state: Mutex::new(TableState {
+                tasks: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Register a pending task.
+    pub fn register(&self, id: &str) {
+        self.state
+            .lock()
+            .tasks
+            .insert(id.to_string(), TaskStatus::Pending);
+    }
+
+    /// Resolve a task and wake waiters.
+    pub fn resolve(&self, id: &str, status: TaskStatus) {
+        self.state.lock().tasks.insert(id.to_string(), status);
+        self.cv.notify_all();
+    }
+
+    /// Poll current status.
+    pub fn status(&self, id: &str) -> Option<TaskStatus> {
+        self.state.lock().tasks.get(id).cloned()
+    }
+
+    /// Block until the task leaves `Pending` or the timeout elapses.
+    pub fn wait(&self, id: &str, timeout: Duration) -> Option<TaskStatus> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            match st.tasks.get(id) {
+                Some(TaskStatus::Pending) => {}
+                Some(done) => return Some(done.clone()),
+                None => return None,
+            }
+            if self.cv.wait_until(&mut st, deadline).timed_out() {
+                return st.tasks.get(id).cloned();
+            }
+        }
+    }
+
+    /// Remove a finished task's record (housekeeping).
+    pub fn forget(&self, id: &str) {
+        self.state.lock().tasks.remove(id);
+    }
+}
+
+/// Handle to an asynchronous task ("a unique task UUID that can be
+/// used subsequently to monitor the status of the task and retrieve
+/// its result", §IV-A).
+#[derive(Clone)]
+pub struct TaskHandle {
+    /// The task UUID.
+    pub id: String,
+    table: Arc<TaskTable>,
+}
+
+impl TaskHandle {
+    /// Construct over a shared table.
+    pub fn new(id: String, table: Arc<TaskTable>) -> Self {
+        TaskHandle { id, table }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> TaskStatus {
+        self.table
+            .status(&self.id)
+            .unwrap_or_else(|| TaskStatus::Failed(format!("unknown task {}", self.id)))
+    }
+
+    /// Block until the task finishes or the timeout elapses.
+    pub fn wait(&self, timeout: Duration) -> TaskStatus {
+        self.table
+            .wait(&self.id, timeout)
+            .unwrap_or_else(|| TaskStatus::Failed(format!("unknown task {}", self.id)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn request_round_trips() {
+        let req = TaskRequest {
+            task_id: next_task_id(),
+            servable: "logan/noop".into(),
+            inputs: vec![Value::Null, Value::Int(2)],
+        };
+        let back = TaskRequest::from_bytes(&req.to_bytes()).unwrap();
+        assert_eq!(back, req);
+        assert!(TaskRequest::from_bytes(b"not json").is_err());
+    }
+
+    #[test]
+    fn response_round_trips_including_errors() {
+        let ok = TaskResponse {
+            task_id: "t".into(),
+            outcome: Ok(vec![Value::Str("hi".into())]),
+            inference_nanos: vec![123],
+            invocation_nanos: 456,
+        };
+        assert_eq!(TaskResponse::from_bytes(&ok.to_bytes()).unwrap(), ok);
+        let err = TaskResponse {
+            task_id: "t".into(),
+            outcome: Err("boom".into()),
+            inference_nanos: vec![],
+            invocation_nanos: 1,
+        };
+        assert_eq!(TaskResponse::from_bytes(&err.to_bytes()).unwrap(), err);
+    }
+
+    #[test]
+    fn task_ids_are_unique() {
+        assert_ne!(next_task_id(), next_task_id());
+    }
+
+    #[test]
+    fn table_register_resolve_poll() {
+        let table = TaskTable::new();
+        table.register("t1");
+        assert_eq!(table.status("t1"), Some(TaskStatus::Pending));
+        table.resolve("t1", TaskStatus::Completed(Value::Int(1)));
+        assert_eq!(
+            table.status("t1"),
+            Some(TaskStatus::Completed(Value::Int(1)))
+        );
+        table.forget("t1");
+        assert_eq!(table.status("t1"), None);
+    }
+
+    #[test]
+    fn handle_wait_blocks_until_resolution() {
+        let table = TaskTable::new();
+        table.register("t");
+        let handle = TaskHandle::new("t".into(), Arc::clone(&table));
+        let t2 = Arc::clone(&table);
+        let waiter = thread::spawn(move || handle.wait(Duration::from_secs(2)));
+        thread::sleep(Duration::from_millis(20));
+        t2.resolve("t", TaskStatus::Completed(Value::Bool(true)));
+        assert_eq!(
+            waiter.join().unwrap(),
+            TaskStatus::Completed(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn wait_times_out_to_pending() {
+        let table = TaskTable::new();
+        table.register("t");
+        let handle = TaskHandle::new("t".into(), Arc::clone(&table));
+        assert_eq!(
+            handle.wait(Duration::from_millis(20)),
+            TaskStatus::Pending
+        );
+    }
+
+    #[test]
+    fn unknown_task_reports_failure() {
+        let table = TaskTable::new();
+        let handle = TaskHandle::new("ghost".into(), table);
+        assert!(matches!(handle.status(), TaskStatus::Failed(_)));
+    }
+}

@@ -1,0 +1,382 @@
+//! The Task Manager (§IV-B).
+//!
+//! "Any compute resource on which DLHub is to execute tasks must be
+//! preconfigured with DLHub Task Manager software. The Task Manager is
+//! responsible for monitoring the DLHub task queue(s) and then
+//! executing waiting tasks … routing tasks to appropriate servables.
+//! When a Task Manager is first deployed it registers itself with the
+//! Management Service and specifies which executors … it can launch."
+
+use crate::executor::Executor;
+use crate::repository::Repository;
+use crate::task::{TaskRequest, TaskResponse};
+use dlhub_queue::{Broker, RpcServer};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Topic on which Task Managers announce themselves.
+pub const REGISTRATION_TOPIC: &str = "dlhub.tm.registration";
+
+/// A Task Manager's self-description, sent at startup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TmRegistration {
+    /// Task Manager name (e.g. `cooley-tm-0`).
+    pub name: String,
+    /// Executor names it can launch.
+    pub executors: Vec<String>,
+}
+
+/// A running Task Manager: a pool of consumer threads pulling tasks
+/// from the broker and routing them to executors.
+pub struct TaskManager {
+    name: String,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    served: Arc<AtomicU64>,
+}
+
+impl TaskManager {
+    /// Start a Task Manager consuming `task_topic`.
+    ///
+    /// `executors` are tried in order; the first whose
+    /// [`Executor::supports`] accepts the servable's model type gets
+    /// the task (inference tasks to serving executors, everything else
+    /// to the general Parsl executor, §IV-C). `consumers` is the
+    /// number of concurrent queue-consumer threads (the TM is
+    /// multi-threaded, §V-B).
+    pub fn start(
+        name: &str,
+        broker: &Broker,
+        task_topic: &str,
+        repository: Arc<Repository>,
+        executors: Vec<Arc<dyn Executor>>,
+        consumers: usize,
+    ) -> Self {
+        assert!(!executors.is_empty(), "task manager needs an executor");
+        // Register with the Management Service (§IV-B).
+        broker.ensure_topic(REGISTRATION_TOPIC);
+        let registration = TmRegistration {
+            name: name.to_string(),
+            executors: executors.iter().map(|e| e.name().to_string()).collect(),
+        };
+        let _ = broker.send(
+            REGISTRATION_TOPIC,
+            bytes::Bytes::from(serde_json::to_vec(&registration).expect("registration json")),
+        );
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let threads = (0..consumers.max(1))
+            .map(|i| {
+                let server = RpcServer::bind(broker, task_topic);
+                let repository = Arc::clone(&repository);
+                let executors = executors.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let served = Arc::clone(&served);
+                std::thread::Builder::new()
+                    .name(format!("tm-{name}-{i}"))
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::Relaxed) {
+                            let handled = server.serve_one(Duration::from_millis(50), |req| {
+                                handle(&repository, &executors, req).to_bytes()
+                            });
+                            match handled {
+                                Ok(true) => {
+                                    served.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Ok(false) => {}
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn tm consumer")
+            })
+            .collect();
+        TaskManager {
+            name: name.to_string(),
+            shutdown,
+            threads,
+            served,
+        }
+    }
+
+    /// The Task Manager's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Tasks served so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Stop consumer threads and wait for them.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TaskManager {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Handle one task: resolve the servable, route to an executor,
+/// measure the invocation, and build the response. Never panics — all
+/// failures become error responses so the requester is always
+/// answered.
+fn handle(
+    repository: &Repository,
+    executors: &[Arc<dyn Executor>],
+    raw: &bytes::Bytes,
+) -> TaskResponse {
+    let request = match TaskRequest::from_bytes(raw) {
+        Ok(r) => r,
+        Err(e) => {
+            return TaskResponse {
+                task_id: "unknown".into(),
+                outcome: Err(e),
+                inference_nanos: vec![],
+                invocation_nanos: 0,
+            }
+        }
+    };
+    let started = Instant::now();
+    let (servable, metadata) = match repository.resolve_internal(&request.servable) {
+        Ok(pair) => pair,
+        Err(e) => {
+            return TaskResponse {
+                task_id: request.task_id,
+                outcome: Err(e.to_string()),
+                inference_nanos: vec![],
+                invocation_nanos: started.elapsed().as_nanos() as u64,
+            }
+        }
+    };
+    let Some(executor) = executors.iter().find(|e| e.supports(metadata.model_type)) else {
+        return TaskResponse {
+            task_id: request.task_id,
+            outcome: Err(format!(
+                "no executor supports model type {}",
+                metadata.model_type
+            )),
+            inference_nanos: vec![],
+            invocation_nanos: started.elapsed().as_nanos() as u64,
+        };
+    };
+    let outcome = executor.execute(&request.servable, &servable, &request.inputs);
+    let invocation_nanos = started.elapsed().as_nanos() as u64;
+    match outcome {
+        Ok((outputs, times)) => TaskResponse {
+            task_id: request.task_id,
+            outcome: Ok(outputs),
+            inference_nanos: times.iter().map(|t| t.as_nanos() as u64).collect(),
+            invocation_nanos,
+        },
+        Err(message) => TaskResponse {
+            task_id: request.task_id,
+            outcome: Err(message),
+            inference_nanos: vec![],
+            invocation_nanos,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{ParslExecutor, TfServingExecutor};
+    use crate::repository::{PublishVisibility, Repository, PUBLISH_SCOPE, SERVE_SCOPE};
+    use crate::servable::builtins::NoopServable;
+    use crate::servable::{servable_fn, ModelType, ServableMetadata};
+    use crate::task::{next_task_id, TaskRequest};
+    use crate::value::Value;
+    use dlhub_auth::{AuthService, Scope};
+    use dlhub_container::{Cluster, NodeSpec};
+    use dlhub_queue::{Broker, BrokerConfig, RpcClient};
+    use std::collections::BTreeMap;
+
+    struct Fixture {
+        broker: Broker,
+        repo: Arc<Repository>,
+        _tm: TaskManager,
+        client: RpcClient,
+    }
+
+    fn fixture(executors: Vec<Arc<dyn Executor>>) -> Fixture {
+        let auth = AuthService::new();
+        auth.register_provider("p");
+        let repo = Arc::new(Repository::new(auth.clone()));
+        let user = auth.register_identity("p", "u").unwrap();
+        let token = auth
+            .issue_token(
+                user,
+                &[
+                    Scope::new("dlhub", PUBLISH_SCOPE),
+                    Scope::new("dlhub", SERVE_SCOPE),
+                ],
+            )
+            .unwrap();
+        repo.publish(
+            &token,
+            ServableMetadata::new("noop", "u@p", ModelType::PythonFunction),
+            Arc::new(NoopServable),
+            BTreeMap::new(),
+            PublishVisibility::Public,
+        )
+        .unwrap();
+        let mut m = ServableMetadata::new("fail", "u@p", ModelType::PythonFunction);
+        m.description = "always fails".into();
+        repo.publish(
+            &token,
+            m,
+            servable_fn(|_| Err("synthetic failure".into())),
+            BTreeMap::new(),
+            PublishVisibility::Public,
+        )
+        .unwrap();
+        let broker = Broker::new(BrokerConfig::default());
+        let tm = TaskManager::start("test-tm", &broker, "tasks", Arc::clone(&repo), executors, 2);
+        let client = RpcClient::connect(&broker, "tasks");
+        Fixture {
+            broker,
+            repo,
+            _tm: tm,
+            client,
+        }
+    }
+
+    fn parsl() -> Arc<dyn Executor> {
+        Arc::new(ParslExecutor::new(
+            Cluster::new(vec![NodeSpec::new("n0", 64_000, 65_536)]),
+            2,
+        ))
+    }
+
+    fn roundtrip(f: &Fixture, request: &TaskRequest) -> TaskResponse {
+        let reply = f
+            .client
+            .call_wait(request.to_bytes(), Duration::from_secs(5))
+            .unwrap();
+        TaskResponse::from_bytes(&reply).unwrap()
+    }
+
+    #[test]
+    fn serves_a_task_end_to_end() {
+        let f = fixture(vec![parsl()]);
+        let request = TaskRequest {
+            task_id: next_task_id(),
+            servable: "u/noop".into(),
+            inputs: vec![Value::Null],
+        };
+        let response = roundtrip(&f, &request);
+        assert_eq!(response.task_id, request.task_id);
+        assert_eq!(
+            response.outcome.unwrap(),
+            vec![Value::Str("hello world".into())]
+        );
+        assert_eq!(response.inference_nanos.len(), 1);
+        assert!(response.invocation_nanos >= response.inference_nanos[0]);
+    }
+
+    #[test]
+    fn unknown_servable_yields_error_response() {
+        let f = fixture(vec![parsl()]);
+        let request = TaskRequest {
+            task_id: next_task_id(),
+            servable: "ghost/model".into(),
+            inputs: vec![Value::Null],
+        };
+        let response = roundtrip(&f, &request);
+        assert!(response.outcome.unwrap_err().contains("ghost/model"));
+    }
+
+    #[test]
+    fn servable_failure_is_reported_not_fatal() {
+        let f = fixture(vec![parsl()]);
+        let request = TaskRequest {
+            task_id: next_task_id(),
+            servable: "u/fail".into(),
+            inputs: vec![Value::Null],
+        };
+        let response = roundtrip(&f, &request);
+        assert_eq!(response.outcome.unwrap_err(), "synthetic failure");
+        // The TM is still alive and serves the next task.
+        let ok = roundtrip(
+            &f,
+            &TaskRequest {
+                task_id: next_task_id(),
+                servable: "u/noop".into(),
+                inputs: vec![Value::Null],
+            },
+        );
+        assert!(ok.outcome.is_ok());
+    }
+
+    #[test]
+    fn malformed_request_is_answered() {
+        let f = fixture(vec![parsl()]);
+        let reply = f
+            .client
+            .call_wait(bytes::Bytes::from_static(b"garbage"), Duration::from_secs(5))
+            .unwrap();
+        let response = TaskResponse::from_bytes(&reply).unwrap();
+        assert!(response.outcome.unwrap_err().contains("malformed"));
+    }
+
+    #[test]
+    fn executor_routing_respects_model_type() {
+        // Only a TF Serving executor: python functions have no home.
+        let tfs: Arc<dyn Executor> = Arc::new(TfServingExecutor::new());
+        let f = fixture(vec![tfs]);
+        let response = roundtrip(
+            &f,
+            &TaskRequest {
+                task_id: next_task_id(),
+                servable: "u/noop".into(),
+                inputs: vec![Value::Null],
+            },
+        );
+        assert!(response
+            .outcome
+            .unwrap_err()
+            .contains("no executor supports"));
+    }
+
+    #[test]
+    fn batch_requests_return_per_input_times() {
+        let f = fixture(vec![parsl()]);
+        let request = TaskRequest {
+            task_id: next_task_id(),
+            servable: "u/noop".into(),
+            inputs: vec![Value::Null; 5],
+        };
+        let response = roundtrip(&f, &request);
+        assert_eq!(response.outcome.unwrap().len(), 5);
+        assert_eq!(response.inference_nanos.len(), 5);
+    }
+
+    #[test]
+    fn registration_is_announced() {
+        let f = fixture(vec![parsl()]);
+        let delivery = f
+            .broker
+            .recv_timeout(REGISTRATION_TOPIC, Duration::from_secs(1))
+            .unwrap();
+        let reg: TmRegistration = serde_json::from_slice(&delivery.message.payload).unwrap();
+        delivery.ack();
+        assert_eq!(reg.name, "test-tm");
+        assert_eq!(reg.executors, vec!["parsl".to_string()]);
+        // Keep repo alive for the fixture's lifetime.
+        assert!(f.repo.all_ids().len() >= 2);
+    }
+}

@@ -1,0 +1,328 @@
+//! Typed payloads exchanged with servables.
+//!
+//! DLHub supports "structured [inputs and] files" (Table II) across
+//! very different model types; [`Value`] is the common currency: it
+//! serializes to JSON for the wire (the broker between Management
+//! Service and Task Managers) and hashes canonically for memoization.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A self-describing value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absence of input/output.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// Text (e.g. a composition string for `matminer util`).
+    Str(String),
+    /// Raw bytes (e.g. an image file).
+    Bytes(Vec<u8>),
+    /// A dense tensor: shape plus row-major data (image inputs,
+    /// feature vectors, class probabilities).
+    Tensor {
+        /// Dimensions.
+        shape: Vec<usize>,
+        /// Row-major elements.
+        data: Vec<f32>,
+    },
+    /// Ordered list of values (e.g. a batch, or top-5 categories).
+    List(Vec<Value>),
+    /// Free-form JSON (metadata-style payloads).
+    Json(serde_json::Value),
+}
+
+impl Value {
+    /// Wrap a [`dlhub_tensor::Tensor`].
+    pub fn from_tensor(t: &dlhub_tensor::Tensor) -> Self {
+        Value::Tensor {
+            shape: t.shape().to_vec(),
+            data: t.data().to_vec(),
+        }
+    }
+
+    /// View as a [`dlhub_tensor::Tensor`], if this is a tensor value.
+    pub fn to_tensor(&self) -> Option<dlhub_tensor::Tensor> {
+        match self {
+            Value::Tensor { shape, data } => {
+                dlhub_tensor::Tensor::new(shape.clone(), data.clone()).ok()
+            }
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if text.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a float, coercing integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a list, if a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Approximate serialized size in bytes (drives transfer-cost
+    /// accounting and cache budgets).
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Null => 4,
+            Value::Bool(_) => 5,
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => s.len() + 2,
+            Value::Bytes(b) => b.len(),
+            Value::Tensor { shape, data } => shape.len() * 8 + data.len() * 4,
+            Value::List(items) => 2 + items.iter().map(Value::approx_size).sum::<usize>(),
+            Value::Json(j) => j.to_string().len(),
+        }
+    }
+
+    /// Canonical 128-bit content hash, used as the memoization key
+    /// (§V-B2: "caching the inputs and outputs for each request").
+    pub fn content_hash(&self) -> (u64, u64) {
+        let mut h = Hasher::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+
+    fn hash_into(&self, h: &mut Hasher) {
+        match self {
+            Value::Null => h.write(&[0]),
+            Value::Bool(b) => {
+                h.write(&[1, *b as u8]);
+            }
+            Value::Int(i) => {
+                h.write(&[2]);
+                h.write(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                h.write(&[3]);
+                h.write(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                h.write(&[4]);
+                h.write(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                h.write(&[5]);
+                h.write(b);
+            }
+            Value::Tensor { shape, data } => {
+                h.write(&[6]);
+                for d in shape {
+                    h.write(&(*d as u64).to_le_bytes());
+                }
+                h.write(&[0xFF]);
+                for v in data {
+                    h.write(&v.to_bits().to_le_bytes());
+                }
+            }
+            Value::List(items) => {
+                h.write(&[7]);
+                h.write(&(items.len() as u64).to_le_bytes());
+                for item in items {
+                    item.hash_into(h);
+                }
+            }
+            Value::Json(j) => {
+                h.write(&[8]);
+                h.write(canonical_json(j).as_bytes());
+            }
+        }
+    }
+}
+
+/// Render JSON with sorted object keys so semantically equal documents
+/// hash identically regardless of construction order.
+fn canonical_json(v: &serde_json::Value) -> String {
+    match v {
+        serde_json::Value::Object(map) => {
+            let mut keys: Vec<&String> = map.keys().collect();
+            keys.sort();
+            let inner: Vec<String> = keys
+                .into_iter()
+                .map(|k| format!("{}:{}", serde_json::Value::from(k.clone()), canonical_json(&map[k])))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+        serde_json::Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(canonical_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        leaf => leaf.to_string(),
+    }
+}
+
+/// FNV-1a 128-ish (two independent 64-bit lanes).
+struct Hasher {
+    a: u64,
+    b: u64,
+}
+
+impl Hasher {
+    fn new() -> Self {
+        Hasher {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a ^= byte as u64;
+            self.a = self.a.wrapping_mul(0x0000_0100_0000_01B3);
+            self.b = self.b.rotate_left(5) ^ (byte as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        }
+    }
+    fn finish(&self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::Tensor { shape, .. } => write!(f, "<tensor {shape:?}>"),
+            Value::List(items) => write!(f, "<list of {}>", items.len()),
+            Value::Json(j) => write!(f, "{j}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use serde_json::json;
+
+    #[test]
+    fn tensor_round_trip() {
+        let t = dlhub_tensor::Tensor::new(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let v = Value::from_tensor(&t);
+        assert_eq!(v.to_tensor().unwrap(), t);
+        assert!(Value::Null.to_tensor().is_none());
+    }
+
+    #[test]
+    fn json_wire_round_trip() {
+        let v = Value::List(vec![
+            Value::Str("a".into()),
+            Value::Int(3),
+            Value::Tensor {
+                shape: vec![2],
+                data: vec![0.5, -0.5],
+            },
+        ]);
+        let encoded = serde_json::to_string(&v).unwrap();
+        let decoded: Value = serde_json::from_str(&encoded).unwrap();
+        assert_eq!(decoded, v);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_types() {
+        // Same bit patterns, different types, must not collide.
+        assert_ne!(
+            Value::Str("1".into()).content_hash(),
+            Value::Int(1).content_hash()
+        );
+        assert_ne!(Value::Null.content_hash(), Value::Bool(false).content_hash());
+        assert_ne!(
+            Value::Bytes(vec![65]).content_hash(),
+            Value::Str("A".into()).content_hash()
+        );
+    }
+
+    #[test]
+    fn content_hash_sensitive_to_tensor_shape() {
+        let a = Value::Tensor {
+            shape: vec![2, 3],
+            data: vec![0.0; 6],
+        };
+        let b = Value::Tensor {
+            shape: vec![3, 2],
+            data: vec![0.0; 6],
+        };
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn json_hash_is_key_order_independent() {
+        let a = Value::Json(json!({"x": 1, "y": [1, 2]}));
+        let b = Value::Json(json!({"y": [1, 2], "x": 1}));
+        assert_eq!(a.content_hash(), b.content_hash());
+        let c = Value::Json(json!({"x": 2, "y": [1, 2]}));
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn approx_size_tracks_payload() {
+        let small = Value::Str("hi".into());
+        let big = Value::Tensor {
+            shape: vec![100],
+            data: vec![0.0; 100],
+        };
+        assert!(big.approx_size() > small.approx_size());
+        assert_eq!(big.approx_size(), 8 + 400);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(
+            Value::List(vec![Value::Null]).as_list().map(|l| l.len()),
+            Some(1)
+        );
+        assert_eq!(Value::Null.as_str(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn equal_values_hash_equal(s in "\\PC{0,32}", i in any::<i64>()) {
+            let v1 = Value::List(vec![Value::Str(s.clone()), Value::Int(i)]);
+            let v2 = Value::List(vec![Value::Str(s), Value::Int(i)]);
+            prop_assert_eq!(v1.content_hash(), v2.content_hash());
+        }
+
+        #[test]
+        fn distinct_ints_rarely_collide(a in any::<i64>(), b in any::<i64>()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(Value::Int(a).content_hash(), Value::Int(b).content_hash());
+        }
+
+        #[test]
+        fn serde_round_trip_any_scalar(f in any::<f64>().prop_filter("finite", |v| v.is_finite())) {
+            // Exact f64 round-tripping relies on serde_json's
+            // `float_roundtrip` feature (enabled in the workspace).
+            let v = Value::Float(f);
+            let s = serde_json::to_string(&v).unwrap();
+            let back: Value = serde_json::from_str(&s).unwrap();
+            prop_assert_eq!(back, v);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Synthetic OQMD-like training data.
+//!
+//! The paper's stability model "was trained with the features of Ward
+//! et al. and data from the Open Quantum Materials Database" (§V-A).
+//! OQMD itself is not redistributable here, so we generate synthetic
+//! compositions and label them with a smooth, physically flavoured
+//! ground-truth function of the Magpie features (electronegativity
+//! spread stabilizes; large size mismatch destabilizes) plus seeded
+//! noise. The learning task is therefore non-trivial but learnable —
+//! which is all the serving experiments need (the *model* is the
+//! workload, not the chemistry).
+
+use crate::featurize::featurize;
+use crate::formula::{parse_formula, Composition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One labelled example.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// The formula string, e.g. `Fe2O3`.
+    pub formula: String,
+    /// Magpie feature vector.
+    pub features: Vec<f64>,
+    /// Synthetic formation energy (eV/atom); negative = stable.
+    pub target: f64,
+}
+
+/// A generated dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Labelled examples.
+    pub examples: Vec<Example>,
+}
+
+impl Dataset {
+    /// Row-major feature matrix.
+    pub fn features(&self) -> Vec<Vec<f64>> {
+        self.examples.iter().map(|e| e.features.clone()).collect()
+    }
+
+    /// Target vector.
+    pub fn targets(&self) -> Vec<f64> {
+        self.examples.iter().map(|e| e.target).collect()
+    }
+
+    /// Split into `(train, test)` at `train_fraction`.
+    pub fn split(mut self, train_fraction: f64) -> (Dataset, Dataset) {
+        let cut = (self.examples.len() as f64 * train_fraction) as usize;
+        let test = self.examples.split_off(cut);
+        (Dataset { examples: self.examples }, Dataset { examples: test })
+    }
+}
+
+/// The synthetic ground truth: a smooth function of composition.
+pub fn ground_truth(composition: &Composition) -> f64 {
+    let fractions = composition.fractions();
+    let mean_en: f64 = fractions
+        .iter()
+        .map(|(e, f)| e.electronegativity * f)
+        .sum();
+    let en_spread: f64 = fractions
+        .iter()
+        .map(|(e, f)| (e.electronegativity - mean_en).abs() * f)
+        .sum();
+    let mean_radius: f64 = fractions.iter().map(|(e, f)| e.radius * f).sum();
+    let radius_spread: f64 = fractions
+        .iter()
+        .map(|(e, f)| (e.radius - mean_radius).abs() * f)
+        .sum();
+    let mean_valence: f64 = fractions.iter().map(|(e, f)| e.valence as f64 * f).sum();
+    // Ionic-like bonding (electronegativity contrast) stabilizes,
+    // size mismatch destabilizes, mid-band valence filling helps.
+    -1.8 * en_spread + 0.012 * radius_spread + 0.08 * (mean_valence - 4.0).abs() - 0.2
+}
+
+/// Generate `n` random binary/ternary compositions with labels.
+/// Deterministic for a given `seed`.
+pub fn generate(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Draw from the first 83 elements (H..Bi) to avoid exotic actinides
+    // dominating the distribution.
+    let pool = &crate::elements::ELEMENTS[..83];
+    let mut examples = Vec::with_capacity(n);
+    while examples.len() < n {
+        let arity = if rng.gen_bool(0.5) { 2 } else { 3 };
+        let mut symbols: Vec<&str> = Vec::with_capacity(arity);
+        while symbols.len() < arity {
+            let e = &pool[rng.gen_range(0..pool.len())];
+            if !symbols.contains(&e.symbol) {
+                symbols.push(e.symbol);
+            }
+        }
+        let formula: String = symbols
+            .iter()
+            .map(|s| format!("{s}{}", rng.gen_range(1..=4)))
+            .collect();
+        let Ok(composition) = parse_formula(&formula) else {
+            continue;
+        };
+        let noise: f64 = rng.gen_range(-0.05..0.05);
+        examples.push(Example {
+            features: featurize(&composition),
+            target: ground_truth(&composition) + noise,
+            formula,
+        });
+    }
+    Dataset { examples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{ForestConfig, RandomForest};
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = generate(50, 7);
+        let b = generate(50, 7);
+        assert_eq!(a.examples.len(), 50);
+        for (x, y) in a.examples.iter().zip(&b.examples) {
+            assert_eq!(x.formula, y.formula);
+            assert_eq!(x.target, y.target);
+        }
+        let c = generate(50, 8);
+        assert_ne!(a.examples[0].formula, c.examples[0].formula);
+    }
+
+    #[test]
+    fn ground_truth_prefers_ionic_compounds() {
+        // NaCl (large electronegativity contrast) should be more
+        // stable (more negative) than Cu-Ni (metallic, similar EN).
+        let nacl = ground_truth(&parse_formula("NaCl").unwrap());
+        let cuni = ground_truth(&parse_formula("CuNi").unwrap());
+        assert!(nacl < cuni, "NaCl {nacl} should be below CuNi {cuni}");
+    }
+
+    #[test]
+    fn split_partitions_examples() {
+        let d = generate(100, 1);
+        let (train, test) = d.split(0.8);
+        assert_eq!(train.examples.len(), 80);
+        assert_eq!(test.examples.len(), 20);
+    }
+
+    #[test]
+    fn forest_learns_the_synthetic_chemistry() {
+        let (train, test) = generate(800, 11).split(0.8);
+        let forest = RandomForest::fit(
+            &train.features(),
+            &train.targets(),
+            &ForestConfig {
+                n_trees: 40,
+                max_features: Some(16),
+                ..ForestConfig::default()
+            },
+        );
+        let mae = forest.mae(&test.features(), &test.targets());
+        // The mean predictor's MAE on the same test targets is the
+        // skill-free baseline; learning must at least halve it.
+        let targets = test.targets();
+        let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+        let baseline =
+            targets.iter().map(|t| (t - mean).abs()).sum::<f64>() / targets.len() as f64;
+        assert!(
+            mae < baseline / 2.0,
+            "MAE {mae} did not halve the mean-predictor baseline {baseline}"
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Elemental property table (Z = 1..=94).
+//!
+//! Values are rounded literature numbers: atomic weight (u), period,
+//! group (1–18; lanthanides/actinides reported as group 3),
+//! Pauling electronegativity (0.0 where undefined, e.g. noble gases),
+//! covalent radius (pm), valence electrons (electrons outside the
+//! noble-gas core, capped at 12 for transition rows as Magpie does),
+//! and melting point (K). Small inaccuracies do not matter for the
+//! serving experiments — the featurizer only needs physically
+//! structured, distinguishable values.
+
+/// Properties of one element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Element {
+    /// Atomic number.
+    pub z: u8,
+    /// IUPAC symbol.
+    pub symbol: &'static str,
+    /// Atomic weight in unified atomic mass units.
+    pub weight: f64,
+    /// Periodic-table row.
+    pub row: u8,
+    /// Periodic-table group (1–18).
+    pub group: u8,
+    /// Pauling electronegativity (0.0 = undefined).
+    pub electronegativity: f64,
+    /// Covalent radius in picometres.
+    pub radius: f64,
+    /// Valence electron count.
+    pub valence: u8,
+    /// Melting point in kelvin.
+    pub melting: f64,
+}
+
+/// Number of properties exposed per element by
+/// [`Element::properties`].
+pub const PROPERTY_COUNT: usize = 8;
+
+impl Element {
+    /// The property vector used by the Magpie featurizer, in a fixed
+    /// order: Z, weight, row, group, electronegativity, radius,
+    /// valence, melting point.
+    pub fn properties(&self) -> [f64; PROPERTY_COUNT] {
+        [
+            self.z as f64,
+            self.weight,
+            self.row as f64,
+            self.group as f64,
+            self.electronegativity,
+            self.radius,
+            self.valence as f64,
+            self.melting,
+        ]
+    }
+}
+
+/// Property names matching [`Element::properties`] order.
+pub const PROPERTY_NAMES: [&str; PROPERTY_COUNT] = [
+    "Number",
+    "AtomicWeight",
+    "Row",
+    "Column",
+    "Electronegativity",
+    "CovalentRadius",
+    "NValence",
+    "MeltingT",
+];
+
+macro_rules! table {
+    ($(($z:expr, $sym:expr, $w:expr, $row:expr, $grp:expr, $en:expr, $rad:expr, $val:expr, $melt:expr)),+ $(,)?) => {
+        &[ $( Element { z: $z, symbol: $sym, weight: $w, row: $row, group: $grp,
+                        electronegativity: $en, radius: $rad, valence: $val, melting: $melt } ),+ ]
+    };
+}
+
+/// The table, ordered by atomic number.
+pub static ELEMENTS: &[Element] = table![
+    (1, "H", 1.008, 1, 1, 2.20, 31.0, 1, 14.0),
+    (2, "He", 4.003, 1, 18, 0.0, 28.0, 2, 1.0),
+    (3, "Li", 6.94, 2, 1, 0.98, 128.0, 1, 454.0),
+    (4, "Be", 9.012, 2, 2, 1.57, 96.0, 2, 1560.0),
+    (5, "B", 10.81, 2, 13, 2.04, 84.0, 3, 2349.0),
+    (6, "C", 12.011, 2, 14, 2.55, 76.0, 4, 3823.0),
+    (7, "N", 14.007, 2, 15, 3.04, 71.0, 5, 63.0),
+    (8, "O", 15.999, 2, 16, 3.44, 66.0, 6, 54.0),
+    (9, "F", 18.998, 2, 17, 3.98, 57.0, 7, 53.0),
+    (10, "Ne", 20.180, 2, 18, 0.0, 58.0, 8, 25.0),
+    (11, "Na", 22.990, 3, 1, 0.93, 166.0, 1, 371.0),
+    (12, "Mg", 24.305, 3, 2, 1.31, 141.0, 2, 923.0),
+    (13, "Al", 26.982, 3, 13, 1.61, 121.0, 3, 933.0),
+    (14, "Si", 28.085, 3, 14, 1.90, 111.0, 4, 1687.0),
+    (15, "P", 30.974, 3, 15, 2.19, 107.0, 5, 317.0),
+    (16, "S", 32.06, 3, 16, 2.58, 105.0, 6, 388.0),
+    (17, "Cl", 35.45, 3, 17, 3.16, 102.0, 7, 172.0),
+    (18, "Ar", 39.948, 3, 18, 0.0, 106.0, 8, 84.0),
+    (19, "K", 39.098, 4, 1, 0.82, 203.0, 1, 337.0),
+    (20, "Ca", 40.078, 4, 2, 1.00, 176.0, 2, 1115.0),
+    (21, "Sc", 44.956, 4, 3, 1.36, 170.0, 3, 1814.0),
+    (22, "Ti", 47.867, 4, 4, 1.54, 160.0, 4, 1941.0),
+    (23, "V", 50.942, 4, 5, 1.63, 153.0, 5, 2183.0),
+    (24, "Cr", 51.996, 4, 6, 1.66, 139.0, 6, 2180.0),
+    (25, "Mn", 54.938, 4, 7, 1.55, 139.0, 7, 1519.0),
+    (26, "Fe", 55.845, 4, 8, 1.83, 132.0, 8, 1811.0),
+    (27, "Co", 58.933, 4, 9, 1.88, 126.0, 9, 1768.0),
+    (28, "Ni", 58.693, 4, 10, 1.91, 124.0, 10, 1728.0),
+    (29, "Cu", 63.546, 4, 11, 1.90, 132.0, 11, 1358.0),
+    (30, "Zn", 65.38, 4, 12, 1.65, 122.0, 12, 693.0),
+    (31, "Ga", 69.723, 4, 13, 1.81, 122.0, 3, 303.0),
+    (32, "Ge", 72.630, 4, 14, 2.01, 120.0, 4, 1211.0),
+    (33, "As", 74.922, 4, 15, 2.18, 119.0, 5, 1090.0),
+    (34, "Se", 78.971, 4, 16, 2.55, 120.0, 6, 494.0),
+    (35, "Br", 79.904, 4, 17, 2.96, 120.0, 7, 266.0),
+    (36, "Kr", 83.798, 4, 18, 3.00, 116.0, 8, 116.0),
+    (37, "Rb", 85.468, 5, 1, 0.82, 220.0, 1, 312.0),
+    (38, "Sr", 87.62, 5, 2, 0.95, 195.0, 2, 1050.0),
+    (39, "Y", 88.906, 5, 3, 1.22, 190.0, 3, 1799.0),
+    (40, "Zr", 91.224, 5, 4, 1.33, 175.0, 4, 2128.0),
+    (41, "Nb", 92.906, 5, 5, 1.60, 164.0, 5, 2750.0),
+    (42, "Mo", 95.95, 5, 6, 2.16, 154.0, 6, 2896.0),
+    (43, "Tc", 98.0, 5, 7, 1.90, 147.0, 7, 2430.0),
+    (44, "Ru", 101.07, 5, 8, 2.20, 146.0, 8, 2607.0),
+    (45, "Rh", 102.906, 5, 9, 2.28, 142.0, 9, 2237.0),
+    (46, "Pd", 106.42, 5, 10, 2.20, 139.0, 10, 1828.0),
+    (47, "Ag", 107.868, 5, 11, 1.93, 145.0, 11, 1235.0),
+    (48, "Cd", 112.414, 5, 12, 1.69, 144.0, 12, 594.0),
+    (49, "In", 114.818, 5, 13, 1.78, 142.0, 3, 430.0),
+    (50, "Sn", 118.710, 5, 14, 1.96, 139.0, 4, 505.0),
+    (51, "Sb", 121.760, 5, 15, 2.05, 139.0, 5, 904.0),
+    (52, "Te", 127.60, 5, 16, 2.10, 138.0, 6, 723.0),
+    (53, "I", 126.904, 5, 17, 2.66, 139.0, 7, 387.0),
+    (54, "Xe", 131.293, 5, 18, 2.60, 140.0, 8, 161.0),
+    (55, "Cs", 132.905, 6, 1, 0.79, 244.0, 1, 302.0),
+    (56, "Ba", 137.327, 6, 2, 0.89, 215.0, 2, 1000.0),
+    (57, "La", 138.905, 6, 3, 1.10, 207.0, 3, 1193.0),
+    (58, "Ce", 140.116, 6, 3, 1.12, 204.0, 4, 1068.0),
+    (59, "Pr", 140.908, 6, 3, 1.13, 203.0, 5, 1208.0),
+    (60, "Nd", 144.242, 6, 3, 1.14, 201.0, 6, 1297.0),
+    (61, "Pm", 145.0, 6, 3, 1.13, 199.0, 7, 1315.0),
+    (62, "Sm", 150.36, 6, 3, 1.17, 198.0, 8, 1345.0),
+    (63, "Eu", 151.964, 6, 3, 1.20, 198.0, 9, 1099.0),
+    (64, "Gd", 157.25, 6, 3, 1.20, 196.0, 10, 1585.0),
+    (65, "Tb", 158.925, 6, 3, 1.22, 194.0, 11, 1629.0),
+    (66, "Dy", 162.500, 6, 3, 1.22, 192.0, 12, 1680.0),
+    (67, "Ho", 164.930, 6, 3, 1.23, 192.0, 12, 1734.0),
+    (68, "Er", 167.259, 6, 3, 1.24, 189.0, 12, 1802.0),
+    (69, "Tm", 168.934, 6, 3, 1.25, 190.0, 12, 1818.0),
+    (70, "Yb", 173.045, 6, 3, 1.10, 187.0, 12, 1097.0),
+    (71, "Lu", 174.967, 6, 3, 1.27, 187.0, 3, 1925.0),
+    (72, "Hf", 178.49, 6, 4, 1.30, 175.0, 4, 2506.0),
+    (73, "Ta", 180.948, 6, 5, 1.50, 170.0, 5, 3290.0),
+    (74, "W", 183.84, 6, 6, 2.36, 162.0, 6, 3695.0),
+    (75, "Re", 186.207, 6, 7, 1.90, 151.0, 7, 3459.0),
+    (76, "Os", 190.23, 6, 8, 2.20, 144.0, 8, 3306.0),
+    (77, "Ir", 192.217, 6, 9, 2.20, 141.0, 9, 2719.0),
+    (78, "Pt", 195.084, 6, 10, 2.28, 136.0, 10, 2041.0),
+    (79, "Au", 196.967, 6, 11, 2.54, 136.0, 11, 1337.0),
+    (80, "Hg", 200.592, 6, 12, 2.00, 132.0, 12, 234.0),
+    (81, "Tl", 204.38, 6, 13, 1.62, 145.0, 3, 577.0),
+    (82, "Pb", 207.2, 6, 14, 2.33, 146.0, 4, 601.0),
+    (83, "Bi", 208.980, 6, 15, 2.02, 148.0, 5, 544.0),
+    (84, "Po", 209.0, 6, 16, 2.00, 140.0, 6, 527.0),
+    (85, "At", 210.0, 6, 17, 2.20, 150.0, 7, 575.0),
+    (86, "Rn", 222.0, 6, 18, 0.0, 150.0, 8, 202.0),
+    (87, "Fr", 223.0, 7, 1, 0.70, 260.0, 1, 300.0),
+    (88, "Ra", 226.0, 7, 2, 0.90, 221.0, 2, 973.0),
+    (89, "Ac", 227.0, 7, 3, 1.10, 215.0, 3, 1323.0),
+    (90, "Th", 232.038, 7, 3, 1.30, 206.0, 4, 2023.0),
+    (91, "Pa", 231.036, 7, 3, 1.50, 200.0, 5, 1841.0),
+    (92, "U", 238.029, 7, 3, 1.38, 196.0, 6, 1405.0),
+    (93, "Np", 237.0, 7, 3, 1.36, 190.0, 7, 917.0),
+    (94, "Pu", 244.0, 7, 3, 1.28, 187.0, 8, 913.0),
+];
+
+/// Look up an element by symbol.
+pub fn by_symbol(symbol: &str) -> Option<&'static Element> {
+    ELEMENTS.iter().find(|e| e.symbol == symbol)
+}
+
+/// Look up an element by atomic number.
+pub fn by_z(z: u8) -> Option<&'static Element> {
+    ELEMENTS.get(z as usize - 1).filter(|e| e.z == z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_ordered_and_contiguous() {
+        for (i, e) in ELEMENTS.iter().enumerate() {
+            assert_eq!(e.z as usize, i + 1, "gap at {}", e.symbol);
+        }
+    }
+
+    #[test]
+    fn lookup_by_symbol_and_z() {
+        assert_eq!(by_symbol("Fe").unwrap().z, 26);
+        assert_eq!(by_z(26).unwrap().symbol, "Fe");
+        assert!(by_symbol("Xx").is_none());
+        assert!(by_z(120).is_none());
+    }
+
+    #[test]
+    fn weights_increase_roughly_with_z() {
+        // Monotone except for the famous Ar/K and Co/Ni, Te/I swaps.
+        let violations = ELEMENTS
+            .windows(2)
+            .filter(|w| w[1].weight < w[0].weight)
+            .count();
+        assert!(violations <= 5, "too many weight inversions: {violations}");
+    }
+
+    #[test]
+    fn property_vector_matches_names() {
+        let fe = by_symbol("Fe").unwrap();
+        let props = fe.properties();
+        assert_eq!(props.len(), PROPERTY_NAMES.len());
+        assert_eq!(props[0], 26.0); // Number
+        assert_eq!(props[2], 4.0); // Row
+        assert!((props[4] - 1.83).abs() < 1e-9); // Electronegativity
+    }
+
+    #[test]
+    fn noble_gases_have_zero_electronegativity() {
+        for sym in ["He", "Ne", "Ar"] {
+            assert_eq!(by_symbol(sym).unwrap().electronegativity, 0.0);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Ward-2016 (Magpie) statistical featurization — the matminer step.
+//!
+//! For each elemental property, the featurizer computes six
+//! fraction-weighted statistics over the composition (mean, average
+//! deviation, range, mode, minimum, maximum), then appends
+//! stoichiometric attributes (element count and the p-norms of the
+//! fraction vector), following Ward et al., *npj Computational
+//! Materials* 2 (2016) — reference \[39\] of the paper.
+
+use crate::elements::PROPERTY_COUNT;
+use crate::formula::Composition;
+
+/// Statistics computed per property.
+pub const STATS_PER_PROPERTY: usize = 6;
+
+/// Stoichiometric attributes appended after the property statistics:
+/// number of elements, L2 norm, L3 norm of the fraction vector.
+pub const STOICHIOMETRY_FEATURES: usize = 3;
+
+/// Total feature vector length.
+pub const FEATURE_COUNT: usize = PROPERTY_COUNT * STATS_PER_PROPERTY + STOICHIOMETRY_FEATURES;
+
+/// Compute the Magpie feature vector of a composition.
+pub fn featurize(composition: &Composition) -> Vec<f64> {
+    let fractions = composition.fractions();
+    let mut features = Vec::with_capacity(FEATURE_COUNT);
+    for p in 0..PROPERTY_COUNT {
+        let values: Vec<(f64, f64)> = fractions
+            .iter()
+            .map(|(e, f)| (e.properties()[p], *f))
+            .collect();
+        let mean: f64 = values.iter().map(|(v, f)| v * f).sum();
+        let avg_dev: f64 = values.iter().map(|(v, f)| (v - mean).abs() * f).sum();
+        let min = values.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min);
+        let max = values
+            .iter()
+            .map(|(v, _)| *v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        // Mode: property of the most abundant element (ties: first in
+        // alphabetical order, which is the BTreeMap iteration order).
+        let mode = values
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(v, _)| *v)
+            .unwrap_or(0.0);
+        features.push(mean);
+        features.push(avg_dev);
+        features.push(max - min);
+        features.push(mode);
+        features.push(min);
+        features.push(max);
+    }
+    // Stoichiometric attributes.
+    features.push(fractions.len() as f64);
+    let l2: f64 = fractions.iter().map(|(_, f)| f * f).sum::<f64>().sqrt();
+    let l3: f64 = fractions
+        .iter()
+        .map(|(_, f)| f.powi(3))
+        .sum::<f64>()
+        .cbrt();
+    features.push(l2);
+    features.push(l3);
+    debug_assert_eq!(features.len(), FEATURE_COUNT);
+    features
+}
+
+/// Human-readable names for every feature, aligned with
+/// [`featurize`]'s output order.
+pub fn feature_names() -> Vec<String> {
+    let mut names = Vec::with_capacity(FEATURE_COUNT);
+    for prop in crate::elements::PROPERTY_NAMES {
+        for stat in ["mean", "avg_dev", "range", "mode", "min", "max"] {
+            names.push(format!("{stat}_{prop}"));
+        }
+    }
+    names.push("NComp".to_string());
+    names.push("Comp_L2Norm".to_string());
+    names.push("Comp_L3Norm".to_string());
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::parse_formula;
+    use proptest::prelude::*;
+
+    #[test]
+    fn feature_vector_has_documented_length() {
+        let c = parse_formula("NaCl").unwrap();
+        let f = featurize(&c);
+        assert_eq!(f.len(), FEATURE_COUNT);
+        assert_eq!(feature_names().len(), FEATURE_COUNT);
+    }
+
+    #[test]
+    fn single_element_has_zero_deviation_and_range() {
+        let c = parse_formula("Fe").unwrap();
+        let f = featurize(&c);
+        // For every property: avg_dev (idx 1) and range (idx 2) are 0,
+        // and mean == mode == min == max.
+        for p in 0..PROPERTY_COUNT {
+            let base = p * STATS_PER_PROPERTY;
+            assert_eq!(f[base + 1], 0.0, "avg_dev of property {p}");
+            assert_eq!(f[base + 2], 0.0, "range of property {p}");
+            assert_eq!(f[base], f[base + 3]);
+            assert_eq!(f[base + 4], f[base + 5]);
+        }
+        // NComp = 1, norms = 1.
+        assert_eq!(f[FEATURE_COUNT - 3], 1.0);
+        assert!((f[FEATURE_COUNT - 2] - 1.0).abs() < 1e-12);
+        assert!((f[FEATURE_COUNT - 1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nacl_mean_z_is_weighted() {
+        let c = parse_formula("NaCl").unwrap();
+        let f = featurize(&c);
+        // Property 0 is atomic number: (11 + 17)/2 = 14.
+        assert!((f[0] - 14.0).abs() < 1e-12);
+        // Range = 6, min = 11, max = 17.
+        assert_eq!(f[2], 6.0);
+        assert_eq!(f[4], 11.0);
+        assert_eq!(f[5], 17.0);
+    }
+
+    #[test]
+    fn mode_tracks_most_abundant_element() {
+        // SiO2: O is most abundant; mode of atomic number = 8.
+        let c = parse_formula("SiO2").unwrap();
+        let f = featurize(&c);
+        assert_eq!(f[3], 8.0);
+    }
+
+    #[test]
+    fn stoichiometric_norms_for_sio2() {
+        let c = parse_formula("SiO2").unwrap();
+        let f = featurize(&c);
+        assert_eq!(f[FEATURE_COUNT - 3], 2.0);
+        let expected_l2 = ((1.0f64 / 3.0).powi(2) + (2.0f64 / 3.0).powi(2)).sqrt();
+        assert!((f[FEATURE_COUNT - 2] - expected_l2).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn features_are_finite_and_ordered(
+            a in 0usize..94, b in 0usize..94, na in 1u32..9, nb in 1u32..9
+        ) {
+            prop_assume!(a != b);
+            let ea = crate::elements::ELEMENTS[a];
+            let eb = crate::elements::ELEMENTS[b];
+            let c = parse_formula(&format!("{}{}{}{}", ea.symbol, na, eb.symbol, nb)).unwrap();
+            let f = featurize(&c);
+            for v in &f {
+                prop_assert!(v.is_finite());
+            }
+            for p in 0..PROPERTY_COUNT {
+                let base = p * STATS_PER_PROPERTY;
+                let (mean, min, max) = (f[base], f[base + 4], f[base + 5]);
+                prop_assert!(min <= mean + 1e-9 && mean <= max + 1e-9);
+                prop_assert!(f[base + 2] >= 0.0); // range
+                prop_assert!(f[base + 1] >= 0.0); // avg_dev
+            }
+        }
+
+        #[test]
+        fn featurize_is_scale_invariant(n in 1u32..9) {
+            // Features depend on fractions only: SiO2 == Si2O4 == SinO2n.
+            let base = featurize(&parse_formula("SiO2").unwrap());
+            let scaled = featurize(
+                &parse_formula(&format!("Si{}O{}", n, 2 * n)).unwrap(),
+            );
+            for (x, y) in base.iter().zip(&scaled) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

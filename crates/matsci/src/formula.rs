@@ -1,0 +1,310 @@
+//! Chemical-formula parsing (the pymatgen step of the pipeline).
+//!
+//! Supports element symbols, integer and fractional amounts, and
+//! nested parentheses: `NaCl`, `SiO2`, `Ca(OH)2`, `Mg0.5Fe0.5O`,
+//! `Ba(Ti0.8Zr0.2)O3`.
+
+use crate::elements::{by_symbol, Element};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormulaError {
+    /// Empty input.
+    Empty,
+    /// Symbol not in the element table.
+    UnknownElement(String),
+    /// Unbalanced or misplaced parenthesis at byte offset.
+    UnbalancedParen(usize),
+    /// Unexpected character at byte offset.
+    UnexpectedChar(char, usize),
+    /// Amount failed to parse at byte offset.
+    BadAmount(usize),
+}
+
+impl fmt::Display for FormulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormulaError::Empty => write!(f, "empty formula"),
+            FormulaError::UnknownElement(s) => write!(f, "unknown element: {s}"),
+            FormulaError::UnbalancedParen(i) => write!(f, "unbalanced parenthesis at {i}"),
+            FormulaError::UnexpectedChar(c, i) => write!(f, "unexpected '{c}' at {i}"),
+            FormulaError::BadAmount(i) => write!(f, "bad amount at {i}"),
+        }
+    }
+}
+
+impl std::error::Error for FormulaError {}
+
+/// A parsed composition: element symbol → amount, plus normalized
+/// fractions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Composition {
+    /// Raw amounts as written (e.g. `{"Ca":1, "O":2, "H":2}`).
+    pub amounts: BTreeMap<&'static str, f64>,
+}
+
+impl Composition {
+    /// Number of distinct elements.
+    pub fn n_elements(&self) -> usize {
+        self.amounts.len()
+    }
+
+    /// Total atom count.
+    pub fn total_atoms(&self) -> f64 {
+        self.amounts.values().sum()
+    }
+
+    /// `(element, fraction)` pairs, fractions summing to 1.
+    pub fn fractions(&self) -> Vec<(&'static Element, f64)> {
+        let total = self.total_atoms();
+        self.amounts
+            .iter()
+            .map(|(sym, amt)| {
+                (
+                    by_symbol(sym).expect("symbol validated during parse"),
+                    amt / total,
+                )
+            })
+            .collect()
+    }
+
+    /// Fraction-weighted mean atomic weight.
+    pub fn mean_weight(&self) -> f64 {
+        self.fractions()
+            .iter()
+            .map(|(e, f)| e.weight * f)
+            .sum()
+    }
+
+    /// Reduced formula string with elements in Hill-ish (alphabetical)
+    /// order, e.g. `Cl1Na1` for NaCl.
+    pub fn reduced_formula(&self) -> String {
+        let mut out = String::new();
+        for (sym, amt) in &self.amounts {
+            if (amt - amt.round()).abs() < 1e-9 {
+                out.push_str(&format!("{sym}{}", amt.round() as i64));
+            } else {
+                out.push_str(&format!("{sym}{amt}"));
+            }
+        }
+        out
+    }
+}
+
+/// Parse a formula string into a [`Composition`].
+pub fn parse_formula(input: &str) -> Result<Composition, FormulaError> {
+    let trimmed = input.trim();
+    if trimmed.is_empty() {
+        return Err(FormulaError::Empty);
+    }
+    let chars: Vec<char> = trimmed.chars().collect();
+    let mut pos = 0usize;
+    let mut amounts: BTreeMap<&'static str, f64> = BTreeMap::new();
+    parse_group(&chars, &mut pos, 1.0, &mut amounts, 0)?;
+    if pos != chars.len() {
+        // A stray ')' stops parse_group early at depth 0.
+        return Err(FormulaError::UnbalancedParen(pos));
+    }
+    if amounts.is_empty() {
+        return Err(FormulaError::Empty);
+    }
+    Ok(Composition { amounts })
+}
+
+fn parse_group(
+    chars: &[char],
+    pos: &mut usize,
+    multiplier: f64,
+    amounts: &mut BTreeMap<&'static str, f64>,
+    depth: usize,
+) -> Result<(), FormulaError> {
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        if c == '(' {
+            let open = *pos;
+            *pos += 1;
+            let mut inner: BTreeMap<&'static str, f64> = BTreeMap::new();
+            parse_group(chars, pos, 1.0, &mut inner, depth + 1)?;
+            if *pos >= chars.len() || chars[*pos] != ')' {
+                return Err(FormulaError::UnbalancedParen(open));
+            }
+            *pos += 1; // consume ')'
+            let amount = parse_amount(chars, pos)?.unwrap_or(1.0);
+            for (sym, amt) in inner {
+                *amounts.entry(sym).or_insert(0.0) += amt * amount * multiplier;
+            }
+        } else if c == ')' {
+            if depth == 0 {
+                return Ok(()); // caller reports the imbalance
+            }
+            return Ok(());
+        } else if c.is_ascii_uppercase() {
+            let start = *pos;
+            *pos += 1;
+            while *pos < chars.len() && chars[*pos].is_ascii_lowercase() {
+                *pos += 1;
+            }
+            let symbol: String = chars[start..*pos].iter().collect();
+            let element =
+                by_symbol(&symbol).ok_or(FormulaError::UnknownElement(symbol.clone()))?;
+            let amount = parse_amount(chars, pos)?.unwrap_or(1.0);
+            *amounts.entry(element.symbol).or_insert(0.0) += amount * multiplier;
+        } else if c.is_whitespace() {
+            *pos += 1;
+        } else {
+            return Err(FormulaError::UnexpectedChar(c, *pos));
+        }
+    }
+    Ok(())
+}
+
+fn parse_amount(chars: &[char], pos: &mut usize) -> Result<Option<f64>, FormulaError> {
+    let start = *pos;
+    while *pos < chars.len() && (chars[*pos].is_ascii_digit() || chars[*pos] == '.') {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Ok(None);
+    }
+    let text: String = chars[start..*pos].iter().collect();
+    text.parse::<f64>()
+        .map(Some)
+        .map_err(|_| FormulaError::BadAmount(start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn amount(c: &Composition, sym: &str) -> f64 {
+        *c.amounts.get(sym).unwrap()
+    }
+
+    #[test]
+    fn simple_binary() {
+        let c = parse_formula("NaCl").unwrap();
+        assert_eq!(c.n_elements(), 2);
+        assert_eq!(amount(&c, "Na"), 1.0);
+        assert_eq!(amount(&c, "Cl"), 1.0);
+    }
+
+    #[test]
+    fn integer_subscripts() {
+        let c = parse_formula("SiO2").unwrap();
+        assert_eq!(amount(&c, "Si"), 1.0);
+        assert_eq!(amount(&c, "O"), 2.0);
+        assert_eq!(c.total_atoms(), 3.0);
+    }
+
+    #[test]
+    fn parentheses_multiply() {
+        let c = parse_formula("Ca(OH)2").unwrap();
+        assert_eq!(amount(&c, "Ca"), 1.0);
+        assert_eq!(amount(&c, "O"), 2.0);
+        assert_eq!(amount(&c, "H"), 2.0);
+    }
+
+    #[test]
+    fn nested_parentheses() {
+        let c = parse_formula("Ba(Ti(O2)2)3").unwrap();
+        assert_eq!(amount(&c, "Ba"), 1.0);
+        assert_eq!(amount(&c, "Ti"), 3.0);
+        assert_eq!(amount(&c, "O"), 12.0);
+    }
+
+    #[test]
+    fn fractional_amounts() {
+        let c = parse_formula("Mg0.5Fe0.5O").unwrap();
+        assert_eq!(amount(&c, "Mg"), 0.5);
+        assert_eq!(amount(&c, "Fe"), 0.5);
+        assert_eq!(amount(&c, "O"), 1.0);
+        let fracs = c.fractions();
+        let total: f64 = fracs.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_element_accumulates() {
+        let c = parse_formula("FeOFe").unwrap();
+        assert_eq!(amount(&c, "Fe"), 2.0);
+    }
+
+    #[test]
+    fn two_letter_symbols_not_confused() {
+        // "Co" is cobalt, "CO" is carbon + oxygen.
+        let cobalt = parse_formula("Co").unwrap();
+        assert_eq!(cobalt.n_elements(), 1);
+        let carbon_monoxide = parse_formula("CO").unwrap();
+        assert_eq!(carbon_monoxide.n_elements(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert_eq!(parse_formula(""), Err(FormulaError::Empty));
+        assert_eq!(parse_formula("   "), Err(FormulaError::Empty));
+        assert!(matches!(
+            parse_formula("Xx2"),
+            Err(FormulaError::UnknownElement(_))
+        ));
+        assert!(matches!(
+            parse_formula("Ca(OH"),
+            Err(FormulaError::UnbalancedParen(_))
+        ));
+        assert!(matches!(
+            parse_formula("Ca)2"),
+            Err(FormulaError::UnbalancedParen(_))
+        ));
+        assert!(matches!(
+            parse_formula("Na+Cl"),
+            Err(FormulaError::UnexpectedChar('+', _))
+        ));
+    }
+
+    #[test]
+    fn mean_weight_of_nacl() {
+        let c = parse_formula("NaCl").unwrap();
+        // (22.99 + 35.45) / 2
+        assert!((c.mean_weight() - 29.22).abs() < 0.01);
+    }
+
+    #[test]
+    fn reduced_formula_is_alphabetical() {
+        let c = parse_formula("NaCl").unwrap();
+        assert_eq!(c.reduced_formula(), "Cl1Na1");
+    }
+
+    proptest! {
+        #[test]
+        fn parser_never_panics(s in "\\PC{0,24}") {
+            let _ = parse_formula(&s);
+        }
+
+        #[test]
+        fn valid_binary_round_trips(
+            a in 0usize..94, b in 0usize..94, na in 1u32..9, nb in 1u32..9
+        ) {
+            prop_assume!(a != b);
+            let ea = crate::elements::ELEMENTS[a];
+            let eb = crate::elements::ELEMENTS[b];
+            let formula = format!("{}{}{}{}", ea.symbol, na, eb.symbol, nb);
+            let c = parse_formula(&formula).unwrap();
+            prop_assert_eq!(c.n_elements(), 2);
+            prop_assert_eq!(c.total_atoms(), (na + nb) as f64);
+        }
+
+        #[test]
+        fn fractions_always_sum_to_one(
+            a in 0usize..94, n in 1u32..5, m in 1u32..5
+        ) {
+            let e = crate::elements::ELEMENTS[a];
+            let formula = format!("{}{}O{}", e.symbol, n, m);
+            if let Ok(c) = parse_formula(&formula) {
+                let total: f64 = c.fractions().iter().map(|(_, f)| f).sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

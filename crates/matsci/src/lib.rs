@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # dlhub-matsci
+//!
+//! Materials-science substrate standing in for the pymatgen → matminer
+//! → scikit-learn stack used by the paper's materials-stability
+//! servables (§V-A) and the formation-enthalpy pipeline (§VI-D):
+//!
+//! 1. **`matminer util`** — parse a composition string ("NaCl",
+//!    "Ca(OH)2") into element fractions: [`formula::parse_formula`].
+//! 2. **`matminer featurize`** — compute Ward-2016 (Magpie) statistical
+//!    features from elemental properties: [`featurize::featurize`].
+//! 3. **`matminer model`** — a from-scratch random-forest regressor
+//!    predicting stability / formation enthalpy:
+//!    [`forest::RandomForest`], trained on a synthetic OQMD-like
+//!    dataset ([`dataset`]).
+//!
+//! The element property table ([`elements`]) carries real (rounded)
+//! values for Z ≤ 94: atomic weight, period, group, Pauling
+//! electronegativity, covalent radius, valence electron count and
+//! melting point.
+
+pub mod dataset;
+pub mod elements;
+pub mod featurize;
+pub mod formula;
+pub mod forest;
+
+pub use featurize::{featurize, FEATURE_COUNT};
+pub use formula::{parse_formula, Composition, FormulaError};
+pub use forest::{DecisionTree, ForestConfig, RandomForest};

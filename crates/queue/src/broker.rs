@@ -1,0 +1,681 @@
+//! The broker: named topics with leased, at-least-once delivery.
+//!
+//! Semantics mirror what DLHub needs from ZeroMQ (§IV-A): the
+//! Management Service posts tasks, Task Managers pull them, and a task
+//! that is pulled but never acknowledged (a crashed Task Manager) is
+//! redelivered to another consumer.
+
+use crate::message::{Message, MessageId};
+use crate::stats::TopicStats;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by broker operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueueError {
+    /// The named topic does not exist.
+    NoSuchTopic(String),
+    /// A topic with this name already exists.
+    TopicExists(String),
+    /// The topic is bounded and full (try_send only).
+    Full(String),
+    /// The topic was drained and closed; no more messages will arrive.
+    Closed(String),
+    /// recv_timeout elapsed with no message available.
+    Timeout,
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::NoSuchTopic(t) => write!(f, "no such topic: {t}"),
+            QueueError::TopicExists(t) => write!(f, "topic already exists: {t}"),
+            QueueError::Full(t) => write!(f, "topic full: {t}"),
+            QueueError::Closed(t) => write!(f, "topic closed: {t}"),
+            QueueError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// Per-topic configuration.
+#[derive(Debug, Clone)]
+pub struct TopicConfig {
+    /// Maximum queued (ready) messages; `None` = unbounded.
+    pub capacity: Option<usize>,
+    /// Lease duration after which an unacked delivery is requeued.
+    pub lease: Duration,
+    /// Delivery attempts before a message moves to the dead-letter
+    /// queue. 0 is treated as 1.
+    pub max_attempts: u32,
+}
+
+impl Default for TopicConfig {
+    fn default() -> Self {
+        TopicConfig {
+            capacity: None,
+            lease: Duration::from_secs(30),
+            max_attempts: 5,
+        }
+    }
+}
+
+/// Broker-wide configuration; currently the default [`TopicConfig`]
+/// applied by [`Broker::create_topic`].
+#[derive(Debug, Clone, Default)]
+pub struct BrokerConfig {
+    /// Defaults applied to topics created without an explicit config.
+    pub topic_defaults: TopicConfig,
+}
+
+struct InFlight {
+    message: Message,
+    lease_expires: Instant,
+}
+
+struct TopicState {
+    ready: VecDeque<Message>,
+    in_flight: HashMap<MessageId, InFlight>,
+    dead: Vec<Message>,
+    closed: bool,
+    stats: TopicStats,
+}
+
+struct Topic {
+    config: TopicConfig,
+    state: Mutex<TopicState>,
+    /// Signalled when a message becomes ready or the topic closes.
+    ready_cv: Condvar,
+    /// Signalled when space frees up in a bounded topic.
+    space_cv: Condvar,
+}
+
+impl Topic {
+    fn new(config: TopicConfig) -> Self {
+        Topic {
+            config,
+            state: Mutex::new(TopicState {
+                ready: VecDeque::new(),
+                in_flight: HashMap::new(),
+                dead: Vec::new(),
+                closed: false,
+                stats: TopicStats::default(),
+            }),
+            ready_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+        }
+    }
+
+    /// Requeue any in-flight messages whose lease has expired. Returns
+    /// true if at least one message became ready. Must hold the lock.
+    fn reap_expired(state: &mut TopicState, max_attempts: u32, now: Instant) -> bool {
+        if state.in_flight.is_empty() {
+            return false;
+        }
+        let expired: Vec<MessageId> = state
+            .in_flight
+            .iter()
+            .filter(|(_, f)| f.lease_expires <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut requeued = false;
+        for id in expired {
+            let flight = state.in_flight.remove(&id).expect("expired id present");
+            let m = flight.message;
+            if m.attempts >= max_attempts.max(1) {
+                state.stats.dead_lettered += 1;
+                state.dead.push(m);
+            } else {
+                state.stats.redelivered += 1;
+                state.ready.push_front(m);
+                requeued = true;
+            }
+        }
+        requeued
+    }
+}
+
+/// A leased message. Call [`Delivery::ack`] on success or
+/// [`Delivery::nack`] to trigger immediate redelivery. Dropping a
+/// `Delivery` without acking leaves the lease to expire naturally,
+/// modelling a crashed consumer.
+pub struct Delivery {
+    /// The leased message.
+    pub message: Message,
+    topic: Arc<Topic>,
+    settled: bool,
+}
+
+impl Delivery {
+    /// Acknowledge successful processing; the message is removed.
+    pub fn ack(mut self) {
+        let mut st = self.topic.state.lock();
+        if st.in_flight.remove(&self.message.id).is_some() {
+            st.stats.acked += 1;
+        }
+        self.settled = true;
+    }
+
+    /// Negatively acknowledge: requeue now (or dead-letter if the
+    /// attempt budget is exhausted).
+    pub fn nack(mut self) {
+        let max_attempts = self.topic.config.max_attempts;
+        let mut st = self.topic.state.lock();
+        if let Some(flight) = st.in_flight.remove(&self.message.id) {
+            let m = flight.message;
+            if m.attempts >= max_attempts.max(1) {
+                st.stats.dead_lettered += 1;
+                st.dead.push(m);
+            } else {
+                st.stats.redelivered += 1;
+                st.ready.push_front(m);
+                self.topic.ready_cv.notify_one();
+            }
+        }
+        self.settled = true;
+    }
+}
+
+impl fmt::Debug for Delivery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Delivery")
+            .field("message", &self.message.id)
+            .field("settled", &self.settled)
+            .finish()
+    }
+}
+
+/// The message broker. Cheap to clone (`Arc` inside).
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<BrokerInner>,
+}
+
+struct BrokerInner {
+    config: BrokerConfig,
+    topics: Mutex<HashMap<String, Arc<Topic>>>,
+}
+
+impl Broker {
+    /// Create a broker with the given defaults.
+    pub fn new(config: BrokerConfig) -> Self {
+        Broker {
+            inner: Arc::new(BrokerInner {
+                config,
+                topics: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Create a topic with the broker's default topic configuration.
+    pub fn create_topic(&self, name: &str) -> Result<(), QueueError> {
+        self.create_topic_with(name, self.inner.config.topic_defaults.clone())
+    }
+
+    /// Create a topic with an explicit configuration.
+    pub fn create_topic_with(&self, name: &str, config: TopicConfig) -> Result<(), QueueError> {
+        let mut topics = self.inner.topics.lock();
+        if topics.contains_key(name) {
+            return Err(QueueError::TopicExists(name.to_string()));
+        }
+        topics.insert(name.to_string(), Arc::new(Topic::new(config)));
+        Ok(())
+    }
+
+    /// Create the topic if it does not exist yet; never fails.
+    pub fn ensure_topic(&self, name: &str) {
+        let mut topics = self.inner.topics.lock();
+        topics
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Topic::new(self.inner.config.topic_defaults.clone())));
+    }
+
+    /// List existing topic names (unordered).
+    pub fn topics(&self) -> Vec<String> {
+        self.inner.topics.lock().keys().cloned().collect()
+    }
+
+    /// Delete a topic, dropping all queued and in-flight messages.
+    pub fn delete_topic(&self, name: &str) -> Result<(), QueueError> {
+        let topic = {
+            let mut topics = self.inner.topics.lock();
+            topics
+                .remove(name)
+                .ok_or_else(|| QueueError::NoSuchTopic(name.to_string()))?
+        };
+        let mut st = topic.state.lock();
+        st.closed = true;
+        drop(st);
+        topic.ready_cv.notify_all();
+        topic.space_cv.notify_all();
+        Ok(())
+    }
+
+    /// Close a topic: queued messages may still be drained, but new
+    /// sends fail and receivers see [`QueueError::Closed`] once empty.
+    pub fn close_topic(&self, name: &str) -> Result<(), QueueError> {
+        let topic = self.topic(name)?;
+        topic.state.lock().closed = true;
+        topic.ready_cv.notify_all();
+        topic.space_cv.notify_all();
+        Ok(())
+    }
+
+    fn topic(&self, name: &str) -> Result<Arc<Topic>, QueueError> {
+        self.inner
+            .topics
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| QueueError::NoSuchTopic(name.to_string()))
+    }
+
+    /// Enqueue `payload` as a fresh message. Blocks while a bounded
+    /// topic is full.
+    pub fn send(&self, topic: &str, payload: Bytes) -> Result<MessageId, QueueError> {
+        self.send_message(topic, Message::new(payload))
+    }
+
+    /// Enqueue a pre-built message (used by the RPC layer to set
+    /// reply-to/correlation metadata). Blocks while full.
+    pub fn send_message(&self, name: &str, message: Message) -> Result<MessageId, QueueError> {
+        let topic = self.topic(name)?;
+        let mut st = topic.state.lock();
+        loop {
+            if st.closed {
+                return Err(QueueError::Closed(name.to_string()));
+            }
+            match topic.config.capacity {
+                Some(cap) if st.ready.len() >= cap => topic.space_cv.wait(&mut st),
+                _ => break,
+            }
+        }
+        let id = message.id;
+        st.stats.enqueued += 1;
+        st.ready.push_back(message);
+        drop(st);
+        topic.ready_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Non-blocking send; fails with [`QueueError::Full`] when bounded
+    /// capacity is exhausted.
+    pub fn try_send(&self, name: &str, payload: Bytes) -> Result<MessageId, QueueError> {
+        let topic = self.topic(name)?;
+        let mut st = topic.state.lock();
+        if st.closed {
+            return Err(QueueError::Closed(name.to_string()));
+        }
+        if let Some(cap) = topic.config.capacity {
+            if st.ready.len() >= cap {
+                return Err(QueueError::Full(name.to_string()));
+            }
+        }
+        let message = Message::new(payload);
+        let id = message.id;
+        st.stats.enqueued += 1;
+        st.ready.push_back(message);
+        drop(st);
+        topic.ready_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Blocking receive: waits until a message is available, leases it
+    /// and returns the [`Delivery`].
+    pub fn recv(&self, name: &str) -> Result<Delivery, QueueError> {
+        self.recv_deadline(name, None)
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(&self, name: &str, timeout: Duration) -> Result<Delivery, QueueError> {
+        self.recv_deadline(name, Some(Instant::now() + timeout))
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self, name: &str) -> Result<Option<Delivery>, QueueError> {
+        let topic = self.topic(name)?;
+        let mut st = topic.state.lock();
+        Topic::reap_expired(&mut st, topic.config.max_attempts, Instant::now());
+        match Self::lease_front(&topic, &mut st) {
+            Some(d) => Ok(Some(d)),
+            None if st.closed => Err(QueueError::Closed(name.to_string())),
+            None => Ok(None),
+        }
+    }
+
+    fn recv_deadline(
+        &self,
+        name: &str,
+        deadline: Option<Instant>,
+    ) -> Result<Delivery, QueueError> {
+        let topic = self.topic(name)?;
+        let mut st = topic.state.lock();
+        loop {
+            let now = Instant::now();
+            Topic::reap_expired(&mut st, topic.config.max_attempts, now);
+            if let Some(d) = Self::lease_front(&topic, &mut st) {
+                topic.space_cv.notify_one();
+                return Ok(d);
+            }
+            if st.closed {
+                return Err(QueueError::Closed(name.to_string()));
+            }
+            // Wake up early enough to reap the next lease expiry even
+            // if no new message arrives.
+            let next_expiry = st.in_flight.values().map(|f| f.lease_expires).min();
+            let wait_until = match (deadline, next_expiry) {
+                (Some(d), Some(e)) => Some(d.min(e)),
+                (Some(d), None) => Some(d),
+                (None, Some(e)) => Some(e),
+                (None, None) => None,
+            };
+            match wait_until {
+                Some(until) => {
+                    if topic.ready_cv.wait_until(&mut st, until).timed_out() {
+                        if let Some(d) = deadline {
+                            if Instant::now() >= d {
+                                return Err(QueueError::Timeout);
+                            }
+                        }
+                    }
+                }
+                None => topic.ready_cv.wait(&mut st),
+            }
+        }
+    }
+
+    fn lease_front(topic: &Arc<Topic>, st: &mut TopicState) -> Option<Delivery> {
+        let mut message = st.ready.pop_front()?;
+        message.attempts += 1;
+        st.stats.delivered += 1;
+        let queue_wait = message.enqueued_at.elapsed();
+        st.stats.record_wait(queue_wait);
+        st.in_flight.insert(
+            message.id,
+            InFlight {
+                message: message.clone(),
+                lease_expires: Instant::now() + topic.config.lease,
+            },
+        );
+        Some(Delivery {
+            message,
+            topic: Arc::clone(topic),
+            settled: false,
+        })
+    }
+
+    /// Number of ready (not in-flight) messages on a topic.
+    pub fn depth(&self, name: &str) -> Result<usize, QueueError> {
+        Ok(self.topic(name)?.state.lock().ready.len())
+    }
+
+    /// Number of leased-but-unsettled messages.
+    pub fn in_flight(&self, name: &str) -> Result<usize, QueueError> {
+        Ok(self.topic(name)?.state.lock().in_flight.len())
+    }
+
+    /// Drain the dead-letter queue for a topic.
+    pub fn take_dead_letters(&self, name: &str) -> Result<Vec<Message>, QueueError> {
+        Ok(std::mem::take(&mut self.topic(name)?.state.lock().dead))
+    }
+
+    /// Snapshot the delivery statistics of a topic.
+    pub fn stats(&self, name: &str) -> Result<TopicStats, QueueError> {
+        Ok(self.topic(name)?.state.lock().stats.clone())
+    }
+}
+
+impl fmt::Debug for Broker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Broker")
+            .field("topics", &self.topics())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn b() -> Broker {
+        let b = Broker::new(BrokerConfig::default());
+        b.create_topic("t").unwrap();
+        b
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let broker = b();
+        for i in 0..10u8 {
+            broker.send("t", Bytes::copy_from_slice(&[i])).unwrap();
+        }
+        for i in 0..10u8 {
+            let d = broker.recv("t").unwrap();
+            assert_eq!(d.message.payload[0], i);
+            d.ack();
+        }
+    }
+
+    #[test]
+    fn send_to_missing_topic_fails() {
+        let broker = Broker::new(BrokerConfig::default());
+        assert!(matches!(
+            broker.send("nope", Bytes::new()),
+            Err(QueueError::NoSuchTopic(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_topic_rejected() {
+        let broker = b();
+        assert!(matches!(
+            broker.create_topic("t"),
+            Err(QueueError::TopicExists(_))
+        ));
+    }
+
+    #[test]
+    fn ensure_topic_is_idempotent() {
+        let broker = b();
+        broker.ensure_topic("t");
+        broker.ensure_topic("u");
+        let mut topics = broker.topics();
+        topics.sort();
+        assert_eq!(topics, vec!["t".to_string(), "u".to_string()]);
+    }
+
+    #[test]
+    fn nack_redelivers_immediately() {
+        let broker = b();
+        broker.send("t", Bytes::from_static(b"x")).unwrap();
+        let d = broker.recv("t").unwrap();
+        assert_eq!(d.message.attempts, 1);
+        d.nack();
+        let d2 = broker.recv("t").unwrap();
+        assert_eq!(d2.message.attempts, 2);
+        d2.ack();
+        assert_eq!(broker.depth("t").unwrap(), 0);
+        assert_eq!(broker.in_flight("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn lease_expiry_requeues() {
+        let broker = Broker::new(BrokerConfig::default());
+        broker
+            .create_topic_with(
+                "t",
+                TopicConfig {
+                    lease: Duration::from_millis(10),
+                    ..TopicConfig::default()
+                },
+            )
+            .unwrap();
+        broker.send("t", Bytes::from_static(b"x")).unwrap();
+        let d = broker.recv("t").unwrap();
+        // Simulate a crashed consumer: forget the delivery.
+        std::mem::forget(d);
+        // Second recv should block until the lease expires, then get
+        // the redelivered message.
+        let d2 = broker.recv_timeout("t", Duration::from_secs(2)).unwrap();
+        assert_eq!(d2.message.attempts, 2);
+        d2.ack();
+        assert_eq!(broker.stats("t").unwrap().redelivered, 1);
+    }
+
+    #[test]
+    fn dead_letter_after_max_attempts() {
+        let broker = Broker::new(BrokerConfig::default());
+        broker
+            .create_topic_with(
+                "t",
+                TopicConfig {
+                    max_attempts: 2,
+                    ..TopicConfig::default()
+                },
+            )
+            .unwrap();
+        broker.send("t", Bytes::from_static(b"poison")).unwrap();
+        broker.recv("t").unwrap().nack(); // attempt 1
+        broker.recv("t").unwrap().nack(); // attempt 2 -> dead letter
+        assert!(broker.try_recv("t").unwrap().is_none());
+        let dead = broker.take_dead_letters("t").unwrap();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(&dead[0].payload[..], b"poison");
+        assert_eq!(broker.stats("t").unwrap().dead_lettered, 1);
+    }
+
+    #[test]
+    fn try_send_respects_capacity() {
+        let broker = Broker::new(BrokerConfig::default());
+        broker
+            .create_topic_with(
+                "t",
+                TopicConfig {
+                    capacity: Some(2),
+                    ..TopicConfig::default()
+                },
+            )
+            .unwrap();
+        broker.try_send("t", Bytes::new()).unwrap();
+        broker.try_send("t", Bytes::new()).unwrap();
+        assert!(matches!(
+            broker.try_send("t", Bytes::new()),
+            Err(QueueError::Full(_))
+        ));
+        // Draining frees space again.
+        broker.recv("t").unwrap().ack();
+        broker.try_send("t", Bytes::new()).unwrap();
+    }
+
+    #[test]
+    fn blocking_send_unblocks_on_recv() {
+        let broker = Broker::new(BrokerConfig::default());
+        broker
+            .create_topic_with(
+                "t",
+                TopicConfig {
+                    capacity: Some(1),
+                    ..TopicConfig::default()
+                },
+            )
+            .unwrap();
+        broker.send("t", Bytes::from_static(b"a")).unwrap();
+        let b2 = broker.clone();
+        let h = thread::spawn(move || b2.send("t", Bytes::from_static(b"b")).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        broker.recv("t").unwrap().ack();
+        h.join().unwrap();
+        let d = broker.recv("t").unwrap();
+        assert_eq!(&d.message.payload[..], b"b");
+        d.ack();
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let broker = b();
+        let err = broker
+            .recv_timeout("t", Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, QueueError::Timeout);
+    }
+
+    #[test]
+    fn close_topic_drains_then_errors() {
+        let broker = b();
+        broker.send("t", Bytes::from_static(b"x")).unwrap();
+        broker.close_topic("t").unwrap();
+        // Existing message can still be drained.
+        let d = broker.recv("t").unwrap();
+        d.ack();
+        assert!(matches!(
+            broker.recv("t"),
+            Err(QueueError::Closed(_))
+        ));
+        assert!(matches!(
+            broker.send("t", Bytes::new()),
+            Err(QueueError::Closed(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_deliver_everything_once() {
+        let broker = b();
+        let n_producers = 4;
+        let per_producer = 250;
+        let total = n_producers * per_producer;
+        let mut handles = Vec::new();
+        for p in 0..n_producers {
+            let br = broker.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..per_producer {
+                    let v = (p * per_producer + i) as u32;
+                    br.send("t", Bytes::copy_from_slice(&v.to_le_bytes()))
+                        .unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let br = broker.clone();
+            consumers.push(thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Ok(d) = br.recv_timeout("t", Duration::from_millis(300)) {
+                    let mut buf = [0u8; 4];
+                    buf.copy_from_slice(&d.message.payload[..4]);
+                    seen.push(u32::from_le_bytes(buf));
+                    d.ack();
+                }
+                seen
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), total);
+        assert_eq!(all, (0..total as u32).collect::<Vec<_>>());
+        let stats = broker.stats("t").unwrap();
+        assert_eq!(stats.enqueued, total as u64);
+        assert_eq!(stats.acked, total as u64);
+    }
+
+    #[test]
+    fn stats_track_queue_wait() {
+        let broker = b();
+        broker.send("t", Bytes::new()).unwrap();
+        thread::sleep(Duration::from_millis(5));
+        broker.recv("t").unwrap().ack();
+        let stats = broker.stats("t").unwrap();
+        assert!(stats.mean_wait() >= Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,107 @@
+//! Message envelope types shared by the broker and the RPC layer.
+
+use bytes::Bytes;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Globally unique (per-process) message identifier.
+///
+/// ZeroMQ frames carry routing identities; we use a monotonically
+/// increasing 64-bit counter which is cheaper and sufficient for an
+/// in-process broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MessageId(pub u64);
+
+impl MessageId {
+    /// Allocate the next process-wide message id.
+    pub fn next() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(1);
+        MessageId(COUNTER.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "msg-{}", self.0)
+    }
+}
+
+/// A message queued on a topic.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Unique id, assigned at enqueue time.
+    pub id: MessageId,
+    /// Opaque payload. The serving layer serializes task requests into
+    /// this field; the broker never inspects it.
+    pub payload: Bytes,
+    /// Name of the reply topic for request/reply flows, if any.
+    pub reply_to: Option<String>,
+    /// Correlates a reply with its request (the request's id).
+    pub correlation_id: Option<MessageId>,
+    /// How many times this message has been handed to a consumer.
+    pub attempts: u32,
+    /// Wall-clock enqueue instant, used for queue-latency stats.
+    pub enqueued_at: Instant,
+}
+
+impl Message {
+    /// Create a fresh message carrying `payload`.
+    pub fn new(payload: Bytes) -> Self {
+        Message {
+            id: MessageId::next(),
+            payload,
+            reply_to: None,
+            correlation_id: None,
+            attempts: 0,
+            enqueued_at: Instant::now(),
+        }
+    }
+
+    /// Create a request message expecting a reply on `reply_to`.
+    pub fn request(payload: Bytes, reply_to: impl Into<String>) -> Self {
+        let mut m = Message::new(payload);
+        m.reply_to = Some(reply_to.into());
+        m
+    }
+
+    /// Create a reply to `request`, preserving its correlation id.
+    pub fn reply_to(request: &Message, payload: Bytes) -> Self {
+        let mut m = Message::new(payload);
+        m.correlation_id = Some(request.id);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_ids_are_unique_and_increasing() {
+        let a = MessageId::next();
+        let b = MessageId::next();
+        assert!(b > a);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn request_sets_reply_topic() {
+        let m = Message::request(Bytes::from_static(b"x"), "replies");
+        assert_eq!(m.reply_to.as_deref(), Some("replies"));
+        assert!(m.correlation_id.is_none());
+    }
+
+    #[test]
+    fn reply_preserves_correlation() {
+        let req = Message::request(Bytes::from_static(b"x"), "replies");
+        let rep = Message::reply_to(&req, Bytes::from_static(b"y"));
+        assert_eq!(rep.correlation_id, Some(req.id));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let m = MessageId(42);
+        assert_eq!(m.to_string(), "msg-42");
+    }
+}

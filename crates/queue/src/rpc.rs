@@ -1,0 +1,378 @@
+//! Request/reply on top of the broker, mirroring ZeroMQ REQ/REP.
+//!
+//! The Management Service "packages up the request and posts it to a
+//! ZeroMQ queue … and [results are] returned via the same queue"
+//! (§IV-A). [`RpcClient`] posts requests to a service topic and waits
+//! on a private reply topic; [`RpcServer`] is the consumer side used by
+//! Task Managers.
+
+use crate::broker::{Broker, QueueError};
+use crate::message::{Message, MessageId};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// RPC-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// Underlying queue failure.
+    Queue(QueueError),
+    /// The reply did not arrive before the deadline.
+    Timeout,
+    /// The client was dropped before the reply arrived.
+    Canceled,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Queue(e) => write!(f, "queue error: {e}"),
+            RpcError::Timeout => write!(f, "rpc timed out"),
+            RpcError::Canceled => write!(f, "rpc canceled"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<QueueError> for RpcError {
+    fn from(e: QueueError) -> Self {
+        RpcError::Queue(e)
+    }
+}
+
+struct PendingTable {
+    replies: Mutex<HashMap<MessageId, Option<Bytes>>>,
+    cv: Condvar,
+}
+
+/// Client side of the request/reply pattern.
+///
+/// Each client owns a private reply topic (`<service>.reply.<n>`) and a
+/// background pump thread that routes replies to waiting callers by
+/// correlation id, so many requests can be outstanding at once.
+pub struct RpcClient {
+    broker: Broker,
+    service_topic: String,
+    reply_topic: String,
+    pending: Arc<PendingTable>,
+    pump: Option<std::thread::JoinHandle<()>>,
+}
+
+static CLIENT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl RpcClient {
+    /// Connect a client to `service_topic`, creating the topic if
+    /// needed.
+    pub fn connect(broker: &Broker, service_topic: &str) -> Self {
+        broker.ensure_topic(service_topic);
+        let reply_topic = format!(
+            "{service_topic}.reply.{}",
+            CLIENT_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        broker.ensure_topic(&reply_topic);
+        let pending = Arc::new(PendingTable {
+            replies: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        });
+        let pump = {
+            let broker = broker.clone();
+            let reply_topic = reply_topic.clone();
+            let pending = Arc::clone(&pending);
+            std::thread::Builder::new()
+                .name(format!("rpc-pump-{reply_topic}"))
+                .spawn(move || {
+                    // Runs until the reply topic closes or is deleted.
+                    while let Ok(delivery) = broker.recv(&reply_topic) {
+                        let corr = delivery.message.correlation_id;
+                        let payload = delivery.message.payload.clone();
+                        delivery.ack();
+                        if let Some(corr) = corr {
+                            let mut replies = pending.replies.lock();
+                            // Only store replies someone is waiting for;
+                            // late replies after timeout are dropped.
+                            if let Some(slot) = replies.get_mut(&corr) {
+                                *slot = Some(payload);
+                                pending.cv.notify_all();
+                            }
+                        }
+                    }
+                })
+                .expect("spawn rpc pump")
+        };
+        RpcClient {
+            broker: broker.clone(),
+            service_topic: service_topic.to_string(),
+            reply_topic,
+            pending,
+            pump: Some(pump),
+        }
+    }
+
+    /// Fire a request and return a handle to await the reply.
+    pub fn call(&self, payload: Bytes) -> Result<ReplyHandle<'_>, RpcError> {
+        let msg = Message::request(payload, self.reply_topic.clone());
+        let id = msg.id;
+        self.pending.replies.lock().insert(id, None);
+        if let Err(e) = self.broker.send_message(&self.service_topic, msg) {
+            self.pending.replies.lock().remove(&id);
+            return Err(e.into());
+        }
+        Ok(ReplyHandle { client: self, id })
+    }
+
+    /// Convenience: request and block for the reply.
+    pub fn call_wait(&self, payload: Bytes, timeout: Duration) -> Result<Bytes, RpcError> {
+        self.call(payload)?.wait_timeout(timeout)
+    }
+
+    fn wait(&self, id: MessageId, deadline: Option<Instant>) -> Result<Bytes, RpcError> {
+        let mut replies = self.pending.replies.lock();
+        loop {
+            match replies.get(&id) {
+                Some(Some(_)) => {
+                    let payload = replies.remove(&id).flatten().expect("checked above");
+                    return Ok(payload);
+                }
+                Some(None) => {}
+                None => return Err(RpcError::Canceled),
+            }
+            match deadline {
+                Some(d) => {
+                    if self.pending.cv.wait_until(&mut replies, d).timed_out() {
+                        replies.remove(&id);
+                        return Err(RpcError::Timeout);
+                    }
+                }
+                None => self.pending.cv.wait(&mut replies),
+            }
+        }
+    }
+}
+
+impl Drop for RpcClient {
+    fn drop(&mut self) {
+        // Deleting the reply topic unblocks and terminates the pump.
+        let _ = self.broker.delete_topic(&self.reply_topic);
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl fmt::Debug for RpcClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RpcClient")
+            .field("service_topic", &self.service_topic)
+            .field("reply_topic", &self.reply_topic)
+            .finish()
+    }
+}
+
+/// An outstanding request; await the reply with [`ReplyHandle::wait`]
+/// or [`ReplyHandle::wait_timeout`].
+#[must_use = "a reply handle does nothing unless waited on"]
+pub struct ReplyHandle<'a> {
+    client: &'a RpcClient,
+    id: MessageId,
+}
+
+impl ReplyHandle<'_> {
+    /// The request's message id (DLHub's async task UUID analogue).
+    pub fn id(&self) -> MessageId {
+        self.id
+    }
+
+    /// Block until the reply arrives.
+    pub fn wait(self) -> Result<Bytes, RpcError> {
+        self.client.wait(self.id, None)
+    }
+
+    /// Block until the reply arrives or `timeout` elapses.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Bytes, RpcError> {
+        self.client.wait(self.id, Some(Instant::now() + timeout))
+    }
+
+    /// Poll without blocking; `None` while the reply is pending.
+    pub fn try_take(&self) -> Result<Option<Bytes>, RpcError> {
+        let mut replies = self.client.pending.replies.lock();
+        match replies.get(&self.id) {
+            Some(Some(_)) => Ok(replies.remove(&self.id).flatten()),
+            Some(None) => Ok(None),
+            None => Err(RpcError::Canceled),
+        }
+    }
+}
+
+/// Server side of the request/reply pattern: pull one request, run the
+/// handler, route the reply back.
+pub struct RpcServer {
+    broker: Broker,
+    service_topic: String,
+}
+
+impl RpcServer {
+    /// Bind a server to `service_topic`, creating the topic if needed.
+    pub fn bind(broker: &Broker, service_topic: &str) -> Self {
+        broker.ensure_topic(service_topic);
+        RpcServer {
+            broker: broker.clone(),
+            service_topic: service_topic.to_string(),
+        }
+    }
+
+    /// Serve exactly one request with `handler`; blocks until one
+    /// arrives or `timeout` elapses. Returns `Ok(true)` if a request
+    /// was served.
+    pub fn serve_one<F>(&self, timeout: Duration, handler: F) -> Result<bool, RpcError>
+    where
+        F: FnOnce(&Bytes) -> Bytes,
+    {
+        let delivery = match self.broker.recv_timeout(&self.service_topic, timeout) {
+            Ok(d) => d,
+            Err(QueueError::Timeout) => return Ok(false),
+            Err(e) => return Err(e.into()),
+        };
+        let reply_payload = handler(&delivery.message.payload);
+        if let Some(reply_topic) = delivery.message.reply_to.clone() {
+            let reply = Message::reply_to(&delivery.message, reply_payload);
+            // The reply topic may already be gone if the client timed
+            // out and dropped; that is not a server error.
+            let _ = self.broker.send_message(&reply_topic, reply);
+        }
+        delivery.ack();
+        Ok(true)
+    }
+
+    /// Serve requests in a loop until the service topic closes.
+    pub fn serve_forever<F>(&self, mut handler: F)
+    where
+        F: FnMut(&Bytes) -> Bytes,
+    {
+        while self
+            .serve_one(Duration::from_millis(100), &mut handler)
+            .is_ok()
+        {}
+    }
+}
+
+impl fmt::Debug for RpcServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RpcServer")
+            .field("service_topic", &self.service_topic)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use std::thread;
+
+    fn echo_server(broker: &Broker, topic: &str) -> thread::JoinHandle<()> {
+        let server = RpcServer::bind(broker, topic);
+        thread::spawn(move || {
+            server.serve_forever(|req| {
+                let mut out = b"echo:".to_vec();
+                out.extend_from_slice(req);
+                Bytes::from(out)
+            });
+        })
+    }
+
+    #[test]
+    fn round_trip() {
+        let broker = Broker::new(BrokerConfig::default());
+        let client = RpcClient::connect(&broker, "svc");
+        let _server = echo_server(&broker, "svc");
+        let reply = client
+            .call_wait(Bytes::from_static(b"hi"), Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(&reply[..], b"echo:hi");
+        broker.close_topic("svc").unwrap();
+    }
+
+    #[test]
+    fn many_outstanding_requests_route_correctly() {
+        let broker = Broker::new(BrokerConfig::default());
+        let client = RpcClient::connect(&broker, "svc");
+        let _server = echo_server(&broker, "svc");
+        let handles: Vec<_> = (0..50u32)
+            .map(|i| {
+                (
+                    i,
+                    client
+                        .call(Bytes::from(i.to_string().into_bytes()))
+                        .unwrap(),
+                )
+            })
+            .collect();
+        for (i, h) in handles {
+            let reply = h.wait_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(reply, Bytes::from(format!("echo:{i}")));
+        }
+        broker.close_topic("svc").unwrap();
+    }
+
+    #[test]
+    fn timeout_when_no_server() {
+        let broker = Broker::new(BrokerConfig::default());
+        let client = RpcClient::connect(&broker, "svc");
+        let err = client
+            .call_wait(Bytes::from_static(b"x"), Duration::from_millis(30))
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+    }
+
+    #[test]
+    fn try_take_polls_without_blocking() {
+        let broker = Broker::new(BrokerConfig::default());
+        let client = RpcClient::connect(&broker, "svc");
+        let handle = client.call(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(handle.try_take().unwrap(), None);
+        let _server = echo_server(&broker, "svc");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            if let Some(reply) = handle.try_take().unwrap() {
+                assert_eq!(&reply[..], b"echo:x");
+                break;
+            }
+            assert!(Instant::now() < deadline, "reply never arrived");
+            thread::sleep(Duration::from_millis(1));
+        }
+        broker.close_topic("svc").unwrap();
+    }
+
+    #[test]
+    fn serve_one_returns_false_on_idle() {
+        let broker = Broker::new(BrokerConfig::default());
+        let server = RpcServer::bind(&broker, "svc");
+        let served = server
+            .serve_one(Duration::from_millis(20), |_| Bytes::new())
+            .unwrap();
+        assert!(!served);
+    }
+
+    #[test]
+    fn multiple_servers_share_the_topic() {
+        let broker = Broker::new(BrokerConfig::default());
+        let client = RpcClient::connect(&broker, "svc");
+        let _s1 = echo_server(&broker, "svc");
+        let _s2 = echo_server(&broker, "svc");
+        for i in 0..20u32 {
+            let reply = client
+                .call_wait(
+                    Bytes::from(i.to_string().into_bytes()),
+                    Duration::from_secs(2),
+                )
+                .unwrap();
+            assert_eq!(reply, Bytes::from(format!("echo:{i}")));
+        }
+        broker.close_topic("svc").unwrap();
+    }
+}

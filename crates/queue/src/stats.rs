@@ -1,0 +1,75 @@
+//! Per-topic delivery statistics.
+
+use std::time::Duration;
+
+/// Counters and queue-wait accounting for a topic.
+///
+/// `mean_wait` is the average time messages spent in the ready queue
+/// before being leased — the broker component of DLHub's "request time"
+/// measurement point (§V-A).
+#[derive(Debug, Clone, Default)]
+pub struct TopicStats {
+    /// Messages accepted by `send`/`try_send`.
+    pub enqueued: u64,
+    /// Lease grants (includes redeliveries).
+    pub delivered: u64,
+    /// Successful acknowledgements.
+    pub acked: u64,
+    /// Requeues due to nack or lease expiry.
+    pub redelivered: u64,
+    /// Messages moved to the dead-letter queue.
+    pub dead_lettered: u64,
+    total_wait_nanos: u128,
+    wait_samples: u64,
+}
+
+impl TopicStats {
+    /// Record one ready-queue wait sample.
+    pub(crate) fn record_wait(&mut self, wait: Duration) {
+        self.total_wait_nanos += wait.as_nanos();
+        self.wait_samples += 1;
+    }
+
+    /// Mean time spent in the ready queue before lease.
+    pub fn mean_wait(&self) -> Duration {
+        if self.wait_samples == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.total_wait_nanos / self.wait_samples as u128) as u64)
+    }
+
+    /// Messages currently unaccounted for (enqueued but neither acked
+    /// nor dead-lettered). Useful as a liveness check in tests.
+    pub fn outstanding(&self) -> u64 {
+        self.enqueued.saturating_sub(self.acked + self.dead_lettered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_wait_of_empty_stats_is_zero() {
+        assert_eq!(TopicStats::default().mean_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_wait_averages_samples() {
+        let mut s = TopicStats::default();
+        s.record_wait(Duration::from_millis(10));
+        s.record_wait(Duration::from_millis(30));
+        assert_eq!(s.mean_wait(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn outstanding_accounts_for_acks_and_dead_letters() {
+        let s = TopicStats {
+            enqueued: 10,
+            acked: 6,
+            dead_lettered: 1,
+            ..TopicStats::default()
+        };
+        assert_eq!(s.outstanding(), 3);
+    }
+}

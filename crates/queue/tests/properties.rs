@@ -1,0 +1,162 @@
+//! Property-based tests of the broker's delivery invariants.
+
+use bytes::Bytes;
+use dlhub_queue::{Broker, BrokerConfig, TopicConfig};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Operations the fuzzer interleaves.
+#[derive(Debug, Clone)]
+enum Op {
+    Send(u8),
+    RecvAck,
+    RecvNack,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Send),
+        Just(Op::RecvAck),
+        Just(Op::RecvNack),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: every message is exactly one of
+    /// {ready, in-flight, acked, dead-lettered} — no message is ever
+    /// lost or duplicated across any interleaving of operations.
+    #[test]
+    fn messages_are_conserved(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let broker = Broker::new(BrokerConfig::default());
+        broker
+            .create_topic_with(
+                "t",
+                TopicConfig {
+                    max_attempts: 3,
+                    ..TopicConfig::default()
+                },
+            )
+            .unwrap();
+        let mut sent = 0u64;
+        let mut acked = 0u64;
+        for op in &ops {
+            match op {
+                Op::Send(b) => {
+                    broker.send("t", Bytes::copy_from_slice(&[*b])).unwrap();
+                    sent += 1;
+                }
+                Op::RecvAck => {
+                    if let Ok(Some(d)) = broker.try_recv("t") {
+                        d.ack();
+                        acked += 1;
+                    }
+                }
+                Op::RecvNack => {
+                    if let Ok(Some(d)) = broker.try_recv("t") {
+                        d.nack();
+                    }
+                }
+            }
+        }
+        let ready = broker.depth("t").unwrap() as u64;
+        let in_flight = broker.in_flight("t").unwrap() as u64;
+        let dead = broker.take_dead_letters("t").unwrap().len() as u64;
+        prop_assert_eq!(sent, acked + ready + in_flight + dead);
+        let stats = broker.stats("t").unwrap();
+        prop_assert_eq!(stats.enqueued, sent);
+        prop_assert_eq!(stats.acked, acked);
+    }
+
+    /// Single-consumer FIFO: acked payloads come out in send order
+    /// when nothing is nacked.
+    #[test]
+    fn fifo_order_with_single_consumer(payloads in proptest::collection::vec(any::<u8>(), 1..40)) {
+        let broker = Broker::new(BrokerConfig::default());
+        broker.create_topic("t").unwrap();
+        for p in &payloads {
+            broker.send("t", Bytes::copy_from_slice(&[*p])).unwrap();
+        }
+        let mut received = Vec::new();
+        while let Ok(Some(d)) = broker.try_recv("t") {
+            received.push(d.message.payload[0]);
+            d.ack();
+        }
+        prop_assert_eq!(received, payloads);
+    }
+
+    /// Bounded topics never exceed their capacity.
+    #[test]
+    fn capacity_is_never_exceeded(
+        cap in 1usize..8,
+        sends in 1usize..30,
+    ) {
+        let broker = Broker::new(BrokerConfig::default());
+        broker
+            .create_topic_with(
+                "t",
+                TopicConfig {
+                    capacity: Some(cap),
+                    ..TopicConfig::default()
+                },
+            )
+            .unwrap();
+        let mut accepted = 0;
+        for _ in 0..sends {
+            if broker.try_send("t", Bytes::new()).is_ok() {
+                accepted += 1;
+            }
+            prop_assert!(broker.depth("t").unwrap() <= cap);
+        }
+        prop_assert_eq!(accepted.min(cap), broker.depth("t").unwrap());
+    }
+}
+
+#[test]
+fn contended_broker_under_lease_churn_loses_nothing() {
+    // Stress: tiny leases force redeliveries while consumers race.
+    let broker = Broker::new(BrokerConfig::default());
+    broker
+        .create_topic_with(
+            "t",
+            TopicConfig {
+                lease: Duration::from_millis(5),
+                max_attempts: 100,
+                ..TopicConfig::default()
+            },
+        )
+        .unwrap();
+    let total = 200u32;
+    for i in 0..total {
+        broker
+            .send("t", Bytes::copy_from_slice(&i.to_le_bytes()))
+            .unwrap();
+    }
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let b = broker.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(d) = b.recv_timeout("t", Duration::from_millis(200)) {
+                // Occasionally stall past the lease to force
+                // redelivery to a peer.
+                if d.message.payload[0] % 13 == 0 && d.message.attempts == 1 {
+                    std::thread::sleep(Duration::from_millis(8));
+                }
+                let mut buf = [0u8; 4];
+                buf.copy_from_slice(&d.message.payload[..4]);
+                got.push(u32::from_le_bytes(buf));
+                d.ack();
+            }
+            got
+        }));
+    }
+    let mut all: Vec<u32> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    all.sort_unstable();
+    all.dedup(); // at-least-once: duplicates are legal, loss is not
+    assert_eq!(all, (0..total).collect::<Vec<_>>());
+}

@@ -1,0 +1,109 @@
+//! Indexed documents.
+
+use serde_json::Value;
+
+/// Document identifier (the DLHub servable identifier
+/// `owner/model-name` in practice).
+pub type DocId = String;
+
+/// A document to index: an id, a JSON metadata body, and the
+/// visibility principals that may see it.
+///
+/// Principals are opaque strings; DLHub maps them from Globus Auth
+/// identities (`"id-42"`), groups (`"group:candle"`), or the special
+/// `"public"` principal.
+#[derive(Debug, Clone)]
+pub struct Document {
+    /// Unique id; upserting the same id replaces the document.
+    pub id: DocId,
+    /// Arbitrary JSON metadata. Nested objects are flattened with
+    /// dotted paths (`"benchmark.accuracy"`), arrays index each
+    /// element under the same path.
+    pub body: Value,
+    /// Visibility principals. A caller sees the document iff the
+    /// intersection of their principals with this set is non-empty.
+    pub visible_to: Vec<String>,
+}
+
+impl Document {
+    /// Construct a document.
+    pub fn new(id: impl Into<DocId>, body: Value, visible_to: Vec<String>) -> Self {
+        Document {
+            id: id.into(),
+            body,
+            visible_to,
+        }
+    }
+
+    /// Flatten the JSON body into `(dotted_path, leaf)` pairs.
+    pub fn flat_fields(&self) -> Vec<(String, Value)> {
+        let mut out = Vec::new();
+        flatten("", &self.body, &mut out);
+        out
+    }
+}
+
+fn flatten(prefix: &str, value: &Value, out: &mut Vec<(String, Value)>) {
+    match value {
+        Value::Object(map) => {
+            for (k, v) in map {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&path, v, out);
+            }
+        }
+        Value::Array(items) => {
+            for item in items {
+                flatten(prefix, item, out);
+            }
+        }
+        leaf => out.push((prefix.to_string(), leaf.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn flattens_nested_objects() {
+        let d = Document::new(
+            "x",
+            json!({"a": {"b": 1, "c": "two"}, "d": true}),
+            vec![],
+        );
+        let mut fields = d.flat_fields();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            fields,
+            vec![
+                ("a.b".to_string(), json!(1)),
+                ("a.c".to_string(), json!("two")),
+                ("d".to_string(), json!(true)),
+            ]
+        );
+    }
+
+    #[test]
+    fn arrays_flatten_to_repeated_paths() {
+        let d = Document::new("x", json!({"tags": ["ml", "science"]}), vec![]);
+        let fields = d.flat_fields();
+        assert_eq!(
+            fields,
+            vec![
+                ("tags".to_string(), json!("ml")),
+                ("tags".to_string(), json!("science")),
+            ]
+        );
+    }
+
+    #[test]
+    fn scalar_body_flattens_to_empty_path() {
+        let d = Document::new("x", json!("just text"), vec![]);
+        assert_eq!(d.flat_fields(), vec![(String::new(), json!("just text"))]);
+    }
+}

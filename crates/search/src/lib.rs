@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # dlhub-search
+//!
+//! A Globus-Search-like metadata index.
+//!
+//! When a model is published, DLHub registers its metadata "in a Globus
+//! Search index that can be queried … using free text queries, partial
+//! matching, range queries, faceted search, and more", with
+//! "fine-grained, access-controlled queries" (§IV-A). This crate
+//! rebuilds that query surface over an in-memory inverted index:
+//!
+//! * **Free text** — tokenized, TF-IDF-ranked search over all string
+//!   fields.
+//! * **Fielded match** — exact token match within one field.
+//! * **Partial (prefix) match** — `incep*`-style queries.
+//! * **Range queries** — over numeric fields (e.g. publication year,
+//!   benchmark accuracy).
+//! * **Faceted search** — value counts for a field across the result
+//!   set.
+//! * **Access control** — every document carries visibility
+//!   *principals*; queries are evaluated against the caller's principal
+//!   set and never leak restricted documents, not even in facet counts.
+//!
+//! ```
+//! use dlhub_search::{Document, Index, Query};
+//! use serde_json::json;
+//!
+//! let index = Index::new();
+//! index.upsert(Document::new(
+//!     "model-1",
+//!     json!({"title": "Inception v3", "model_type": "tensorflow", "year": 2015}),
+//!     vec!["public".into()],
+//! )).unwrap();
+//! let hits = index.search(&Query::free_text("inception"), &["public".into()]);
+//! assert_eq!(hits.hits.len(), 1);
+//! ```
+
+pub mod document;
+pub mod index;
+pub mod query;
+pub mod tokenize;
+
+pub use document::{DocId, Document};
+pub use index::{Facets, Index, SearchError, SearchHit, SearchResults};
+pub use query::Query;

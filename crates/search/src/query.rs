@@ -1,0 +1,141 @@
+//! Query AST.
+
+/// A search query. Combinators build the same shapes Globus Search
+/// exposes: free text, fielded match, prefix (partial) match, numeric
+/// range, and boolean composition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Match every visible document.
+    All,
+    /// TF-IDF-ranked free-text search across all string fields.
+    FreeText(String),
+    /// Exact token match within one field.
+    Match {
+        /// Dotted field path.
+        field: String,
+        /// Value to match (tokenized; all tokens must appear in the field).
+        value: String,
+    },
+    /// Prefix (partial) match; `field: None` searches all fields.
+    Prefix {
+        /// Optional dotted field path restriction.
+        field: Option<String>,
+        /// Lowercased prefix.
+        prefix: String,
+    },
+    /// Inclusive numeric range over one field. Either bound may be
+    /// omitted.
+    Range {
+        /// Dotted field path.
+        field: String,
+        /// Lower bound (inclusive).
+        min: Option<f64>,
+        /// Upper bound (inclusive).
+        max: Option<f64>,
+    },
+    /// All sub-queries must match.
+    And(Vec<Query>),
+    /// Any sub-query may match.
+    Or(Vec<Query>),
+    /// Matches visible documents the inner query does not.
+    Not(Box<Query>),
+}
+
+impl Query {
+    /// Free-text query.
+    pub fn free_text(text: impl Into<String>) -> Self {
+        Query::FreeText(text.into())
+    }
+
+    /// Fielded exact-token match.
+    pub fn field_match(field: impl Into<String>, value: impl Into<String>) -> Self {
+        Query::Match {
+            field: field.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Prefix match in a specific field.
+    pub fn prefix_in(field: impl Into<String>, prefix: impl Into<String>) -> Self {
+        Query::Prefix {
+            field: Some(field.into()),
+            prefix: prefix.into().to_lowercase(),
+        }
+    }
+
+    /// Prefix match across all fields.
+    pub fn prefix(prefix: impl Into<String>) -> Self {
+        Query::Prefix {
+            field: None,
+            prefix: prefix.into().to_lowercase(),
+        }
+    }
+
+    /// Inclusive range query.
+    pub fn range(field: impl Into<String>, min: Option<f64>, max: Option<f64>) -> Self {
+        Query::Range {
+            field: field.into(),
+            min,
+            max,
+        }
+    }
+
+    /// Conjunction with another query.
+    pub fn and(self, other: Query) -> Self {
+        match self {
+            Query::And(mut qs) => {
+                qs.push(other);
+                Query::And(qs)
+            }
+            q => Query::And(vec![q, other]),
+        }
+    }
+
+    /// Disjunction with another query.
+    pub fn or(self, other: Query) -> Self {
+        match self {
+            Query::Or(mut qs) => {
+                qs.push(other);
+                Query::Or(qs)
+            }
+            q => Query::Or(vec![q, other]),
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Query::Not(Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_flattens() {
+        let q = Query::free_text("a").and(Query::free_text("b")).and(Query::free_text("c"));
+        match q {
+            Query::And(qs) => assert_eq!(qs.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_flattens() {
+        let q = Query::free_text("a").or(Query::free_text("b")).or(Query::free_text("c"));
+        match q {
+            Query::Or(qs) => assert_eq!(qs.len(), 3),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefix_lowercases() {
+        match Query::prefix("IncEp") {
+            Query::Prefix { prefix, .. } => assert_eq!(prefix, "incep"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

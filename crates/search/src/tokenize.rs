@@ -1,0 +1,68 @@
+//! Text analysis: lowercase alphanumeric tokenization.
+
+/// Split `text` into lowercase alphanumeric tokens. Underscores and
+/// hyphens are treated as separators so `matminer_featurize` matches a
+/// query for `featurize`, matching Elasticsearch's default analyzer
+/// closely enough for metadata search.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Tokenize and deduplicate, preserving first-seen order. Used for
+/// query terms where duplicates would double-count scores.
+pub fn unique_tokens(text: &str) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    tokenize(text)
+        .into_iter()
+        .filter(|t| seen.insert(t.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_lowercases() {
+        assert_eq!(
+            tokenize("Inception-v3, trained on ImageNet!"),
+            vec!["inception", "v3", "trained", "on", "imagenet"]
+        );
+    }
+
+    #[test]
+    fn underscores_separate() {
+        assert_eq!(
+            tokenize("matminer_featurize"),
+            vec!["matminer", "featurize"]
+        );
+    }
+
+    #[test]
+    fn empty_and_symbol_only_yield_nothing() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- !!! ---").is_empty());
+    }
+
+    #[test]
+    fn unicode_is_handled() {
+        assert_eq!(tokenize("Müller's Modell"), vec!["müller", "s", "modell"]);
+    }
+
+    #[test]
+    fn unique_tokens_dedup() {
+        assert_eq!(unique_tokens("deep deep learning"), vec!["deep", "learning"]);
+    }
+}

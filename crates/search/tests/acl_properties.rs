@@ -1,0 +1,84 @@
+//! Property tests: the index never leaks restricted documents, under
+//! any query shape and any principal set.
+
+use dlhub_search::{Document, Index, Query};
+use proptest::prelude::*;
+use serde_json::json;
+
+/// A corpus where document i is visible to principal `p{i % 4}` (and
+/// every fourth one is public).
+fn corpus(n: usize) -> Index {
+    let index = Index::new();
+    for i in 0..n {
+        let visible_to = if i % 4 == 0 {
+            vec!["public".to_string()]
+        } else {
+            vec![format!("p{}", i % 4)]
+        };
+        index
+            .upsert(Document::new(
+                format!("doc-{i}"),
+                json!({
+                    "title": format!("shared term specific{i}"),
+                    "year": 2000 + (i as i64 % 20),
+                    "owner_group": format!("p{}", i % 4),
+                }),
+                visible_to,
+            ))
+            .unwrap();
+    }
+    index
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    prop_oneof![
+        Just(Query::All),
+        Just(Query::free_text("shared term")),
+        Just(Query::prefix("specif")),
+        Just(Query::range("year", Some(2005.0), Some(2015.0))),
+        Just(Query::free_text("shared").not()),
+        Just(Query::All.and(Query::range("year", Some(2000.0), None))),
+        Just(Query::free_text("shared").or(Query::prefix("spec"))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the query, a caller only ever sees public documents
+    /// plus those shared with one of their principals — including
+    /// negated queries, which must not resurrect hidden documents.
+    #[test]
+    fn no_query_leaks_restricted_documents(
+        query in query_strategy(),
+        caller_principal in 0usize..6,
+    ) {
+        let index = corpus(40);
+        let principals = vec![format!("p{caller_principal}")];
+        let results = index.search(&query, &principals);
+        for hit in &results.hits {
+            let i: usize = hit.id.strip_prefix("doc-").unwrap().parse().unwrap();
+            let visible = i.is_multiple_of(4) || format!("p{}", i % 4) == principals[0];
+            prop_assert!(visible, "leaked {} to {:?}", hit.id, principals);
+        }
+    }
+
+    /// Facet counts are computed over the visible subset only, so
+    /// they cannot be used as a side channel to count hidden models.
+    #[test]
+    fn facets_do_not_leak_counts(caller_principal in 0usize..6) {
+        let index = corpus(40);
+        let principals = vec![format!("p{caller_principal}")];
+        let results = index.search_faceted(&Query::All, &principals, &["owner_group"]);
+        let total_faceted: usize = results.facets["owner_group"].values().sum();
+        prop_assert_eq!(total_faceted, results.hits.len());
+    }
+
+    /// Anonymous callers see exactly the public quarter of the corpus.
+    #[test]
+    fn anonymous_sees_only_public(n in 4usize..60) {
+        let index = corpus(n);
+        let results = index.search(&Query::All, &[]);
+        prop_assert_eq!(results.hits.len(), n.div_ceil(4));
+    }
+}

@@ -1,0 +1,195 @@
+//! The event-queue simulator core.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+type Action = Box<dyn FnOnce(&mut Sim)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ties broken by schedule order for full determinism.
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator. Events are closures
+/// executed in (time, insertion) order; each may schedule further
+/// events. Shared simulation state is carried in `Rc<RefCell<…>>`
+/// captured by the closures.
+#[derive(Default)]
+pub struct Sim {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl Sim {
+    /// New simulator at time zero.
+    pub fn new() -> Self {
+        Sim::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedule `action` at absolute time `at` (clamped to now).
+    pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: SimTime, action: F) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        }));
+    }
+
+    /// Schedule `action` after a delay.
+    pub fn schedule_in<F: FnOnce(&mut Sim) + 'static>(&mut self, delay: SimTime, action: F) {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Run until the queue drains. Returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while let Some(Reverse(event)) = self.queue.pop() {
+            debug_assert!(event.at >= self.now, "time went backwards");
+            self.now = event.at;
+            self.executed += 1;
+            (event.action)(self);
+        }
+        self.now
+    }
+
+    /// Run until `deadline` (events at exactly `deadline` included);
+    /// later events stay queued.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked");
+            self.now = event.at;
+            self.executed += 1;
+            (event.action)(self);
+        }
+        self.now = self.now.max(deadline);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (at, label) in [(30.0, "c"), (10.0, "a"), (20.0, "b")] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_millis(at), move |_| {
+                log.borrow_mut().push(label);
+            });
+        }
+        let end = sim.run();
+        assert_eq!(*log.borrow(), vec!["a", "b", "c"]);
+        assert_eq!(end, SimTime::from_millis(30.0));
+        assert_eq!(sim.executed(), 3);
+    }
+
+    #[test]
+    fn ties_run_in_insertion_order() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for label in 0..5 {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_millis(1.0), move |_| {
+                log.borrow_mut().push(label);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        // A self-rescheduling ticker that stops after 5 ticks.
+        fn tick(sim: &mut Sim, hits: Rc<RefCell<u32>>) {
+            *hits.borrow_mut() += 1;
+            if *hits.borrow() < 5 {
+                let h = Rc::clone(&hits);
+                sim.schedule_in(SimTime::from_millis(2.0), move |s| tick(s, h));
+            }
+        }
+        let h = Rc::clone(&hits);
+        sim.schedule_at(SimTime::ZERO, move |s| tick(s, h));
+        let end = sim.run();
+        assert_eq!(*hits.borrow(), 5);
+        assert_eq!(end, SimTime::from_millis(8.0));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        for at in [1.0, 2.0, 3.0, 4.0] {
+            let hits = Rc::clone(&hits);
+            sim.schedule_at(SimTime::from_millis(at), move |_| {
+                *hits.borrow_mut() += 1;
+            });
+        }
+        sim.run_until(SimTime::from_millis(2.0));
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(sim.now(), SimTime::from_millis(2.0));
+        sim.run();
+        assert_eq!(*hits.borrow(), 4);
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut sim = Sim::new();
+        let ran_at = Rc::new(RefCell::new(SimTime::ZERO));
+        {
+            let ran_at = Rc::clone(&ran_at);
+            sim.schedule_at(SimTime::from_millis(10.0), move |s| {
+                let ran_at = Rc::clone(&ran_at);
+                // Schedule "in the past"; must run at now, not before.
+                s.schedule_at(SimTime::from_millis(1.0), move |s2| {
+                    *ran_at.borrow_mut() = s2.now();
+                });
+            });
+        }
+        sim.run();
+        assert_eq!(*ran_at.borrow(), SimTime::from_millis(10.0));
+    }
+}

@@ -1,0 +1,167 @@
+//! A FIFO multi-server resource on the event engine — used to model a
+//! pool of servable replicas (pods) fed by the Task Manager.
+
+use crate::engine::Sim;
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+struct Waiting {
+    id: u64,
+    service: SimTime,
+}
+
+struct State {
+    capacity: usize,
+    busy: usize,
+    waiting: VecDeque<Waiting>,
+    completions: Vec<(u64, SimTime)>,
+}
+
+/// `capacity` identical servers sharing one FIFO queue. Jobs carry
+/// their own service times; completions are recorded with their
+/// virtual finish time.
+#[derive(Clone)]
+pub struct FifoServer {
+    state: Rc<RefCell<State>>,
+}
+
+impl FifoServer {
+    /// Create a pool with `capacity` parallel servers.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        FifoServer {
+            state: Rc::new(RefCell::new(State {
+                capacity,
+                busy: 0,
+                waiting: VecDeque::new(),
+                completions: Vec::new(),
+            })),
+        }
+    }
+
+    /// Submit job `id` with `service` time at the current sim time.
+    pub fn submit(&self, sim: &mut Sim, id: u64, service: SimTime) {
+        let start_now = {
+            let mut st = self.state.borrow_mut();
+            if st.busy < st.capacity {
+                st.busy += 1;
+                true
+            } else {
+                st.waiting.push_back(Waiting { id, service });
+                false
+            }
+        };
+        if start_now {
+            self.schedule_completion(sim, id, service);
+        }
+    }
+
+    fn schedule_completion(&self, sim: &mut Sim, id: u64, service: SimTime) {
+        let this = self.clone();
+        sim.schedule_in(service, move |sim| {
+            let next = {
+                let mut st = this.state.borrow_mut();
+                let now = sim.now();
+                st.completions.push((id, now));
+                match st.waiting.pop_front() {
+                    Some(job) => Some(job),
+                    None => {
+                        st.busy -= 1;
+                        None
+                    }
+                }
+            };
+            if let Some(job) = next {
+                this.schedule_completion(sim, job.id, job.service);
+            }
+        });
+    }
+
+    /// Completions recorded so far as `(job id, finish time)`.
+    pub fn completions(&self) -> Vec<(u64, SimTime)> {
+        self.state.borrow().completions.clone()
+    }
+
+    /// Finish time of the latest completion.
+    pub fn makespan(&self) -> SimTime {
+        self.state
+            .borrow()
+            .completions
+            .iter()
+            .map(|(_, t)| *t)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_serializes_jobs() {
+        let mut sim = Sim::new();
+        let server = FifoServer::new(1);
+        for id in 0..3 {
+            server.submit(&mut sim, id, SimTime::from_millis(10.0));
+        }
+        sim.run();
+        let completions = server.completions();
+        assert_eq!(completions.len(), 3);
+        assert_eq!(completions[0], (0, SimTime::from_millis(10.0)));
+        assert_eq!(completions[1], (1, SimTime::from_millis(20.0)));
+        assert_eq!(completions[2], (2, SimTime::from_millis(30.0)));
+    }
+
+    #[test]
+    fn parallel_servers_overlap() {
+        let mut sim = Sim::new();
+        let server = FifoServer::new(3);
+        for id in 0..3 {
+            server.submit(&mut sim, id, SimTime::from_millis(10.0));
+        }
+        sim.run();
+        assert_eq!(server.makespan(), SimTime::from_millis(10.0));
+    }
+
+    #[test]
+    fn queue_drains_fifo() {
+        let mut sim = Sim::new();
+        let server = FifoServer::new(2);
+        // 5 jobs of 10ms on 2 servers: finish at 10,10,20,20,30.
+        for id in 0..5 {
+            server.submit(&mut sim, id, SimTime::from_millis(10.0));
+        }
+        sim.run();
+        assert_eq!(server.makespan(), SimTime::from_millis(30.0));
+        let order: Vec<u64> = server.completions().iter().map(|(id, _)| *id).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn staggered_arrivals() {
+        let mut sim = Sim::new();
+        let server = FifoServer::new(1);
+        let s2 = server.clone();
+        sim.schedule_at(SimTime::from_millis(0.0), {
+            let s = server.clone();
+            move |sim| s.submit(sim, 0, SimTime::from_millis(5.0))
+        });
+        // Arrives while idle at t=20: finishes at 25, not 10.
+        sim.schedule_at(SimTime::from_millis(20.0), move |sim| {
+            s2.submit(sim, 1, SimTime::from_millis(5.0))
+        });
+        sim.run();
+        let completions = server.completions();
+        assert_eq!(completions[0].1, SimTime::from_millis(5.0));
+        assert_eq!(completions[1].1, SimTime::from_millis(25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        FifoServer::new(0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        SimTime((ms * 1e6) as u64)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        SimTime((us * 1e3) as u64)
+    }
+
+    /// Value in (fractional) milliseconds.
+    pub fn as_millis(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in (fractional) seconds.
+    pub fn as_secs(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Convert a wall-clock `Duration` measured from real kernels into
+    /// virtual time.
+    pub fn from_duration(d: Duration) -> Self {
+        SimTime(d.as_nanos() as u64)
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_millis(20.7);
+        assert!((t.as_millis() - 20.7).abs() < 1e-9);
+        assert_eq!(SimTime::from_micros(170.0).as_millis(), 0.17);
+        assert_eq!(SimTime::from_duration(Duration::from_millis(5)).0, 5_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(10.0);
+        let b = SimTime::from_millis(4.0);
+        assert_eq!((a + b).as_millis(), 14.0);
+        assert_eq!((a - b).as_millis(), 6.0);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_millis(), 14.0);
+    }
+
+    #[test]
+    fn display_formats_millis() {
+        assert_eq!(SimTime::from_millis(1.5).to_string(), "1.500ms");
+    }
+}

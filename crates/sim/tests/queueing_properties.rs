@@ -1,0 +1,109 @@
+//! Property tests of the discrete-event queueing model against
+//! closed-form bounds.
+
+use dlhub_sim::engine::Sim;
+use dlhub_sim::queueing::FifoServer;
+use dlhub_sim::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All jobs complete, and the makespan is bracketed by the ideal
+    /// parallel bound (total work / capacity) and the serial bound
+    /// (total work), for simultaneous arrivals.
+    #[test]
+    fn makespan_is_bracketed(
+        services in proptest::collection::vec(1u64..50, 1..40),
+        capacity in 1usize..8,
+    ) {
+        let mut sim = Sim::new();
+        let pool = FifoServer::new(capacity);
+        for (id, ms) in services.iter().enumerate() {
+            pool.submit(&mut sim, id as u64, SimTime::from_millis(*ms as f64));
+        }
+        sim.run();
+        let completions = pool.completions();
+        prop_assert_eq!(completions.len(), services.len());
+        let total_ms: u64 = services.iter().sum();
+        let longest = *services.iter().max().unwrap();
+        let makespan = pool.makespan().as_millis();
+        let lower = (total_ms as f64 / capacity as f64).max(longest as f64);
+        prop_assert!(makespan + 1e-6 >= lower, "makespan {makespan} < bound {lower}");
+        prop_assert!(makespan <= total_ms as f64 + 1e-6);
+    }
+
+    /// Work conservation with one server: the makespan equals the
+    /// total service demand exactly (no idling while work waits).
+    #[test]
+    fn single_server_is_work_conserving(
+        services in proptest::collection::vec(1u64..40, 1..30)
+    ) {
+        let mut sim = Sim::new();
+        let pool = FifoServer::new(1);
+        for (id, ms) in services.iter().enumerate() {
+            pool.submit(&mut sim, id as u64, SimTime::from_millis(*ms as f64));
+        }
+        sim.run();
+        let total: u64 = services.iter().sum();
+        prop_assert_eq!(pool.makespan(), SimTime::from_millis(total as f64));
+        // And completion order is submission order (FIFO).
+        let order: Vec<u64> = pool.completions().iter().map(|(id, _)| *id).collect();
+        let expected: Vec<u64> = (0..services.len() as u64).collect();
+        prop_assert_eq!(order, expected);
+    }
+
+    /// Adding capacity never hurts: makespan is monotonically
+    /// non-increasing in the number of servers.
+    #[test]
+    fn more_servers_never_slower(
+        services in proptest::collection::vec(1u64..40, 1..30),
+        c1 in 1usize..6,
+        extra in 1usize..4,
+    ) {
+        let run = |capacity: usize| {
+            let mut sim = Sim::new();
+            let pool = FifoServer::new(capacity);
+            for (id, ms) in services.iter().enumerate() {
+                pool.submit(&mut sim, id as u64, SimTime::from_millis(*ms as f64));
+            }
+            sim.run();
+            pool.makespan()
+        };
+        prop_assert!(run(c1 + extra) <= run(c1));
+    }
+}
+
+#[test]
+fn simulated_mm1_queue_grows_with_utilization() {
+    // Deterministic arrivals at fixed spacing; service = spacing * rho.
+    // Mean completion latency should increase with rho and stay finite
+    // under rho < 1 — a smoke test that the queueing model behaves
+    // like a queue, not a delay line.
+    let latency_at = |rho: f64| {
+        let mut sim = Sim::new();
+        let pool = FifoServer::new(1);
+        let spacing = SimTime::from_millis(10.0);
+        let service = SimTime::from_millis(10.0 * rho);
+        let n = 200u64;
+        for i in 0..n {
+            let pool = pool.clone();
+            sim.schedule_at(SimTime(spacing.0 * i), move |sim| {
+                pool.submit(sim, i, service);
+            });
+        }
+        sim.run();
+        let completions = pool.completions();
+        let total_latency: f64 = completions
+            .iter()
+            .map(|(id, done)| done.as_millis() - (10.0 * *id as f64))
+            .sum();
+        total_latency / n as f64
+    };
+    let low = latency_at(0.3);
+    let high = latency_at(0.95);
+    assert!(low < high, "latency must grow with utilization");
+    // Deterministic D/D/1 with rho<1 never queues: latency == service.
+    assert!((low - 3.0).abs() < 1e-6, "D/D/1 low-rho latency {low}");
+    assert!((high - 9.5).abs() < 1e-6, "D/D/1 high-rho latency {high}");
+}

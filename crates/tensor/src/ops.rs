@@ -1,0 +1,459 @@
+//! Kernels: GEMM, im2col convolution, pooling, activations.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// `C = A × B` for row-major `A (m×k)` and `B (k×n)`.
+///
+/// Rows of the output are computed in parallel with Rayon; within a
+/// row we iterate k-outer so the inner loop is a contiguous
+/// axpy over `B`'s row, which autovectorizes well.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A has wrong length");
+    assert_eq!(b.len(), k * n, "B has wrong length");
+    let mut c = vec![0.0f32; m * n];
+    // Parallelize only when the work amortizes thread handoff.
+    if m * k * n >= 32_768 {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+            matmul_row(a, b, k, n, i, row);
+        });
+    } else {
+        for (i, row) in c.chunks_mut(n).enumerate() {
+            matmul_row(a, b, k, n, i, row);
+        }
+    }
+    c
+}
+
+#[inline]
+fn matmul_row(a: &[f32], b: &[f32], k: usize, n: usize, i: usize, row: &mut [f32]) {
+    for p in 0..k {
+        let aip = a[i * k + p];
+        if aip == 0.0 {
+            continue;
+        }
+        let brow = &b[p * n..(p + 1) * n];
+        for (c, &bv) in row.iter_mut().zip(brow) {
+            *c += aip * bv;
+        }
+    }
+}
+
+/// Matrix–vector product `y = W x` for row-major `W (m×n)`.
+pub fn matvec(w: &[f32], x: &[f32], m: usize, n: usize) -> Vec<f32> {
+    assert_eq!(w.len(), m * n);
+    assert_eq!(x.len(), n);
+    if m * n >= 65_536 {
+        (0..m)
+            .into_par_iter()
+            .map(|i| dot(&w[i * n..(i + 1) * n], x))
+            .collect()
+    } else {
+        (0..m).map(|i| dot(&w[i * n..(i + 1) * n], x)).collect()
+    }
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Lower a CHW image into the im2col matrix for a `kh×kw` kernel with
+/// `stride` and `padding`. Output is `(c_in*kh*kw) × (oh*ow)`,
+/// column-per-output-pixel, which makes convolution a single GEMM.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: usize,
+) -> (Vec<f32>, usize, usize) {
+    let shape = input.shape();
+    assert_eq!(shape.len(), 3, "im2col expects CHW input");
+    let (c_in, h, w) = (shape[0], shape[1], shape[2]);
+    let oh = (h + 2 * padding - kh) / stride + 1;
+    let ow = (w + 2 * padding - kw) / stride + 1;
+    let rows = c_in * kh * kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.data();
+    for c in 0..c_in {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (c * kh + ky) * kw + kx;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - padding as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue; // zero padding
+                    }
+                    let in_base = (c * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kx) as isize - padding as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        out_row[oy * ow + ox] = data[in_base + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    (out, oh, ow)
+}
+
+/// 2-D convolution of a CHW `input` with `c_out` filters (weights are
+/// `c_out × (c_in*kh*kw)` row-major) plus per-channel bias.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    c_out: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    let c_in = input.shape()[0];
+    let (cols, oh, ow) = im2col(input, kh, kw, stride, padding);
+    let k = c_in * kh * kw;
+    let n = oh * ow;
+    assert_eq!(weights.len(), c_out * k, "weight shape mismatch");
+    assert_eq!(bias.len(), c_out, "bias shape mismatch");
+    let mut out = matmul(weights, &cols, c_out, k, n);
+    for (ch, chunk) in out.chunks_mut(n).enumerate() {
+        let b = bias[ch];
+        for v in chunk {
+            *v += b;
+        }
+    }
+    Tensor::new(vec![c_out, oh, ow], out).expect("conv output shape")
+}
+
+/// Max pooling over `size×size` windows with `stride`.
+pub fn maxpool2d(input: &Tensor, size: usize, stride: usize) -> Tensor {
+    let shape = input.shape();
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let oh = (h - size) / stride + 1;
+    let ow = (w - size) / stride + 1;
+    let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut m = f32::NEG_INFINITY;
+                for ky in 0..size {
+                    for kx in 0..size {
+                        m = m.max(input.at_chw(ch, oy * stride + ky, ox * stride + kx));
+                    }
+                }
+                out[(ch * oh + oy) * ow + ox] = m;
+            }
+        }
+    }
+    Tensor::new(vec![c, oh, ow], out).expect("pool output shape")
+}
+
+/// Average pooling over `size×size` windows with `stride`.
+pub fn avgpool2d(input: &Tensor, size: usize, stride: usize) -> Tensor {
+    let shape = input.shape();
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let oh = (h - size) / stride + 1;
+    let ow = (w - size) / stride + 1;
+    let denom = (size * size) as f32;
+    let mut out = vec![0.0f32; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut s = 0.0;
+                for ky in 0..size {
+                    for kx in 0..size {
+                        s += input.at_chw(ch, oy * stride + ky, ox * stride + kx);
+                    }
+                }
+                out[(ch * oh + oy) * ow + ox] = s / denom;
+            }
+        }
+    }
+    Tensor::new(vec![c, oh, ow], out).expect("pool output shape")
+}
+
+/// Global average pooling: CHW -> C.
+pub fn global_avgpool(input: &Tensor) -> Tensor {
+    let shape = input.shape();
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let plane = h * w;
+    let data = input.data();
+    let out: Vec<f32> = (0..c)
+        .map(|ch| data[ch * plane..(ch + 1) * plane].iter().sum::<f32>() / plane as f32)
+        .collect();
+    Tensor::from_vec(out)
+}
+
+/// In-place ReLU.
+pub fn relu(t: &mut Tensor) {
+    for v in t.data_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Numerically stable softmax over a 1-D tensor.
+pub fn softmax(t: &mut Tensor) {
+    let max = t
+        .data()
+        .iter()
+        .fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
+    let mut sum = 0.0;
+    for v in t.data_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in t.data_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// In-place batch normalization (inference mode) per channel of a CHW
+/// tensor: `y = gamma * (x - mean)/sqrt(var + eps) + beta`.
+pub fn batchnorm(t: &mut Tensor, gamma: &[f32], beta: &[f32], mean: &[f32], var: &[f32]) {
+    let shape = t.shape().to_vec();
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let plane = h * w;
+    const EPS: f32 = 1e-5;
+    let data = t.data_mut();
+    for ch in 0..c {
+        let scale = gamma[ch] / (var[ch] + EPS).sqrt();
+        let shift = beta[ch] - mean[ch] * scale;
+        for v in &mut data[ch * plane..(ch + 1) * plane] {
+            *v = *v * scale + shift;
+        }
+    }
+}
+
+/// Concatenate CHW tensors along the channel axis; all must share H×W.
+pub fn concat_channels(parts: &[Tensor]) -> Tensor {
+    assert!(!parts.is_empty());
+    let h = parts[0].shape()[1];
+    let w = parts[0].shape()[2];
+    let total_c: usize = parts
+        .iter()
+        .map(|p| {
+            assert_eq!(p.shape()[1], h, "height mismatch in concat");
+            assert_eq!(p.shape()[2], w, "width mismatch in concat");
+            p.shape()[0]
+        })
+        .sum();
+    let mut data = Vec::with_capacity(total_c * h * w);
+    for p in parts {
+        data.extend_from_slice(p.data());
+    }
+    Tensor::new(vec![total_c, h, w], data).expect("concat shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_small_known() {
+        // [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50]
+        let c = matmul(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0], 2, 2, 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        // Big enough to trigger the parallel path.
+        let m = 64;
+        let k = 64;
+        let n = 64;
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 - 2.0).collect();
+        let par = matmul(&a, &b, m, k, n);
+        // Serial reference.
+        let mut ser = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    ser[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let w: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let x = vec![1.0, 0.5, -1.0, 2.0];
+        let y = matvec(&w, &x, 3, 4);
+        let y2 = matmul(&w, &x, 3, 4, 1);
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // A 1x1 identity kernel must reproduce the input.
+        let input = Tensor::new(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = conv2d(&input, &[1.0], &[0.0], 1, 1, 1, 1, 0);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv2d_known_3x3() {
+        // 3x3 input, 3x3 averaging-ish kernel of ones, no padding:
+        // output is the sum of all 9 elements.
+        let input = Tensor::new(vec![1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let out = conv2d(&input, &[1.0; 9], &[0.0], 1, 3, 3, 1, 0);
+        assert_eq!(out.shape(), &[1, 1, 1]);
+        assert_eq!(out.data()[0], 45.0);
+    }
+
+    #[test]
+    fn conv2d_padding_keeps_size() {
+        let input = Tensor::new(vec![1, 4, 4], vec![1.0; 16]).unwrap();
+        let out = conv2d(&input, &[1.0; 9], &[0.0], 1, 3, 3, 1, 1);
+        assert_eq!(out.shape(), &[1, 4, 4]);
+        // Corner sees only 4 ones; centre sees 9.
+        assert_eq!(out.at_chw(0, 0, 0), 4.0);
+        assert_eq!(out.at_chw(0, 1, 1), 9.0);
+    }
+
+    #[test]
+    fn conv2d_stride_and_bias() {
+        let input = Tensor::new(vec![1, 4, 4], (0..16).map(|v| v as f32).collect()).unwrap();
+        let out = conv2d(&input, &[1.0, 0.0, 0.0, 0.0], &[10.0], 1, 2, 2, 2, 0);
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        // Picks the top-left of each 2x2 window, plus bias.
+        assert_eq!(out.data(), &[10.0, 12.0, 18.0, 20.0]);
+    }
+
+    #[test]
+    fn conv2d_multi_channel_sums_inputs() {
+        // Two input channels, kernel of ones: output = c0 + c1 per pixel.
+        let input = Tensor::new(vec![2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0])
+            .unwrap();
+        let out = conv2d(&input, &[1.0, 1.0], &[0.0], 1, 1, 1, 1, 0);
+        assert_eq!(out.data(), &[11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn maxpool_known() {
+        let input = Tensor::new(vec![1, 4, 4], (0..16).map(|v| v as f32).collect()).unwrap();
+        let out = maxpool2d(&input, 2, 2);
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avgpool_known() {
+        let input = Tensor::new(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = avgpool2d(&input, 2, 2);
+        assert_eq!(out.data(), &[2.5]);
+    }
+
+    #[test]
+    fn global_avgpool_reduces_planes() {
+        let input =
+            Tensor::new(vec![2, 2, 2], vec![1.0, 1.0, 1.0, 1.0, 2.0, 4.0, 6.0, 8.0]).unwrap();
+        let out = global_avgpool(&input);
+        assert_eq!(out.shape(), &[2]);
+        assert_eq!(out.data(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut t = Tensor::from_vec(vec![-1.0, 0.0, 2.0]);
+        relu(&mut t);
+        assert_eq!(t.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut t = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        softmax(&mut t);
+        let sum: f32 = t.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(t.data()[2] > t.data()[1] && t.data()[1] > t.data()[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let mut t = Tensor::from_vec(vec![1000.0, 1001.0]);
+        softmax(&mut t);
+        assert!(t.data().iter().all(|v| v.is_finite()));
+        assert!((t.data().iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batchnorm_normalizes() {
+        let mut t = Tensor::new(vec![1, 1, 2], vec![3.0, 5.0]).unwrap();
+        batchnorm(&mut t, &[1.0], &[0.0], &[4.0], &[1.0]);
+        assert!((t.data()[0] + 1.0).abs() < 1e-3);
+        assert!((t.data()[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn concat_stacks_channels() {
+        let a = Tensor::new(vec![1, 1, 2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::new(vec![2, 1, 2], vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        let c = concat_channels(&[a, b]);
+        assert_eq!(c.shape(), &[3, 1, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_is_shift_invariant(values in proptest::collection::vec(-10.0f32..10.0, 1..20), shift in -5.0f32..5.0) {
+            let mut a = Tensor::from_vec(values.clone());
+            let mut b = Tensor::from_vec(values.iter().map(|v| v + shift).collect());
+            softmax(&mut a);
+            softmax(&mut b);
+            for (x, y) in a.data().iter().zip(b.data()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn relu_is_idempotent(values in proptest::collection::vec(-10.0f32..10.0, 0..30)) {
+            let mut once = Tensor::from_vec(values);
+            relu(&mut once);
+            let mut twice = once.clone();
+            relu(&mut twice);
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn maxpool_never_below_avgpool(
+            data in proptest::collection::vec(-5.0f32..5.0, 16)
+        ) {
+            let t = Tensor::new(vec![1, 4, 4], data).unwrap();
+            let mx = maxpool2d(&t, 2, 2);
+            let av = avgpool2d(&t, 2, 2);
+            for (m, a) in mx.data().iter().zip(av.data()) {
+                prop_assert!(m >= a);
+            }
+        }
+
+        #[test]
+        fn matmul_distributes_over_scaling(
+            a in proptest::collection::vec(-3.0f32..3.0, 6),
+            b in proptest::collection::vec(-3.0f32..3.0, 6),
+            s in -2.0f32..2.0,
+        ) {
+            // (sA)B == s(AB)
+            let scaled_a: Vec<f32> = a.iter().map(|v| v * s).collect();
+            let left = matmul(&scaled_a, &b, 2, 3, 2);
+            let right: Vec<f32> = matmul(&a, &b, 2, 3, 2).iter().map(|v| v * s).collect();
+            for (l, r) in left.iter().zip(&right) {
+                prop_assert!((l - r).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Dense row-major tensors.
+
+use std::fmt;
+
+/// Tensor errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Shape product does not match data length.
+    ShapeMismatch {
+        /// Expected element count from the shape.
+        expected: usize,
+        /// Actual data length.
+        actual: usize,
+    },
+    /// Operand shapes are incompatible for the attempted operation.
+    Incompatible(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape expects {expected} elements, data has {actual}")
+            }
+            TensorError::Incompatible(msg) => write!(f, "incompatible shapes: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// A dense row-major `f32` tensor. Images use CHW layout
+/// (channels, height, width).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Build a tensor, validating that the shape matches the data.
+    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if expected != data.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A zero-filled tensor.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let len = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// A one-dimensional tensor from a vector.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        Tensor {
+            shape: vec![data.len()],
+            data,
+        }
+    }
+
+    /// Shape dimensions.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for zero-element tensors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the raw data vector.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret with a new shape of equal element count.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                actual: self.data.len(),
+            });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// Element at (c, h, w) of a CHW tensor.
+    #[inline]
+    pub fn at_chw(&self, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 3);
+        let (_, height, width) = (self.shape[0], self.shape[1], self.shape[2]);
+        self.data[(c * height + h) * width + w]
+    }
+
+    /// Index of the maximum element (argmax); `None` when empty.
+    pub fn argmax(&self) -> Option<usize> {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+    }
+
+    /// Indices of the `k` largest elements, descending.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.data.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.data[b]
+                .partial_cmp(&self.data[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_shape() {
+        assert!(Tensor::new(vec![2, 3], vec![0.0; 6]).is_ok());
+        assert_eq!(
+            Tensor::new(vec![2, 3], vec![0.0; 5]).unwrap_err(),
+            TensorError::ShapeMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let t = t.reshape(vec![2, 2]).unwrap();
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(t.reshape(vec![3, 2]).is_err());
+    }
+
+    #[test]
+    fn chw_indexing() {
+        // 2 channels of 2x3.
+        let t = Tensor::new(
+            vec![2, 2, 3],
+            vec![
+                0.0, 1.0, 2.0, //
+                3.0, 4.0, 5.0, //
+                6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0,
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.at_chw(0, 0, 2), 2.0);
+        assert_eq!(t.at_chw(0, 1, 0), 3.0);
+        assert_eq!(t.at_chw(1, 0, 0), 6.0);
+        assert_eq!(t.at_chw(1, 1, 2), 11.0);
+    }
+
+    #[test]
+    fn argmax_and_top_k() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.7]);
+        assert_eq!(t.argmax(), Some(1));
+        assert_eq!(t.top_k(3), vec![1, 3, 2]);
+        assert!(Tensor::from_vec(vec![]).argmax().is_none());
+    }
+
+    #[test]
+    fn zeros_has_right_len() {
+        let t = Tensor::zeros(vec![3, 4, 5]);
+        assert_eq!(t.len(), 60);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+}

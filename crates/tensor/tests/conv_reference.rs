@@ -1,0 +1,82 @@
+//! Property test: the im2col+GEMM convolution agrees with a direct
+//! (naive) convolution reference on random inputs and shapes.
+
+use dlhub_tensor::ops::conv2d;
+use dlhub_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Direct convolution: the obviously correct O(everything) loop.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_reference(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    c_out: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    let (c_in, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let oh = (h + 2 * padding - k) / stride + 1;
+    let ow = (w + 2 * padding - k) / stride + 1;
+    let mut out = vec![0.0f32; c_out * oh * ow];
+    for co in 0..c_out {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias[co];
+                for ci in 0..c_in {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
+                                continue;
+                            }
+                            let wv = weights[((co * c_in + ci) * k + ky) * k + kx];
+                            acc += wv * input.at_chw(ci, iy as usize, ix as usize);
+                        }
+                    }
+                }
+                out[(co * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    Tensor::new(vec![c_out, oh, ow], out).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gemm_conv_matches_direct_conv(
+        c_in in 1usize..4,
+        c_out in 1usize..4,
+        hw in 4usize..10,
+        k in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(hw + 2 * padding >= k);
+        // Deterministic pseudo-random data from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i32 % 1000) as f32 / 250.0 - 2.0
+        };
+        let input = Tensor::new(
+            vec![c_in, hw, hw],
+            (0..c_in * hw * hw).map(|_| next()).collect(),
+        )
+        .unwrap();
+        let weights: Vec<f32> = (0..c_out * c_in * k * k).map(|_| next()).collect();
+        let bias: Vec<f32> = (0..c_out).map(|_| next()).collect();
+
+        let fast = conv2d(&input, &weights, &bias, c_out, k, k, stride, padding);
+        let slow = conv2d_reference(&input, &weights, &bias, c_out, k, stride, padding);
+        prop_assert_eq!(fast.shape(), slow.shape());
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # dlhub-transfer
+//!
+//! A Globus-Transfer-like data-staging substrate.
+//!
+//! DLHub "integrates with Globus to provide seamless authentication
+//! and high performance data access for training and inference" (§I);
+//! at publication time "model components can be uploaded to an AWS S3
+//! bucket or a Globus endpoint. Once a model is published, the
+//! Management Service downloads the components" (§IV-A), using
+//! short-term dependent tokens "to access/download data on [the
+//! user's] behalf" (§IV-D).
+//!
+//! This crate rebuilds that machinery:
+//!
+//! * [`Endpoint`] — a named storage location holding files with
+//!   checksums; reads require *activation* with a token whose identity
+//!   the endpoint's ACL admits.
+//! * [`TransferService`] — asynchronous third-party transfers between
+//!   endpoints: submit → task id → poll; per-endpoint bandwidth models
+//!   give each task a duration estimate; checksums are verified on
+//!   arrival and corrupted transfers are faulted, never silently
+//!   delivered.
+//!
+//! ```
+//! use dlhub_transfer::{Endpoint, TransferService};
+//!
+//! let svc = TransferService::new();
+//! let src = svc.create_endpoint("petrel#researchdata", 100.0);
+//! let dst = svc.create_endpoint("dlhub#staging", 1000.0);
+//! src.put("/models/weights.h5", vec![1, 2, 3]);
+//! let task = svc.submit(&src, "/models/weights.h5", &dst, "/stage/weights.h5").unwrap();
+//! let info = svc.wait(&task).unwrap();
+//! assert!(info.verified);
+//! assert_eq!(dst.get("/stage/weights.h5").unwrap(), vec![1, 2, 3]);
+//! ```
+
+pub mod endpoint;
+pub mod service;
+
+pub use endpoint::{Checksum, Endpoint};
+pub use service::{TransferError, TransferInfo, TransferService, TransferStatus, TransferTaskId};

@@ -1,0 +1,92 @@
+//! Use case A (§VI-A): publication of cancer research models with
+//! fine-grained access control.
+//!
+//! ```text
+//! cargo run --release -p dlhub-client --example candle_access_control
+//! ```
+//!
+//! "CANDLE uses DLHub to securely share and serve a set of deep
+//! learning models … As the models are still in development, they
+//! require substantial testing and verification by a subset of
+//! selected users prior to their general release … only permitted
+//! users can discover and invoke the models … Once models are
+//! determined suitable for general release, the access control on the
+//! model can be updated within DLHub to make them publicly available."
+
+use dlhub_core::hub::TestHub;
+use dlhub_core::repository::PublishVisibility;
+use dlhub_core::servable::{servable_fn, ModelType, ServableMetadata};
+use dlhub_core::value::Value;
+use dlhub_search::Query;
+use std::collections::BTreeMap;
+
+fn main() {
+    let hub = TestHub::builder().without_eval_servables().build();
+
+    // Cast: the CANDLE team (hub owner) plus two other researchers.
+    let tester = hub.user_token("trusted-tester");
+    let outsider = hub.user_token("outsider");
+    let tester_id = hub.auth.lookup("trusted-tester@dlhub.org").unwrap();
+    hub.auth.add_to_group("candle-testers", tester_id).unwrap();
+
+    // A drug-response predictor, still in development: restricted to
+    // the candle-testers group.
+    let mut metadata = ServableMetadata::new("drug-response", &hub.owner, ModelType::Keras);
+    metadata.description =
+        "Predict drug response from tumor molecular features (pre-release)".into();
+    metadata.domain = "cancer".into();
+    let receipt = hub
+        .service
+        .publish(
+            &hub.token,
+            metadata,
+            servable_fn(|input| {
+                let dose = input.as_f64().ok_or("expected a dose scalar")?;
+                // A toy dose-response curve standing in for the CANDLE
+                // network.
+                Ok(Value::Float(1.0 / (1.0 + (-(dose - 5.0)).exp())))
+            }),
+            BTreeMap::new(),
+            PublishVisibility::Restricted {
+                users: vec![],
+                groups: vec!["candle-testers".into()],
+            },
+        )
+        .expect("publish restricted model");
+    println!("published {} v{} (doi {})", receipt.id, receipt.version, receipt.doi);
+
+    // Discovery respects the ACL: the tester sees it, the outsider
+    // does not — and cannot even learn it exists.
+    let visible = |token| {
+        hub.service
+            .search(Some(token), &Query::free_text("drug response"))
+            .len()
+    };
+    println!("search hits — tester: {}, outsider: {}", visible(&tester), visible(&outsider));
+
+    let tester_run = hub
+        .service
+        .run(&tester, "dlhub/drug-response", Value::Float(6.5))
+        .expect("tester may invoke");
+    println!("tester invocation -> {}", tester_run.value);
+
+    let denied = hub
+        .service
+        .run(&outsider, "dlhub/drug-response", Value::Float(6.5))
+        .expect_err("outsider must be denied");
+    println!("outsider invocation -> {denied}");
+
+    // General release: flip the ACL; now everyone can use it.
+    hub.repo
+        .make_public(&hub.token, "dlhub/drug-response")
+        .expect("owner releases the model");
+    let after = hub
+        .service
+        .run(&outsider, "dlhub/drug-response", Value::Float(6.5))
+        .expect("public model is invocable by anyone");
+    println!(
+        "after general release, outsider invocation -> {} (search hits: {})",
+        after.value,
+        visible(&outsider)
+    );
+}

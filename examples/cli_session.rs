@@ -1,0 +1,62 @@
+//! A scripted DLHub CLI session (§IV-E): the Git-like workflow of
+//! initializing, describing, publishing and invoking a servable from a
+//! working directory.
+//!
+//! ```text
+//! cargo run --release -p dlhub-client --example cli_session
+//! ```
+
+use dlhub_client::cli::Cli;
+use dlhub_core::hub::TestHub;
+use std::sync::Arc;
+
+fn main() {
+    let hub = TestHub::builder().without_eval_servables().build();
+    let cli = Cli::new(Arc::clone(&hub.service), hub.token.clone());
+
+    // A scratch working directory standing in for the user's model
+    // repo checkout.
+    let workdir = std::env::temp_dir().join(format!("dlhub-session-{}", std::process::id()));
+    std::fs::create_dir_all(&workdir).expect("create workdir");
+
+    let script: Vec<Vec<&str>> = vec![
+        vec!["init", "composition-parser", "--kind", "matminer-util"],
+        vec!["ls"],
+        vec![
+            "update",
+            "--description",
+            "Parse chemical formulas into element fractions",
+            "--tag",
+            "materials",
+            "--tag",
+            "parser",
+        ],
+        vec!["publish"],
+        vec!["ls"],
+        vec!["run", "Ca(OH)2"],
+        vec!["run", "BaTiO3"],
+        // Republishing bumps the version, Git-style.
+        vec!["publish"],
+        vec!["ls"],
+    ];
+
+    for args in script {
+        println!("$ dlhub {}", args.join(" "));
+        match cli.execute(&workdir, &args) {
+            Ok(output) => println!("{output}\n"),
+            Err(err) => println!("error: {err}\n"),
+        }
+    }
+
+    // Errors are first-class too: a second init refuses, unknown
+    // commands are reported.
+    for args in [vec!["init", "again"], vec!["frobnicate"]] {
+        println!("$ dlhub {}", args.join(" "));
+        match cli.execute(&workdir, &args) {
+            Ok(output) => println!("{output}\n"),
+            Err(err) => println!("error: {err}\n"),
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&workdir);
+}

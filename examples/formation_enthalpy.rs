@@ -1,0 +1,111 @@
+//! Use case D (§VI-D): predicting formation enthalpy from a material
+//! composition through a three-step server-side pipeline.
+//!
+//! ```text
+//! cargo run --release -p dlhub-client --example formation_enthalpy
+//! ```
+//!
+//! "A pipeline for predicting formation enthalpy from a material
+//! composition (e.g., SiO2) can be organized into three steps:
+//! 1) conversion of material composition text into a pymatgen object;
+//! 2) creation of a set of features, via matminer …;
+//! 3) prediction of formation enthalpy using the matminer features.
+//!
+//! "… the end user sees a simplified interface that allows them to
+//! input a material composition and receive a formation enthalpy."
+
+use dlhub_core::hub::TestHub;
+use dlhub_core::pipeline::Pipeline;
+use dlhub_core::value::Value;
+
+fn main() {
+    let hub = TestHub::builder().build();
+
+    // Register the pipeline once; afterwards users see the simplified
+    // string-in / float-out interface.
+    let pipeline = Pipeline::new(
+        "formation-enthalpy",
+        vec![
+            "dlhub/matminer-util".into(),
+            "dlhub/matminer-featurize".into(),
+            "dlhub/matminer-model".into(),
+        ],
+    );
+    hub.service
+        .register_pipeline(&hub.token, pipeline)
+        .expect("register pipeline");
+
+    println!("composition -> predicted formation energy (synthetic model, eV/atom)\n");
+    for formula in ["SiO2", "NaCl", "Fe2O3", "CuNi", "Ca(OH)2", "BaTiO3", "Mg0.5Fe0.5O"] {
+        let (value, steps) = hub
+            .service
+            .run_pipeline(&hub.token, "formation-enthalpy", Value::Str(formula.into()))
+            .expect("pipeline run");
+        let total_ms: f64 = steps
+            .iter()
+            .map(|s| s.timings.request.as_secs_f64() * 1e3)
+            .sum();
+        println!("  {formula:<12} -> {value:>8}   ({total_ms:.2} ms across {} server-side steps)", steps.len());
+    }
+
+    // The same stages remain individually invocable — the pipeline is
+    // composition, not a new monolith.
+    let parsed_sio2 = hub
+        .service
+        .run(&hub.token, "dlhub/matminer-util", Value::Str("SiO2".into()))
+        .expect("parse");
+    let features = hub
+        .service
+        .run(&hub.token, "dlhub/matminer-featurize", parsed_sio2.value)
+        .expect("featurize");
+    if let Value::Tensor { shape, .. } = &features.value {
+        println!("\nstandalone featurize(SiO2) produced a {shape:?} feature vector");
+    }
+
+    // Data passes server-side: compare against the client round-trip
+    // variant, which re-enters the Management Service per stage.
+    let start = std::time::Instant::now();
+    let parsed = hub
+        .service
+        .run(&hub.token, "dlhub/matminer-util", Value::Str("BaTiO3".into()))
+        .unwrap();
+    let feats = hub
+        .service
+        .run(&hub.token, "dlhub/matminer-featurize", parsed.value)
+        .unwrap();
+    let _pred = hub
+        .service
+        .run(&hub.token, "dlhub/matminer-model", feats.value)
+        .unwrap();
+    println!(
+        "client-side chaining of the same three stages: {:.2} ms",
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Workflows often end with an uncertainty-quantification stage
+    // (§II); publish the UQ variant and extend the pipeline with it.
+    use dlhub_core::servable::builtins::MatminerModelUq;
+    hub.publish_simple(
+        "matminer-model-uq",
+        dlhub_core::servable::ModelType::ScikitLearn,
+        std::sync::Arc::new(MatminerModelUq::train(7)),
+    );
+    hub.service
+        .register_pipeline(
+            &hub.token,
+            Pipeline::new(
+                "formation-enthalpy-uq",
+                vec![
+                    "dlhub/matminer-util".into(),
+                    "dlhub/matminer-featurize".into(),
+                    "dlhub/matminer-model-uq".into(),
+                ],
+            ),
+        )
+        .expect("register UQ pipeline");
+    let (with_uq, _) = hub
+        .service
+        .run_pipeline(&hub.token, "formation-enthalpy-uq", Value::Str("SiO2".into()))
+        .expect("UQ pipeline run");
+    println!("\nwith uncertainty quantification: SiO2 -> {with_uq}");
+}

@@ -1,0 +1,139 @@
+//! Deploying DLHub components on research infrastructure (§II, §IV-B):
+//! staging model components from a Globus-style endpoint, and running
+//! a Task Manager on an HPC system via Singularity under a batch
+//! scheduler.
+//!
+//! ```text
+//! cargo run --release -p dlhub-client --example hpc_deployment
+//! ```
+
+use dlhub_container::hpc::{BatchScheduler, JobRequest, JobState};
+use dlhub_container::{singularity_build, ImageBuilder, Recipe};
+use dlhub_core::hub::TestHub;
+use dlhub_core::repository::PublishVisibility;
+use dlhub_core::servable::{servable_fn, ModelType, ServableMetadata};
+use dlhub_core::value::Value;
+use dlhub_transfer::TransferService;
+use std::sync::Arc;
+
+fn main() {
+    let hub = TestHub::builder().without_eval_servables().build();
+
+    // ---- 1. Publication with remote components (§IV-A) -------------
+    // The researcher's trained weights live on their lab's Globus
+    // endpoint; DLHub stages them on the user's behalf, verifying
+    // integrity, before building the servable container.
+    let transfer = TransferService::new();
+    let lab = transfer.create_endpoint("anl#materials-lab", 120.0);
+    let staging = transfer.create_endpoint("dlhub#staging", 900.0);
+    lab.put("/stability/weights.bin", vec![0xAB; 512 * 1024]);
+    lab.put("/stability/hyperparams.json", b"{\"n_trees\": 25}".to_vec());
+    // The endpoint is private to the publishing user.
+    let owner_id = hub.auth.lookup(&hub.owner).unwrap();
+    lab.restrict_to(owner_id);
+
+    let mut metadata =
+        ServableMetadata::new("stability-rf", &hub.owner, ModelType::ScikitLearn);
+    metadata.description = "Random forest with endpoint-staged components".into();
+    let receipt = hub
+        .repo
+        .publish_from_endpoint(
+            &hub.token,
+            metadata,
+            servable_fn(|_| Ok(Value::Float(-0.42))),
+            &transfer,
+            &lab,
+            "/stability/",
+            &staging,
+            PublishVisibility::Public,
+        )
+        .expect("publish with staged components");
+    println!(
+        "published {} v{} — components staged from {} with integrity checks",
+        receipt.id,
+        receipt.version,
+        lab.name()
+    );
+    let out = hub
+        .service
+        .run(&hub.token, &receipt.id, Value::Null)
+        .expect("serve staged model");
+    println!("  inference -> {}", out.value);
+
+    // ---- 2. Task Manager on HPC via Singularity (§IV-B) ------------
+    // Build the Task Manager container, squash it into a SIF artifact
+    // (HPC sites allow unprivileged Singularity, not Docker), and
+    // submit it to a Slurm-like partition.
+    let mut tm_recipe = Recipe::from_base("python:3.7");
+    tm_recipe.entrypoint("dlhub-task-manager --queue dlhub.tasks");
+    let tm_image = ImageBuilder::new().build(&tm_recipe);
+    let sif = singularity_build(&tm_image);
+    println!(
+        "\nTask Manager SIF: {} ({} MB squashed)",
+        sif.digest,
+        sif.size / (1024 * 1024)
+    );
+
+    let partition = BatchScheduler::new(128);
+    let tm_job = partition
+        .submit(JobRequest {
+            name: "dlhub-task-manager".into(),
+            nodes: 4,
+            walltime_s: 12 * 3600,
+            sif: sif.digest,
+        })
+        .expect("sbatch task manager");
+    // Science jobs share the partition; a short analysis job backfills
+    // around a big reservation.
+    let big = partition
+        .submit(JobRequest {
+            name: "dft-campaign".into(),
+            nodes: 128,
+            walltime_s: 24 * 3600,
+            sif: sif.digest,
+        })
+        .expect("sbatch big job");
+    let small = partition
+        .submit(JobRequest {
+            name: "quick-analysis".into(),
+            nodes: 8,
+            walltime_s: 1800,
+            sif: sif.digest,
+        })
+        .expect("sbatch small job");
+
+    println!("\nsqueue:");
+    for entry in partition.queue() {
+        println!(
+            "  {:<6} {:<20} {:>3} nodes  {:?}",
+            entry.id.to_string(),
+            entry.name,
+            entry.nodes,
+            entry.state
+        );
+    }
+    assert_eq!(partition.job_state(tm_job).unwrap(), JobState::Running);
+    assert_eq!(partition.job_state(small).unwrap(), JobState::Running);
+    assert_eq!(partition.job_state(big).unwrap(), JobState::Pending);
+    println!(
+        "\nTask Manager is serving from the partition; quick-analysis backfilled ahead of \
+         dft-campaign without delaying its reservation."
+    );
+
+    // Advance the clock: the TM job ends at its walltime; the campaign
+    // eventually gets the full machine.
+    partition.advance(13 * 3600);
+    println!(
+        "after 13h: task manager {:?}, dft campaign {:?}",
+        partition.job_state(tm_job).unwrap(),
+        partition.job_state(big).unwrap()
+    );
+
+    // The serving stack is still healthy end-to-end.
+    let again = hub
+        .service
+        .run(&hub.token, &receipt.id, Value::Null)
+        .expect("still serving");
+    drop(Arc::clone(&hub.service));
+    println!("final check: {} -> {}", receipt.id, again.value);
+}

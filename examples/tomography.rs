@@ -1,0 +1,138 @@
+//! Use case C (§VI-C): processing tomographic neuroanatomy data.
+//!
+//! ```text
+//! cargo run --release -p dlhub-client --example tomography
+//! ```
+//!
+//! "A DLHub model is used to aid in the identification of the highest
+//! quality slice to be used for tomographic reconstruction. Once
+//! reconstructed, the resulting images are further processed with
+//! segmentation models to characterize cells … enabling near real-time
+//! automated application of the center finding models during the
+//! reconstruction process as well as … batch-style segmentation
+//! post-processing."
+//!
+//! The two models are custom user servables published through the
+//! public API — exactly how the APS group would bring their own code.
+
+use dlhub_core::hub::TestHub;
+use dlhub_core::servable::{servable_fn, ModelType};
+use dlhub_core::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SLICE: usize = 64;
+
+/// Deterministic synthetic sinogram slices: quality (sharpness) peaks
+/// around the true rotation-center slice.
+fn synthetic_slices(n: usize, center: usize, seed: u64) -> Vec<Value> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            // Contrast decays with distance from the center slice.
+            let quality = 1.0 / (1.0 + 0.4 * (i as f32 - center as f32).abs());
+            let data: Vec<f32> = (0..SLICE * SLICE)
+                .map(|p| {
+                    let signal = if (p / SLICE + p % SLICE) % 7 < 3 { 1.0 } else { 0.0 };
+                    quality * signal + (1.0 - quality) * rng.gen_range(0.4..0.6)
+                })
+                .collect();
+            Value::Tensor {
+                shape: vec![SLICE, SLICE],
+                data,
+            }
+        })
+        .collect()
+}
+
+fn variance(data: &[f32]) -> f32 {
+    let mean = data.iter().sum::<f32>() / data.len() as f32;
+    data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / data.len() as f32
+}
+
+fn main() {
+    let hub = TestHub::builder().without_eval_servables().build();
+
+    // Center-finding model: given a stack of slices, return the index
+    // of the highest-quality (highest-contrast) one.
+    hub.publish_simple(
+        "aps-center-finder",
+        ModelType::Keras,
+        servable_fn(|input| {
+            let slices = input
+                .as_list()
+                .ok_or_else(|| "expected a list of slice tensors".to_string())?;
+            let best = slices
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let t = s.to_tensor().ok_or("slice must be a tensor")?;
+                    Ok::<_, String>((i, variance(t.data())))
+                })
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .ok_or("empty slice stack")?;
+            Ok(Value::Int(best as i64))
+        }),
+    );
+
+    // Segmentation model: threshold a reconstructed image and report
+    // the segmented-cell fraction.
+    hub.publish_simple(
+        "aps-segmentation",
+        ModelType::Keras,
+        servable_fn(|input| {
+            let t = input.to_tensor().ok_or("expected an image tensor")?;
+            let cells = t.data().iter().filter(|v| **v > 0.5).count();
+            Ok(Value::Json(serde_json::json!({
+                "segmented_fraction": cells as f64 / t.len() as f64,
+                "pixels": t.len(),
+            })))
+        }),
+    );
+
+    // Near-real-time center finding during reconstruction: each newly
+    // acquired stack is scored as it arrives.
+    println!("center finding (near real time during reconstruction):");
+    for (stack_id, true_center) in [(0u64, 17usize), (1, 40), (2, 5)] {
+        let stack = Value::List(synthetic_slices(48, true_center, stack_id));
+        let result = hub
+            .service
+            .run(&hub.token, "dlhub/aps-center-finder", stack)
+            .expect("center finding");
+        println!(
+            "  stack {stack_id}: predicted center slice {} (true {true_center}) in {:.2} ms",
+            result.value,
+            result.timings.request.as_secs_f64() * 1e3,
+        );
+    }
+
+    // Batch-style segmentation post-processing of reconstructed
+    // volumes: one coalesced dispatch for the whole batch.
+    let reconstructed: Vec<Value> = (0..16)
+        .map(|i| synthetic_slices(1, 0, 100 + i).pop().expect("one slice"))
+        .collect();
+    let (outputs, timings) = hub
+        .service
+        .run_batch(&hub.token, "dlhub/aps-segmentation", reconstructed)
+        .expect("segmentation batch");
+    let fractions: Vec<f64> = outputs
+        .iter()
+        .filter_map(|o| match o {
+            Value::Json(j) => j["segmented_fraction"].as_f64(),
+            _ => None,
+        })
+        .collect();
+    println!(
+        "\nbatch segmentation of {} images in {:.2} ms (one dispatch);",
+        outputs.len(),
+        timings.request.as_secs_f64() * 1e3
+    );
+    println!(
+        "segmented fractions range {:.3}..{:.3}",
+        fractions.iter().cloned().fold(f64::INFINITY, f64::min),
+        fractions.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    );
+}

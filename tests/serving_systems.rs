@@ -1,0 +1,255 @@
+//! Integration tests across serving systems: the same models behind
+//! DLHub, TensorFlow Serving, SageMaker and Clipper must agree on
+//! outputs, and the Fig 8 architectural properties must hold.
+
+use dlhub_baselines::protocol::Protocol;
+use dlhub_baselines::{Clipper, SageMaker, TensorFlowModelServer};
+use dlhub_core::hub::TestHub;
+use dlhub_core::servable::builtins::ImageClassifier;
+use dlhub_core::servable::ModelType;
+use dlhub_core::value::Value;
+use dlhub_container::Cluster;
+use std::sync::Arc;
+
+fn cifar_image(variant: u64) -> Value {
+    Value::from_tensor(&dlhub_core::tensor::models::synthetic_image(
+        &dlhub_core::tensor::models::CIFAR10_INPUT,
+        variant,
+    ))
+}
+
+#[test]
+fn all_four_systems_agree_on_cifar10() {
+    let seed = 7;
+    let input = cifar_image(3);
+
+    // DLHub.
+    let hub = TestHub::builder().seed(seed).build();
+    let dlhub_out = hub
+        .service
+        .run(&hub.token, "dlhub/cifar10", input.clone())
+        .unwrap()
+        .value;
+
+    // TensorFlow Serving (gRPC and REST must agree with each other).
+    let tfs = TensorFlowModelServer::new();
+    tfs.load_model(
+        "cifar10",
+        1,
+        ModelType::Keras,
+        Arc::new(ImageClassifier::cifar10(seed)),
+    )
+    .unwrap();
+    let tfs_grpc = tfs
+        .predict_value(Protocol::Grpc, "cifar10", None, &input)
+        .unwrap();
+    let tfs_rest = tfs
+        .predict_value(Protocol::Rest, "cifar10", None, &input)
+        .unwrap();
+
+    // SageMaker.
+    let sm = SageMaker::new();
+    sm.create_model("cifar10", Arc::new(ImageClassifier::cifar10(seed)))
+        .unwrap();
+    sm.create_endpoint("cifar10-prod", "cifar10", 1).unwrap();
+    let sm_out = sm.invoke_endpoint("cifar10-prod", &input).unwrap();
+
+    // Clipper.
+    let clipper = Clipper::deploy(Cluster::petrelkube(), true).unwrap();
+    clipper
+        .deploy_model("cifar10", Arc::new(ImageClassifier::cifar10(seed)), 1)
+        .unwrap();
+    clipper.register_application("cifar", Value::Null);
+    clipper.link_model("cifar", "cifar10").unwrap();
+    let (clipper_out, _, _) = clipper.query("cifar", &input).unwrap();
+
+    // Same model weights, same input => identical predictions
+    // across every serving system and protocol.
+    assert_eq!(tfs_grpc, tfs_rest);
+    assert_eq!(dlhub_out, tfs_grpc);
+    assert_eq!(dlhub_out, sm_out);
+    assert_eq!(dlhub_out, clipper_out);
+}
+
+#[test]
+fn dlhub_serves_functions_that_tfserving_rejects() {
+    // Table II: DLHub serves "General" model types; TF Serving serves
+    // only "TF Servables". The matminer parser is a plain function.
+    let hub = TestHub::builder().build();
+    let out = hub
+        .service
+        .run(&hub.token, "dlhub/matminer-util", Value::Str("NaCl".into()))
+        .unwrap();
+    assert!(matches!(out.value, Value::Json(_)));
+
+    let tfs = TensorFlowModelServer::new();
+    let err = tfs.load_model(
+        "matminer-util",
+        1,
+        ModelType::PythonFunction,
+        Arc::new(dlhub_core::servable::builtins::MatminerUtil),
+    );
+    assert!(err.is_err());
+}
+
+#[test]
+fn cache_placement_differs_between_dlhub_and_clipper() {
+    // Architectural check behind Fig 8's memoization result: DLHub's
+    // hit is answered before the executor; Clipper's hit is answered
+    // by the frontend pod on the cluster. We verify the *observable*
+    // part: both cache, and both return the original answer.
+    let input = cifar_image(5);
+
+    let hub = TestHub::builder().memo(true).build();
+    let cold = hub
+        .service
+        .run(&hub.token, "dlhub/cifar10", input.clone())
+        .unwrap();
+    let warm = hub
+        .service
+        .run(&hub.token, "dlhub/cifar10", input.clone())
+        .unwrap();
+    assert!(!cold.timings.cache_hit && warm.timings.cache_hit);
+    assert_eq!(cold.value, warm.value);
+    assert!(warm.timings.invocation < cold.timings.invocation);
+
+    let clipper = Clipper::deploy(Cluster::petrelkube(), true).unwrap();
+    clipper
+        .deploy_model("cifar10", Arc::new(ImageClassifier::cifar10(7)), 1)
+        .unwrap();
+    clipper.register_application("cifar", Value::Null);
+    clipper.link_model("cifar", "cifar10").unwrap();
+    let (out1, hit1, _) = clipper.query("cifar", &input).unwrap();
+    let (out2, hit2, _) = clipper.query("cifar", &input).unwrap();
+    assert!(!hit1 && hit2);
+    assert_eq!(out1, out2);
+}
+
+#[test]
+fn tfserving_survives_concurrent_clients_and_hot_reload() {
+    use dlhub_core::servable::servable_fn;
+    let server = Arc::new(TensorFlowModelServer::new());
+    server
+        .load_model(
+            "m",
+            1,
+            ModelType::TensorFlow,
+            servable_fn(|_| Ok(Value::Int(1))),
+        )
+        .unwrap();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    // Clients hammer predictions while a new version hot-loads.
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seen = std::collections::BTreeSet::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let out = server
+                        .predict_value(Protocol::Grpc, "m", None, &Value::Null)
+                        .unwrap();
+                    if let Value::Int(v) = out {
+                        seen.insert(v);
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    server
+        .load_model(
+            "m",
+            2,
+            ModelType::TensorFlow,
+            servable_fn(|_| Ok(Value::Int(2))),
+        )
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut all = std::collections::BTreeSet::new();
+    for c in clients {
+        all.extend(c.join().unwrap());
+    }
+    // Every answer came from a loaded version — v1 before the reload,
+    // v2 after — and nothing else.
+    assert!(all.contains(&2), "new version must serve after reload");
+    assert!(all.iter().all(|v| *v == 1 || *v == 2), "answers: {all:?}");
+    // Version pinning still reaches v1.
+    assert_eq!(
+        server
+            .predict_value(Protocol::Grpc, "m", Some(1), &Value::Null)
+            .unwrap(),
+        Value::Int(1)
+    );
+}
+
+#[test]
+fn clipper_bandit_converges_under_noisy_feedback() {
+    use dlhub_core::servable::servable_fn;
+    let clipper = Clipper::deploy(Cluster::petrelkube(), true).unwrap();
+    clipper
+        .deploy_model("good", servable_fn(|v| Ok(v.clone())), 1)
+        .unwrap();
+    // Flaky model: fails on a third of the inputs.
+    clipper
+        .deploy_model(
+            "flaky",
+            servable_fn(|v| match v {
+                Value::Int(i) if i % 3 == 0 => Err("flaked".into()),
+                other => Ok(other.clone()),
+            }),
+            1,
+        )
+        .unwrap();
+    clipper.register_application("app", Value::Null);
+    clipper.link_model("app", "flaky").unwrap();
+    clipper.link_model("app", "good").unwrap();
+    let mut last_20 = Vec::new();
+    for i in 0..60 {
+        let (_, _, used) = clipper.query("app", &Value::Int(i)).unwrap();
+        if i >= 40 {
+            last_20.push(used);
+        }
+    }
+    // After exploration, the selector settles on the reliable model.
+    let good_share = last_20
+        .iter()
+        .filter(|u| u.as_deref() == Some("good"))
+        .count();
+    assert!(
+        good_share >= 15,
+        "selector failed to converge: {good_share}/20 on 'good'"
+    );
+}
+
+#[test]
+fn sagemaker_trains_models_dlhub_only_serves() {
+    // Table II: SageMaker supports training; DLHub does not. Train a
+    // forest on SageMaker, export it, and publish the endpoint's
+    // behaviour into DLHub for serving.
+    let sm = SageMaker::new();
+    let data = dlhub_core::matsci::dataset::generate(200, 3);
+    let training = dlhub_baselines::sagemaker::TrainingData {
+        features: data.features(),
+        targets: data.targets(),
+    };
+    sm.create_training_job("stability", &training, 3).unwrap();
+    sm.create_endpoint("stability-prod", "stability", 1).unwrap();
+
+    let probe = {
+        let composition = dlhub_core::matsci::parse_formula("NaCl").unwrap();
+        let features = dlhub_core::matsci::featurize(&composition);
+        Value::Tensor {
+            shape: vec![features.len()],
+            data: features.iter().map(|v| *v as f32).collect(),
+        }
+    };
+    let sm_prediction = sm.invoke_endpoint("stability-prod", &probe).unwrap();
+    assert!(matches!(sm_prediction, Value::Float(v) if v.is_finite()));
+
+    // Exported container exists and is deployable metadata-wise.
+    let image = sm.export_container("stability").unwrap();
+    assert!(image.size() > 0);
+}
