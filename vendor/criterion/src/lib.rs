@@ -1,0 +1,301 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides `Criterion`, benchmark groups, `Bencher::{iter,
+//! iter_batched}`, and the `criterion_group!`/`criterion_main!`
+//! macros with real wall-clock measurement: warmup to estimate
+//! per-iteration cost, then timed samples for the configured
+//! measurement window, reporting min/median/mean nanoseconds per
+//! iteration. No plotting, no statistics beyond the summary line.
+//!
+//! Set `CRITERION_MEASUREMENT_MS` to override every group's
+//! measurement window (useful for smoke-testing the bench suite).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so callers can use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub times each
+/// routine call individually, so the variants behave identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input; large timing batches in real criterion.
+    SmallInput,
+    /// Large routine input.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+struct Summary {
+    iters: u64,
+    min_ns: f64,
+    mean_ns: f64,
+    median_ns: f64,
+}
+
+/// Runs routines and records timing samples.
+pub struct Bencher {
+    measurement_time: Duration,
+    summary: Option<Summary>,
+}
+
+impl Bencher {
+    fn new(measurement_time: Duration) -> Self {
+        Bencher {
+            measurement_time,
+            summary: None,
+        }
+    }
+
+    /// Time `routine` repeatedly for the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: estimate per-iteration cost so samples can batch
+        // enough iterations to dwarf timer overhead.
+        let warmup_budget = (self.measurement_time / 10).max(Duration::from_millis(20));
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < warmup_budget {
+            std_black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+        // Aim for ~100 samples of >=10us each within the window.
+        let sample_ns = (self.measurement_time.as_nanos() as f64 / 100.0).max(10_000.0);
+        let iters_per_sample = ((sample_ns / per_iter.max(0.5)) as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::new();
+        let mut total_iters = 0u64;
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measurement_time || samples.len() < 10 {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            let dt = t0.elapsed().as_nanos() as f64;
+            samples.push(dt / iters_per_sample as f64);
+            total_iters += iters_per_sample;
+            if samples.len() >= 5000 {
+                break;
+            }
+        }
+        self.summary = Some(summarize(&mut samples, total_iters));
+    }
+
+    /// Time `routine` with per-call inputs built by `setup`; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warmup_budget = (self.measurement_time / 10).max(Duration::from_millis(20));
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < warmup_budget {
+            let input = setup();
+            std_black_box(routine(input));
+            warmup_iters += 1;
+        }
+        let _ = warmup_iters;
+
+        let mut samples: Vec<f64> = Vec::new();
+        let mut total_iters = 0u64;
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measurement_time || samples.len() < 10 {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            let dt = t0.elapsed().as_nanos() as f64;
+            drop(std_black_box(out));
+            samples.push(dt);
+            total_iters += 1;
+            if samples.len() >= 5000 {
+                break;
+            }
+        }
+        self.summary = Some(summarize(&mut samples, total_iters));
+    }
+}
+
+fn summarize(samples: &mut [f64], iters: u64) -> Summary {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min_ns = samples.first().copied().unwrap_or(0.0);
+    let median_ns = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+    let mean_ns = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+    Summary {
+        iters,
+        min_ns,
+        mean_ns,
+        median_ns,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, s: &Summary) {
+    println!(
+        "{id:<48} time: [{} {} {}]  ({} iters)",
+        format_ns(s.min_ns),
+        format_ns(s.median_ns),
+        format_ns(s.mean_ns),
+        s.iters
+    );
+}
+
+fn env_measurement_override() -> Option<Duration> {
+    std::env::var("CRITERION_MEASUREMENT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
+/// A named set of related benchmarks sharing a measurement window.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = env_measurement_override().unwrap_or(time);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes samples itself.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.measurement_time);
+        f(&mut bencher);
+        if let Some(summary) = &bencher.summary {
+            report(&format!("{}/{}", self.name, id), summary);
+        }
+        self
+    }
+
+    /// End the group (no-op beyond dropping).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_measurement: env_measurement_override()
+                .unwrap_or(Duration::from_secs(1)),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let measurement_time = self.default_measurement;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            measurement_time,
+            sample_size: 100,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.default_measurement);
+        f(&mut bencher);
+        if let Some(summary) = &bencher.summary {
+            report(id, summary);
+        }
+        self
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_summary() {
+        std::env::set_var("CRITERION_MEASUREMENT_MS", "30");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_secs(1));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        std::env::set_var("CRITERION_MEASUREMENT_MS", "30");
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8, 2, 3],
+                |v| v.into_iter().map(|x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}

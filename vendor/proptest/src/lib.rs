@@ -1,0 +1,661 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators, macros, and runner surface
+//! this workspace actually uses: `proptest!`, `prop_assert*`,
+//! `prop_assume!`, `prop_oneof!`, `Just`, `any`, ranges and string
+//! patterns as strategies, and `proptest::collection::{vec,
+//! btree_set}`. Case generation is deterministic per test name so
+//! failures reproduce across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+// ---------------------------------------------------------------------------
+// Core strategy abstraction
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no shrinking: a failing case reports
+/// its deterministic seed instead of a minimized input.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value; `None` means the case was rejected (e.g.
+    /// by a filter) and the runner should draw a fresh case.
+    fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Reject values failing the predicate.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Type-erase for heterogeneous unions (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// `prop_filter` adapter: retries locally a few times, then rejects
+/// the whole case so the runner draws fresh input.
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        for _ in 0..16 {
+            if let Some(v) = self.inner.generate(rng) {
+                if (self.f)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> Option<T> {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the alternatives; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> Option<T> {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges, any::<T>(), string patterns, tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value of the type.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Mix special values in, like real proptest's any::<f64>().
+        match rng.gen_range(0u32..16) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.0,
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> char {
+        if rng.gen_range(0u32..8) == 0 {
+            char::from_u32(rng.gen_range(0x80u32..0x2000))
+                .unwrap_or('\u{fffd}')
+        } else {
+            rng.gen_range(0x20u32..0x7f) as u8 as char
+        }
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// String literals act as (very small) regex strategies. Supported
+/// shapes: `\PC{m,n}` (printable chars, length m..=n) and a plain
+/// alphanumeric fallback for anything else.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> Option<String> {
+        let (lo, hi) = parse_repeat_bounds(self).unwrap_or((0, 16));
+        let len = rng.gen_range(lo..=hi);
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            if self.contains("\\PC") {
+                out.push(char::arbitrary(rng));
+            } else {
+                const ALNUM: &[u8] =
+                    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+                out.push(ALNUM[rng.gen_range(0..ALNUM.len())] as char);
+            }
+        }
+        Some(out)
+    }
+}
+
+fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.find('{')?;
+    let close = pattern[open..].find('}')? + open;
+    let body = &pattern[open + 1..close];
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+        Some((self.0.generate(rng)?, self.1.generate(rng)?))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+        Some((
+            self.0.generate(rng)?,
+            self.1.generate(rng)?,
+            self.2.generate(rng)?,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------------
+
+/// `proptest::collection`: sized containers of generated elements.
+pub mod collection {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// Accepted size specifiers for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+
+    /// A vector whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<BTreeSet<S::Value>> {
+            let want = rng.gen_range(self.size.lo..=self.size.hi);
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the set; retry a bounded number of
+            // times to approach the requested cardinality.
+            for _ in 0..want * 4 + 4 {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+
+    /// A set whose cardinality approaches a draw from `size`.
+    pub fn btree_set<S: Strategy>(
+        element: S,
+        size: impl Into<SizeRange>,
+    ) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Input rejected (filter or `prop_assume!`); draw a fresh case.
+    Reject,
+    /// Assertion failure with message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Result alias used by generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drive one property: deterministic seeds derived from the test
+/// name, bounded rejection budget, panic (with seed) on failure.
+pub fn run_test(
+    config: ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut StdRng) -> TestCaseResult,
+) {
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(16).max(256);
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        attempt.hash(&mut hasher);
+        let seed = hasher.finish();
+        let mut rng = StdRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "{name}: too many rejected inputs ({rejected}) after {passed} passing cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed on case seed {seed:#x}: {msg}");
+            }
+        }
+        attempt += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a normal `#[test]` driving [`run_test`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($config); $($rest)*);
+    };
+    (@funcs ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::run_test(
+                __config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    $(
+                        let $arg = match $crate::Strategy::generate(&($strat), __rng) {
+                            ::std::option::Option::Some(v) => v,
+                            ::std::option::Option::None => {
+                                return ::std::result::Result::Err($crate::TestCaseError::Reject)
+                            }
+                        };
+                    )+
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assert within a property body; failure aborts only this case set.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality with `Debug` output of both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Assert inequality with `Debug` output of both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Discard the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Everything a property test module typically imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+    pub use rand::rngs::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in -2.0f32..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn vec_respects_exact_size(v in crate::collection::vec(0u8..5, 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+
+        #[test]
+        fn assume_discards(a in any::<i64>(), b in any::<i64>()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop_oneof![
+                Just(0usize),
+                (1usize..4).prop_map(|x| x * 10),
+            ]
+        ) {
+            prop_assert!(v == 0 || (10..40).contains(&v));
+        }
+
+        #[test]
+        fn string_pattern_bounds(s in "\\PC{0,8}") {
+            prop_assert!(s.chars().count() <= 8);
+        }
+    }
+
+    #[test]
+    fn filter_rejection_is_bounded() {
+        let strat = (0u32..10).prop_filter("never", |_| false);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(crate::Strategy::generate(&strat, &mut rng).is_none());
+    }
+}

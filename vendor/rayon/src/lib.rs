@@ -1,0 +1,275 @@
+//! Minimal API-compatible stand-in for `rayon`.
+//!
+//! Implements the subset of the parallel-iterator API this workspace
+//! uses (`par_iter`, `par_chunks_mut`, `into_par_iter` with `map` /
+//! `filter` / `enumerate` / `for_each` / `collect` / `reduce` /
+//! `count`) on top of `std::thread::scope` with contiguous chunk
+//! partitioning. Order-preserving, statically scheduled.
+
+use std::ops::Range;
+
+fn worker_count(items: usize) -> usize {
+    if items <= 1 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items)
+}
+
+/// Run `f` over `items` on scoped threads, preserving input order in
+/// the output.
+fn run_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = worker_count(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            out.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A materialized parallel iterator over `T`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Lazily map each item (runs when consumed).
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Keep items matching `pred` (evaluated in parallel).
+    pub fn filter<P>(self, pred: P) -> ParIter<T>
+    where
+        P: Fn(&T) -> bool + Sync,
+    {
+        let keep = run_map(self.items, &|item: T| {
+            let keep = pred(&item);
+            (keep, item)
+        });
+        ParIter {
+            items: keep
+                .into_iter()
+                .filter_map(|(keep, item)| keep.then_some(item))
+                .collect(),
+        }
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_map(self.items, &|item| f(item));
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Collect the items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Parallel fold-and-combine with an identity factory.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), &op)
+    }
+}
+
+/// A lazily mapped parallel iterator.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Run the map in parallel and collect the results in order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        run_map(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Run the map in parallel, then combine results with `op`
+    /// starting from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        ID: Fn() -> U + Sync,
+        OP: Fn(U, U) -> U + Sync,
+    {
+        run_map(self.items, &self.f)
+            .into_iter()
+            .fold(identity(), &op)
+    }
+
+    /// Run the map in parallel for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = &self.f;
+        run_map(self.items, &|item| g(f(item)));
+    }
+
+    /// Number of mapped items (consumes without running `f`).
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter {
+                    items: self.collect(),
+                }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter` on slices (and, via deref, `Vec`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Common imports.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let doubled: Vec<usize> = (0usize..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_for_each() {
+        let mut data = vec![0u32; 64];
+        data.par_chunks_mut(8).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[63], 7);
+    }
+
+    #[test]
+    fn filter_count_and_reduce() {
+        let evens = (0..100).into_par_iter().filter(|i| i % 2 == 0).count();
+        assert_eq!(evens, 50);
+        let data = vec![1u64, 2, 3, 4];
+        let sum = data
+            .par_iter()
+            .map(|&v| v)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 10);
+    }
+}

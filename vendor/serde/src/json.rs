@@ -1,0 +1,494 @@
+//! The JSON data model shared by the vendored `serde` and
+//! `serde_json` crates: [`Value`], [`Number`], and [`Map`].
+
+use std::borrow::Borrow;
+use std::collections::btree_map;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A JSON number: unsigned integer, signed integer, or float —
+/// mirroring `serde_json::Number`'s three categories.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl Number {
+    /// View as `f64` (always possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::PosInt(v) => Some(v as f64),
+            Number::NegInt(v) => Some(v as f64),
+            Number::Float(v) => Some(v),
+        }
+    }
+
+    /// View as `u64` if non-negative integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// View as `i64` if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Is this a float category number?
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Number::Float(_))
+    }
+
+    /// Construct from a finite float.
+    pub fn from_f64(f: f64) -> Option<Number> {
+        if f.is_finite() {
+            Some(Number::Float(f))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if !v.is_finite() {
+                    // JSON has no non-finite literals; match
+                    // serde_json's raw-value fallback of null.
+                    return f.write_str("null");
+                }
+                // Rust's shortest-roundtrip Display never uses
+                // exponents; tag integral floats with `.0` so the
+                // float category survives a round trip.
+                let s = format!("{v}");
+                if s.contains('.') {
+                    f.write_str(&s)
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+        }
+    }
+}
+
+/// An ordered string-keyed map (BTreeMap-backed, like serde_json's
+/// default).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K: Ord = String, V = Value> {
+    inner: BTreeMap<K, V>,
+}
+
+impl<K: Ord, V> Map<K, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        Map {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Insert, returning any previous value for the key.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.inner.insert(key, value)
+    }
+
+    /// Look up by key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.get(key)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.get_mut(key)
+    }
+
+    /// Does the map contain `key`?
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.contains_key(key)
+    }
+
+    /// Remove by key.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.remove(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterator over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> btree_map::Iter<'_, K, V> {
+        self.inner.iter()
+    }
+
+    /// Iterator over keys in order.
+    pub fn keys(&self) -> btree_map::Keys<'_, K, V> {
+        self.inner.keys()
+    }
+
+    /// Iterator over values in key order.
+    pub fn values(&self) -> btree_map::Values<'_, K, V> {
+        self.inner.values()
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for Map<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        Map {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<K: Ord, V> IntoIterator for Map<K, V> {
+    type Item = (K, V);
+    type IntoIter = btree_map::IntoIter<K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a Map<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = btree_map::Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<K, V, Q> Index<&Q> for Map<K, V>
+where
+    K: Ord + Borrow<Q>,
+    Q: Ord + ?Sized,
+{
+    type Output = V;
+    fn index(&self, key: &Q) -> &V {
+        self.inner.get(key).expect("no entry found for key")
+    }
+}
+
+/// A JSON value, structurally identical to `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Object field lookup (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl IndexMut<&str> for Value {
+    /// Like serde_json: `Null` auto-vivifies to an object, a missing
+    /// key is inserted as `Null`, and indexing any other kind panics.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if matches!(self, Value::Null) {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(m) => {
+                if !m.contains_key(key) {
+                    m.insert(key.to_string(), Value::Null);
+                }
+                m.get_mut(key).expect("just inserted")
+            }
+            other => panic!("cannot index {other:?} with a string key"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(a) => &mut a[idx],
+            other => panic!("cannot index {other:?} with a usize"),
+        }
+    }
+}
+
+macro_rules! value_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::PosInt(v as u64))
+            }
+        }
+    )*};
+}
+value_from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! value_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                let v = v as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+value_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Number::from_f64(v).map_or(Value::Null, Value::Number)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+macro_rules! value_eq_prim {
+    ($($t:ty => $conv:expr),* $(,)?) => {$(
+        impl PartialEq<$t> for Value {
+            #[allow(clippy::redundant_closure_call)]
+            fn eq(&self, other: &$t) -> bool {
+                self == &($conv)(other.clone())
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+value_eq_prim! {
+    i32 => Value::from,
+    i64 => Value::from,
+    u32 => Value::from,
+    u64 => Value::from,
+    usize => Value::from,
+    f64 => Value::from,
+    bool => Value::from,
+    &str => Value::from,
+    String => Value::from,
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+fn escape_json_string(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            '\u{08}' => out.write_str("\\b")?,
+            '\u{0C}' => out.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering, matching `serde_json::to_string`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => escape_json_string(s, f),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape_json_string(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Minimal API-compatible stand-in for `serde`.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors a small serde: the [`Serialize`] / [`Deserialize`] traits
+//! are defined directly over the JSON data model in [`json`] (shared
+//! with the vendored `serde_json`), and the derive macros come from
+//! the companion `serde_derive` proc-macro crate. Wire encodings
+//! (externally tagged enums, `Result` as `{"Ok": ..}` / `{"Err": ..}`,
+//! newtype transparency) match real serde's JSON behaviour.
+
+pub mod json;
+
+use json::{Map, Number, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Construct from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into the JSON data model.
+pub trait Serialize {
+    /// Produce the JSON representation.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Parse from a JSON value.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Number::from_f64(*self).map_or(Value::Null, Value::Number)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        // f64 represents every f32 exactly, and the narrowing cast on
+        // deserialize rounds back to the original, so f32 data
+        // round-trips exactly through the f64-backed number model.
+        Number::from_f64(*self as f64).map_or(Value::Null, Value::Number)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        match self {
+            Ok(v) => m.insert("Ok".to_string(), v.serialize()),
+            Err(e) => m.insert("Err".to_string(), e.serialize()),
+        };
+        Value::Object(m)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.serialize());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.serialize());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for Map<String, Value> {
+    fn serialize(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl Serialize for Number {
+    fn serialize(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+// ---------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, DeError> {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    };
+    Err(DeError::custom(format!("expected {expected}, got {kind}")))
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| {
+                            DeError::custom(concat!("number out of range for ", stringify!($t)))
+                        }),
+                    other => type_err(stringify!($t), other),
+                }
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| {
+                            DeError::custom(concat!("number out of range for ", stringify!($t)))
+                        }),
+                    other => type_err(stringify!($t), other),
+                }
+            }
+        }
+    )*};
+}
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => n.as_f64().ok_or_else(|| DeError::custom("bad f64")),
+            other => type_err("f64", other),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => type_err("single-character string", other),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+            }
+            other => type_err("2-element array", other),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::deserialize(&items[0])?,
+                B::deserialize(&items[1])?,
+                C::deserialize(&items[2])?,
+            )),
+            other => type_err("3-element array", other),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(m) if m.len() == 1 => {
+                let (k, inner) = m.iter().next().expect("len checked");
+                match k.as_str() {
+                    "Ok" => Ok(Ok(T::deserialize(inner)?)),
+                    "Err" => Ok(Err(E::deserialize(inner)?)),
+                    other => Err(DeError::custom(format!(
+                        "expected Ok or Err variant, got {other}"
+                    ))),
+                }
+            }
+            other => type_err("Result object", other),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
+                .collect(),
+            other => type_err("object", other),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
+                .collect(),
+            other => type_err("object", other),
+        }
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for Map<String, Value> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(m) => Ok(m.clone()),
+            other => type_err("object", other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Support functions used by serde_derive-generated code
+// ---------------------------------------------------------------
+
+/// Fetch and deserialize a struct field; a missing field falls back to
+/// deserializing from `null` (so `Option` fields may be omitted, as
+/// with real serde).
+pub fn __get_field<T: Deserialize>(
+    m: &Map<String, Value>,
+    key: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match m.get(key) {
+        Some(v) => T::deserialize(v)
+            .map_err(|e| DeError::custom(format!("field `{key}` of {ty}: {e}"))),
+        None => T::deserialize(&Value::Null)
+            .map_err(|_| DeError::custom(format!("missing field `{key}` in {ty}"))),
+    }
+}
+
+/// Build the externally-tagged single-key object `{"Variant": inner}`.
+pub fn __variant_object(name: &str, inner: Value) -> Value {
+    let mut m = Map::new();
+    m.insert(name.to_string(), inner);
+    Value::Object(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_round_trips_like_serde() {
+        let ok: Result<Vec<u32>, String> = Ok(vec![1, 2]);
+        assert_eq!(ok.serialize().to_string(), r#"{"Ok":[1,2]}"#);
+        let back: Result<Vec<u32>, String> = Deserialize::deserialize(&ok.serialize()).unwrap();
+        assert_eq!(back, Ok(vec![1, 2]));
+        let err: Result<Vec<u32>, String> = Err("boom".into());
+        let back: Result<Vec<u32>, String> = Deserialize::deserialize(&err.serialize()).unwrap();
+        assert_eq!(back, Err("boom".into()));
+    }
+
+    #[test]
+    fn option_from_missing_null() {
+        let none: Option<u32> = Deserialize::deserialize(&Value::Null).unwrap();
+        assert_eq!(none, None);
+        let some: Option<u32> = Deserialize::deserialize(&5u32.serialize()).unwrap();
+        assert_eq!(some, Some(5));
+    }
+
+    #[test]
+    fn float_display_keeps_category() {
+        assert_eq!(1.0f64.serialize().to_string(), "1.0");
+        assert_eq!(1.5f64.serialize().to_string(), "1.5");
+        assert_eq!(1u64.serialize().to_string(), "1");
+    }
+}

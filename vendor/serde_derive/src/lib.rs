@@ -1,0 +1,433 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the vendored `serde`, written directly against `proc_macro` (no
+//! syn/quote — the build environment is offline).
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! named-field structs, tuple structs (newtype transparency for one
+//! field, arrays otherwise), and enums with unit / newtype / tuple /
+//! struct variants using serde's externally-tagged JSON encoding
+//! (`"Variant"`, `{"Variant": inner}`). Generics and `#[serde(..)]`
+//! attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // attribute
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                i += 1; // visibility / modifiers
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct or enum found"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (type {name})");
+        }
+    }
+    let shape = if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: expected struct body, got {other:?}"),
+        }
+    };
+    Input { name, shape }
+}
+
+/// Extract the field names from a named-field body. Types are skipped
+/// wholesale (codegen relies on inference), tracking `<`/`>` depth so
+/// commas inside generics don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1; // past the name
+                i += 1; // past the ':'
+                let mut depth = 0i32;
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => {
+                                i += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive: unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Count tuple-struct / tuple-variant fields: depth-0 commas + 1.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_trailing_comma = false;
+    for tok in &tokens {
+        saw_trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    saw_trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if saw_trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let kind = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        match count_tuple_fields(g.stream()) {
+                            1 => VariantKind::Newtype,
+                            n => VariantKind::Tuple(n),
+                        }
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantKind::Struct(parse_named_fields(g.stream()))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                variants.push(Variant { name, kind });
+            }
+            other => panic!("serde_derive: unexpected token in variants: {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __map = ::serde::json::Map::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__map.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::json::Value::Object(__map)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::json::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => "::serde::json::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::json::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::__variant_object(\
+                         \"{vn}\", ::serde::Serialize::serialize(__f0)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::__variant_object(\"{vn}\", \
+                             ::serde::json::Value::Array(::std::vec![{}])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: __field_{f}"))
+                            .collect();
+                        let mut inner = String::from(
+                            "let mut __map = ::serde::json::Map::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__map.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::serialize(__field_{f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} \
+                             ::serde::__variant_object(\"{vn}\", \
+                             ::serde::json::Value::Object(__map)) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables, unreachable_patterns, unreachable_code)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::json::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::__get_field(__m, \"{f}\", \"{name}\")?")
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::json::Value::Object(__m) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"expected object for {name}\")),\n}}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__a[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::json::Value::Array(__a) if __a.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"expected {n}-element array for {name}\")),\n}}",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also accept the tagged-null form for
+                        // leniency ({"Variant": null}).
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__a[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{\n\
+                             ::serde::json::Value::Array(__a) if __a.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vn}({})),\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"expected {n}-element array for {name}::{vn}\")),\n}},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::__get_field(__sm, \"{f}\", \"{name}::{vn}\")?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{\n\
+                             ::serde::json::Value::Object(__sm) => \
+                             ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"expected object for {name}::{vn}\")),\n}},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::json::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::json::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = __m.iter().next().expect(\"len checked\");\n\
+                 let _ = &__inner;\n\
+                 match __k.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"expected externally tagged enum for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables, unreachable_patterns, unreachable_code)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::json::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
