@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Opaque identity id, unique within an [`crate::AuthService`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct IdentityId(pub u64);
 
 impl fmt::Display for IdentityId {

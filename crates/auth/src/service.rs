@@ -178,17 +178,15 @@ impl AuthService {
     /// Register a resource server and the scopes it owns.
     pub fn register_resource_server(&self, name: &str, scopes: &[&str]) {
         let mut st = self.state.write();
-        st.resource_servers
-            .insert(name.to_string(), scopes.iter().map(|s| s.to_string()).collect());
+        st.resource_servers.insert(
+            name.to_string(),
+            scopes.iter().map(|s| s.to_string()).collect(),
+        );
     }
 
     /// Issue a bearer token for `identity` carrying `scopes`, valid for
     /// the default TTL.
-    pub fn issue_token(
-        &self,
-        identity: IdentityId,
-        scopes: &[Scope],
-    ) -> Result<Token, AuthError> {
+    pub fn issue_token(&self, identity: IdentityId, scopes: &[Scope]) -> Result<Token, AuthError> {
         self.issue_token_ttl(identity, scopes, self.default_ttl, false)
     }
 
@@ -214,12 +212,12 @@ impl AuthService {
         {
             let st = self.state.read();
             for scope in scopes {
-                let server_scopes = st
-                    .resource_servers
-                    .get(&scope.resource_server)
-                    .ok_or_else(|| {
-                        AuthError::UnknownResourceServer(scope.resource_server.clone())
-                    })?;
+                let server_scopes =
+                    st.resource_servers
+                        .get(&scope.resource_server)
+                        .ok_or_else(|| {
+                            AuthError::UnknownResourceServer(scope.resource_server.clone())
+                        })?;
                 if !server_scopes.contains(&scope.name) {
                     return Err(AuthError::UnknownScope(scope.clone()));
                 }
@@ -412,7 +410,10 @@ mod tests {
             .issue_token(id, &[Scope::new("dlhub", "dlhub:serve")])
             .unwrap();
         std::thread::sleep(Duration::from_millis(5));
-        assert_eq!(auth.introspect(&token).unwrap_err(), AuthError::ExpiredToken);
+        assert_eq!(
+            auth.introspect(&token).unwrap_err(),
+            AuthError::ExpiredToken
+        );
     }
 
     #[test]
@@ -422,7 +423,10 @@ mod tests {
             .issue_token(id, &[Scope::new("dlhub", "dlhub:serve")])
             .unwrap();
         auth.revoke(&token);
-        assert_eq!(auth.introspect(&token).unwrap_err(), AuthError::InvalidToken);
+        assert_eq!(
+            auth.introspect(&token).unwrap_err(),
+            AuthError::InvalidToken
+        );
     }
 
     #[test]

@@ -10,9 +10,9 @@
 //! Kubernetes cluster", so even cached responses pay the trip to the
 //! cluster — unlike DLHub's Task-Manager cache.
 
+use dlhub_container::{Cluster, Digest, PodSpec};
 use dlhub_core::memo::{MemoCache, MemoKey, MemoStats};
 use dlhub_core::{Servable, Value};
-use dlhub_container::{Cluster, Digest, PodSpec};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -250,8 +250,8 @@ impl Clipper {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlhub_core::servable::servable_fn;
     use dlhub_container::NodeSpec;
+    use dlhub_core::servable::servable_fn;
 
     fn cluster() -> Cluster {
         Cluster::new(vec![NodeSpec::new("n0", 64_000, 65_536)])
@@ -272,10 +272,7 @@ mod tests {
     #[test]
     fn frontend_runs_as_a_pod() {
         let c = clipper();
-        assert_eq!(
-            c.cluster.running_pods("clipper-query-frontend").len(),
-            1
-        );
+        assert_eq!(c.cluster.running_pods("clipper-query-frontend").len(), 1);
     }
 
     #[test]

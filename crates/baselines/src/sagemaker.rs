@@ -4,9 +4,9 @@
 //! containers for local deployment."
 
 use crate::protocol::{decode, encode, Protocol};
+use dlhub_container::{Image, ImageBuilder, Recipe};
 use dlhub_core::servable::servable_fn;
 use dlhub_core::{Servable, Value};
-use dlhub_container::{Image, ImageBuilder, Recipe};
 use dlhub_matsci::forest::{ForestConfig, RandomForest};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -146,9 +146,7 @@ impl SageMaker {
             return Err(SageMakerError::Training("empty training set".into()));
         }
         if input_shape.len() != 3 {
-            return Err(SageMakerError::Training(
-                "input shape must be CHW".into(),
-            ));
+            return Err(SageMakerError::Training("input shape must be CHW".into()));
         }
         if data
             .iter()
@@ -238,11 +236,7 @@ impl SageMaker {
     }
 
     /// `InvokeEndpoint`: the Flask path — JSON in, JSON out.
-    pub fn invoke_endpoint(
-        &self,
-        endpoint: &str,
-        input: &Value,
-    ) -> Result<Value, SageMakerError> {
+    pub fn invoke_endpoint(&self, endpoint: &str, input: &Value) -> Result<Value, SageMakerError> {
         let model = {
             let mut endpoints = self.endpoints.write();
             let ep = endpoints
@@ -394,10 +388,7 @@ mod tests {
             Err(SageMakerError::Training(_))
         ));
         // Label out of range.
-        let bad = vec![(
-            dlhub_core::tensor::Tensor::zeros(vec![1, 8, 8]),
-            5usize,
-        )];
+        let bad = vec![(dlhub_core::tensor::Tensor::zeros(vec![1, 8, 8]), 5usize)];
         assert!(matches!(
             sm.create_cnn_training_job("m", vec![1, 8, 8], 2, &bad, 1, 0),
             Err(SageMakerError::Training(_))
@@ -425,7 +416,8 @@ mod tests {
     #[test]
     fn name_collisions_rejected() {
         let sm = SageMaker::new();
-        sm.create_model("m", servable_fn(|v| Ok(v.clone()))).unwrap();
+        sm.create_model("m", servable_fn(|v| Ok(v.clone())))
+            .unwrap();
         assert!(matches!(
             sm.create_model("m", servable_fn(|v| Ok(v.clone()))),
             Err(SageMakerError::AlreadyExists(_))
@@ -478,7 +470,8 @@ mod tests {
     #[test]
     fn export_builds_a_container() {
         let sm = SageMaker::new();
-        sm.create_model("m", servable_fn(|v| Ok(v.clone()))).unwrap();
+        sm.create_model("m", servable_fn(|v| Ok(v.clone())))
+            .unwrap();
         let image = sm.export_container("m").unwrap();
         assert!(image.layers.iter().any(|l| l.step.contains("m.artifact")));
         assert_eq!(image.entrypoint, "serve");

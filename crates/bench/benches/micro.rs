@@ -159,8 +159,8 @@ fn bench_search(c: &mut Criterion) {
         b.iter(|| black_box(index.search(&Query::free_text("model domain 3"), &[])))
     });
     group.bench_function("boolean_range_1k_docs", |b| {
-        let q = Query::field_match("model_type", "keras")
-            .and(Query::range("year", Some(2017.0), None));
+        let q =
+            Query::field_match("model_type", "keras").and(Query::range("year", Some(2017.0), None));
         b.iter(|| black_box(index.search(&q, &[])))
     });
     group.finish();
@@ -300,17 +300,98 @@ fn bench_uncertainty(c: &mut Criterion) {
             ..Default::default()
         },
     );
-    let probe =
-        dlhub_matsci::featurize(&dlhub_matsci::parse_formula("BaTiO3").unwrap());
+    let probe = dlhub_matsci::featurize(&dlhub_matsci::parse_formula("BaTiO3").unwrap());
     group.bench_function("forest_predict_with_uncertainty", |b| {
         b.iter(|| black_box(forest.predict_with_uncertainty(&probe)))
     });
     group.finish();
 }
 
+fn bench_memo_contention(c: &mut Criterion) {
+    // The sharded cache's reason to exist: get/put latency while other
+    // threads hammer the cache. With a single global lock these
+    // numbers collapse; with shards they should stay near the
+    // uncontended cost.
+    let mut group = c.benchmark_group("memo_contended");
+    group.measurement_time(Duration::from_secs(2));
+    for contenders in [0usize, 3, 7] {
+        let cache = std::sync::Arc::new(MemoCache::new(64 * 1024 * 1024));
+        for i in 0..1000 {
+            cache.put(MemoKey::new("m", &Value::Int(i)), Value::Int(i));
+        }
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let hammers: Vec<_> = (0..contenders)
+            .map(|t| {
+                let cache = std::sync::Arc::clone(&cache);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0i64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let key = MemoKey::new("m", &Value::Int((t as i64) * 1000 + i % 500));
+                        if i % 4 == 0 {
+                            cache.put(key, Value::Int(i));
+                        } else {
+                            black_box(cache.get(&key));
+                        }
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        let hot = MemoKey::new("m", &Value::Int(0));
+        group.bench_function(format!("get_with_{contenders}_contenders"), |b| {
+            b.iter(|| black_box(cache.get(&hot)))
+        });
+        group.bench_function(format!("put_with_{contenders}_contenders"), |b| {
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                cache.put(MemoKey::new("bench", &Value::Int(i % 500)), Value::Int(i));
+            })
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in hammers {
+            h.join().unwrap();
+        }
+    }
+    group.finish();
+}
+
+fn bench_memo_eviction(c: &mut Criterion) {
+    // Eviction must be O(1): a put that evicts from a 100k-entry cache
+    // should cost the same as one evicting from a 10k-entry cache
+    // (the old implementation scanned every entry for the LRU victim).
+    let mut group = c.benchmark_group("memo_eviction");
+    group.measurement_time(Duration::from_secs(2));
+    for entries in [10_000i64, 100_000] {
+        let payload_size = Value::Bytes(vec![0u8; 64]).approx_size();
+        let cache = MemoCache::new(entries as usize * payload_size);
+        for i in 0..entries {
+            cache.put(
+                MemoKey::new("m", &Value::Int(i)),
+                Value::Bytes(vec![0u8; 64]),
+            );
+        }
+        // The cache is exactly full: every further put evicts.
+        let mut i = entries;
+        group.bench_function(format!("evicting_put_at_{entries}_entries"), |b| {
+            b.iter(|| {
+                i += 1;
+                cache.put(
+                    MemoKey::new("m", &Value::Int(i)),
+                    Value::Bytes(vec![0u8; 64]),
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_memo_cache,
+    bench_memo_contention,
+    bench_memo_eviction,
     bench_queue_rpc,
     bench_protocols,
     bench_kernels,

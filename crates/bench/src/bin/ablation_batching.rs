@@ -136,9 +136,8 @@ fn main() {
     println!("\nwrote {}", path.display());
 
     println!("\nshape checks:");
-    let p50 = |servable: &'static str, adaptive: bool| {
-        results[&(servable, adaptive)].as_secs_f64() * 1e3
-    };
+    let p50 =
+        |servable: &'static str, adaptive: bool| results[&(servable, adaptive)].as_secs_f64() * 1e3;
     shape_check(
         &format!(
             "cheap servable: adaptive at least as good as fixed (fixed {} ms vs adaptive {} ms)",

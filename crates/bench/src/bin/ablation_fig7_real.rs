@@ -57,7 +57,11 @@ fn main() {
                 std::thread::spawn(move || {
                     for i in 0..REQUESTS / 24 {
                         service
-                            .run(&token, "dlhub/fixed-cost", Value::Int((c * 1000 + i) as i64))
+                            .run(
+                                &token,
+                                "dlhub/fixed-cost",
+                                Value::Int((c * 1000 + i) as i64),
+                            )
                             .unwrap();
                     }
                 })

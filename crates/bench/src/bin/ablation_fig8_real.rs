@@ -15,10 +15,10 @@
 use dlhub_baselines::protocol::Protocol;
 use dlhub_baselines::{Clipper, SageMaker, TensorFlowModelServer};
 use dlhub_bench::report::{ms, print_table, shape_check, write_csv};
+use dlhub_container::Cluster;
 use dlhub_core::servable::builtins::ImageClassifier;
 use dlhub_core::servable::ModelType;
 use dlhub_core::value::Value;
-use dlhub_container::Cluster;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -121,7 +121,11 @@ fn main() {
 
     println!("\nshape checks (the mechanisms behind Fig 8, measured for real):");
     shape_check(
-        &format!("gRPC beats REST on the same server ({} vs {} ms)", ms(tfs_grpc), ms(tfs_rest)),
+        &format!(
+            "gRPC beats REST on the same server ({} vs {} ms)",
+            ms(tfs_grpc),
+            ms(tfs_rest)
+        ),
         tfs_grpc < tfs_rest,
     );
     shape_check(

@@ -114,7 +114,12 @@ fn main() {
     );
     let path = write_csv(
         "ablation_memo.csv",
-        &["capacity_entries", "hit_rate", "mean_request_ms", "evictions"],
+        &[
+            "capacity_entries",
+            "hit_rate",
+            "mean_request_ms",
+            "evictions",
+        ],
         &csv,
     );
     println!("\nwrote {}", path.display());

@@ -31,9 +31,24 @@ fn main() {
         let (req5, req50, req95) = series(|s| s.request);
         rows.push(vec![
             c.name.to_string(),
-            format!("{} [{}..{}]", ms(inf50.as_millis()), ms(inf5.as_millis()), ms(inf95.as_millis())),
-            format!("{} [{}..{}]", ms(inv50.as_millis()), ms(inv5.as_millis()), ms(inv95.as_millis())),
-            format!("{} [{}..{}]", ms(req50.as_millis()), ms(req5.as_millis()), ms(req95.as_millis())),
+            format!(
+                "{} [{}..{}]",
+                ms(inf50.as_millis()),
+                ms(inf5.as_millis()),
+                ms(inf95.as_millis())
+            ),
+            format!(
+                "{} [{}..{}]",
+                ms(inv50.as_millis()),
+                ms(inv5.as_millis()),
+                ms(inv95.as_millis())
+            ),
+            format!(
+                "{} [{}..{}]",
+                ms(req50.as_millis()),
+                ms(req5.as_millis()),
+                ms(req95.as_millis())
+            ),
         ]);
         csv.push(vec![
             c.name.to_string(),
@@ -63,9 +78,15 @@ fn main() {
         "fig3.csv",
         &[
             "servable",
-            "inference_p50_ms", "inference_p5_ms", "inference_p95_ms",
-            "invocation_p50_ms", "invocation_p5_ms", "invocation_p95_ms",
-            "request_p50_ms", "request_p5_ms", "request_p95_ms",
+            "inference_p50_ms",
+            "inference_p5_ms",
+            "inference_p95_ms",
+            "invocation_p50_ms",
+            "invocation_p5_ms",
+            "invocation_p95_ms",
+            "request_p50_ms",
+            "request_p5_ms",
+            "request_p95_ms",
         ],
         &csv,
     );
@@ -78,7 +99,10 @@ fn main() {
     let ms_gaps_ok = overhead_gaps
         .iter()
         .all(|(_, _, ms_gap)| (20.0..40.0).contains(ms_gap));
-    shape_check("MS-side overhead ≈ RTT + ~10ms for every servable", ms_gaps_ok);
+    shape_check(
+        "MS-side overhead ≈ RTT + ~10ms for every servable",
+        ms_gaps_ok,
+    );
     let image_models_pay_more = {
         let gap = |name: &str| {
             overhead_gaps
@@ -94,5 +118,8 @@ fn main() {
         image_models_pay_more,
     );
     let inception_dominates = rows[1][1] != rows[0][1];
-    shape_check("inference ordering inception > cifar10 > util", inception_dominates);
+    shape_check(
+        "inference ordering inception > cifar10 > util",
+        inception_dominates,
+    );
 }

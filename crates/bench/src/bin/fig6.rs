@@ -80,13 +80,13 @@ fn main() {
             }
         }),
     );
-    shape_check(
-        "per-request slope tracks servable cost (cifar10 > noop)",
-        {
-            let slope = |name: &str| {
-                fits.iter().find(|(n, ..)| *n == name).map(|(_, _, b, _)| *b).unwrap()
-            };
-            slope("cifar10") > slope("noop")
-        },
-    );
+    shape_check("per-request slope tracks servable cost (cifar10 > noop)", {
+        let slope = |name: &str| {
+            fits.iter()
+                .find(|(n, ..)| *n == name)
+                .map(|(_, _, b, _)| *b)
+                .unwrap()
+        };
+        slope("cifar10") > slope("noop")
+    });
 }

@@ -48,10 +48,7 @@ fn main() {
         // Knee: smallest replica count already within 10% of the best
         // (fully scaled-out) makespan — where extra replicas stop
         // paying off.
-        let best = series
-            .iter()
-            .map(|(_, s)| *s)
-            .fold(f64::INFINITY, f64::min);
+        let best = series.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
         let knee = series
             .iter()
             .find(|(_, s)| *s <= best * 1.10)

@@ -20,14 +20,49 @@ fn main() {
         "DLHub",
     ];
     let rows: Vec<Vec<String>> = [
-        ["Publication method", "BYO", "BYO", "Curated", "Curated", "BYO"],
-        ["Domain(s) supported", "General", "General", "Medical", "Genomics", "General"],
+        [
+            "Publication method",
+            "BYO",
+            "BYO",
+            "Curated",
+            "Curated",
+            "BYO",
+        ],
+        [
+            "Domain(s) supported",
+            "General",
+            "General",
+            "Medical",
+            "Genomics",
+            "General",
+        ],
         ["Datasets included", "Yes", "Yes", "No", "No", "Yes"],
-        ["Metadata type", "Ad hoc", "Ad hoc", "Ad hoc", "Structured", "Structured"],
-        ["Search capabilities", "SQL", "None", "Web GUI", "Web GUI", "Elasticsearch"],
+        [
+            "Metadata type",
+            "Ad hoc",
+            "Ad hoc",
+            "Ad hoc",
+            "Structured",
+            "Structured",
+        ],
+        [
+            "Search capabilities",
+            "SQL",
+            "None",
+            "Web GUI",
+            "Web GUI",
+            "Elasticsearch",
+        ],
         ["Identifiers supported", "No", "BYO", "No", "BYO", "BYO"],
         ["Versioning supported", "Yes", "No", "No", "Yes", "Yes"],
-        ["Export method", "Git", "Git", "Git/Docker", "Git/Docker", "Docker"],
+        [
+            "Export method",
+            "Git",
+            "Git",
+            "Git/Docker",
+            "Git/Docker",
+            "Docker",
+        ],
     ]
     .iter()
     .map(|r| r.iter().map(|c| c.to_string()).collect())
@@ -106,5 +141,8 @@ fn main() {
     // Export: the built container is pullable from the registry by
     // digest (Docker export).
     let image = hub.repo.registry().pull_digest(second.image);
-    shape_check("Docker-style container export from the registry", image.is_ok());
+    shape_check(
+        "Docker-style container export from the registry",
+        image.is_ok(),
+    );
 }

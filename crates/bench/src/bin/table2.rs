@@ -7,12 +7,12 @@
 
 use dlhub_baselines::{Clipper, SageMaker, TensorFlowModelServer};
 use dlhub_bench::report::{print_table, shape_check, write_csv};
+use dlhub_container::Cluster;
 use dlhub_core::hub::TestHub;
 use dlhub_core::pipeline::Pipeline;
 use dlhub_core::servable::builtins::ImageClassifier;
 use dlhub_core::servable::ModelType;
 use dlhub_core::value::Value;
-use dlhub_container::Cluster;
 use std::sync::Arc;
 
 fn main() {
@@ -25,8 +25,22 @@ fn main() {
         "DLHub",
     ];
     let rows: Vec<Vec<String>> = [
-        ["Service model", "Hosted", "Self-service", "Self-service", "Hosted", "Hosted"],
-        ["Model types", "Limited", "TF Servables", "General", "General", "General"],
+        [
+            "Service model",
+            "Hosted",
+            "Self-service",
+            "Self-service",
+            "Hosted",
+            "Hosted",
+        ],
+        [
+            "Model types",
+            "Limited",
+            "TF Servables",
+            "General",
+            "General",
+            "General",
+        ],
         [
             "Input types supported",
             "Unknown",
@@ -79,8 +93,13 @@ fn main() {
             dlhub_core::servable::servable_fn(|v| Ok(v.clone())),
         )
         .is_err();
-    tfs.load_model("m", 1, ModelType::Keras, Arc::new(ImageClassifier::cifar10(7)))
-        .unwrap();
+    tfs.load_model(
+        "m",
+        1,
+        ModelType::Keras,
+        Arc::new(ImageClassifier::cifar10(7)),
+    )
+    .unwrap();
     let input = Value::from_tensor(&dlhub_core::tensor::models::synthetic_image(
         &dlhub_core::tensor::models::CIFAR10_INPUT,
         0,
@@ -96,7 +115,10 @@ fn main() {
 
     // Clipper: general model types, but requires privileged access.
     let unprivileged = Clipper::deploy(Cluster::petrelkube(), false).is_err();
-    shape_check("Clipper requires privileged access to dockerize", unprivileged);
+    shape_check(
+        "Clipper requires privileged access to dockerize",
+        unprivileged,
+    );
 
     // SageMaker: training supported.
     let sm = SageMaker::new();
@@ -119,7 +141,10 @@ fn main() {
         .service
         .run(&hub.token, "dlhub/matminer-util", Value::Str("NaCl".into()))
         .is_ok();
-    shape_check("DLHub serves arbitrary transformation functions", transformation);
+    shape_check(
+        "DLHub serves arbitrary transformation functions",
+        transformation,
+    );
     hub.service
         .register_pipeline(
             &hub.token,

@@ -26,7 +26,9 @@ pub struct CalibratedServable {
 fn measure(servable: &dyn Servable, input: &Value, runs: usize) -> Duration {
     // Warm up (allocators, thread pools), then take the median of
     // `runs` timed executions.
-    servable.run(input).expect("calibration input must be valid");
+    servable
+        .run(input)
+        .expect("calibration input must be valid");
     let mut samples: Vec<Duration> = (0..runs.max(1))
         .map(|_| {
             let start = Instant::now();

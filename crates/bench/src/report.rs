@@ -27,6 +27,14 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
     path
 }
 
+/// Write a pretty-printed JSON document under `results/`.
+pub fn write_json(name: &str, value: &serde_json::Value) -> PathBuf {
+    let path = results_dir().join(name);
+    let text = serde_json::to_string_pretty(value).expect("serialize json");
+    std::fs::write(&path, text + "\n").expect("write json");
+    path
+}
+
 /// Print an aligned text table.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -48,7 +56,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
     println!("{}", render(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", render(row));
     }
@@ -68,10 +79,7 @@ pub fn ms(value: f64) -> String {
 /// A PASS/FAIL shape check printed under each figure, recording
 /// whether the paper's qualitative claim holds in our reproduction.
 pub fn shape_check(description: &str, holds: bool) {
-    println!(
-        "  [{}] {description}",
-        if holds { "PASS" } else { "FAIL" }
-    );
+    println!("  [{}] {description}", if holds { "PASS" } else { "FAIL" });
 }
 
 /// Least-squares linear fit `y = a + b x`, returning `(a, b, r2)`.

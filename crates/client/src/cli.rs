@@ -47,8 +47,12 @@ fn metadata_path(workdir: &Path) -> PathBuf {
 
 fn load(workdir: &Path) -> Result<LocalServable, CliError> {
     let path = metadata_path(workdir);
-    let text = std::fs::read_to_string(&path)
-        .map_err(|_| format!("no servable here; run 'dlhub init' first ({})", path.display()))?;
+    let text = std::fs::read_to_string(&path).map_err(|_| {
+        format!(
+            "no servable here; run 'dlhub init' first ({})",
+            path.display()
+        )
+    })?;
     serde_json::from_str(&text).map_err(|e| format!("corrupt {}: {e}", path.display()))
 }
 

@@ -82,9 +82,7 @@ impl RestApi {
             ("GET", ["servables"]) => self.search(token, query),
             ("POST", ["servables"]) => self.publish(token, body),
             ("GET", ["servables", user, name]) => self.describe(token, user, name),
-            ("POST", ["servables", user, name, "run"]) => {
-                self.run(token, user, name, body, false)
-            }
+            ("POST", ["servables", user, name, "run"]) => self.run(token, user, name, body, false),
             ("POST", ["servables", user, name, "run_async"]) => {
                 self.run(token, user, name, body, true)
             }
@@ -100,10 +98,7 @@ impl RestApi {
         let Some(name) = body.get("name").and_then(|v| v.as_str()) else {
             return RestResponse::error(400, "missing 'name'");
         };
-        let kind = body
-            .get("kind")
-            .and_then(|v| v.as_str())
-            .unwrap_or("echo");
+        let kind = body.get("kind").and_then(|v| v.as_str()).unwrap_or("echo");
         let (servable, model_type, input, output) = match crate::kinds::instantiate(kind) {
             Ok(parts) => parts,
             Err(e) => return RestResponse::error(400, e),
@@ -341,7 +336,10 @@ mod tests {
         assert_eq!(run.status, 200);
         assert_eq!(run.body["output"]["Json"]["composition"]["O"], 2.0);
         // Unauthenticated and malformed publishes are rejected.
-        assert_eq!(api.handle("POST", "/servables", None, json!({})).status, 401);
+        assert_eq!(
+            api.handle("POST", "/servables", None, json!({})).status,
+            401
+        );
         assert_eq!(
             api.handle("POST", "/servables", Some(&hub.token), json!({}))
                 .status,

@@ -154,11 +154,9 @@ impl DlhubClient {
             ))?;
             match body["status"].as_str() {
                 Some("completed") => {
-                    return serde_json::from_value(body["output"].clone()).map_err(|e| {
-                        SdkError {
-                            status: 500,
-                            message: format!("malformed output: {e}"),
-                        }
+                    return serde_json::from_value(body["output"].clone()).map_err(|e| SdkError {
+                        status: 500,
+                        message: format!("malformed output: {e}"),
                     })
                 }
                 Some("failed") => {
@@ -246,9 +244,7 @@ mod tests {
         let c = client(&hub);
         let err = c.run("dlhub/ghost", &Value::Null).unwrap_err();
         assert_eq!(err.status, 404);
-        let err = c
-            .run("dlhub/matminer-util", &Value::Int(1))
-            .unwrap_err();
+        let err = c.run("dlhub/matminer-util", &Value::Int(1)).unwrap_err();
         assert_eq!(err.status, 400);
     }
 }

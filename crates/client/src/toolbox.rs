@@ -145,7 +145,9 @@ mod tests {
 
     #[test]
     fn builder_enforces_schema() {
-        let err = MetadataBuilder::new("m", ModelType::Keras).build().unwrap_err();
+        let err = MetadataBuilder::new("m", ModelType::Keras)
+            .build()
+            .unwrap_err();
         assert!(err.contains("description"));
         let err = MetadataBuilder::new("bad name", ModelType::Keras)
             .description("d")

@@ -525,7 +525,11 @@ mod tests {
         let sched = BatchScheduler::new(8);
         let mut ids = Vec::new();
         for i in 0..6 {
-            ids.push(sched.submit(job(&format!("j{i}"), 1 + i % 3, 10 + i as u64)).unwrap());
+            ids.push(
+                sched
+                    .submit(job(&format!("j{i}"), 1 + i % 3, 10 + i as u64))
+                    .unwrap(),
+            );
         }
         sched.advance(5);
         sched.cancel(ids[1]).unwrap();

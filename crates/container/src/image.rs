@@ -15,7 +15,10 @@ pub struct Digest(pub u64, pub u64);
 impl Digest {
     /// Hash raw bytes.
     pub fn of_bytes(bytes: &[u8]) -> Self {
-        Digest(fnv1a(bytes, 0xcbf2_9ce4_8422_2325), fnv1a(bytes, 0x8422_2325_cbf2_9ce4))
+        Digest(
+            fnv1a(bytes, 0xcbf2_9ce4_8422_2325),
+            fnv1a(bytes, 0x8422_2325_cbf2_9ce4),
+        )
     }
 
     /// Chain this digest with more bytes (layer stacking).
@@ -112,11 +115,7 @@ impl ImageBuilder {
         }
         for (path, content) in &recipe.files {
             digest = digest.chain(path.as_bytes()).chain(content);
-            layers.push(self.layer(
-                format!("COPY {path}"),
-                content,
-                content.len() as u64,
-            ));
+            layers.push(self.layer(format!("COPY {path}"), content, content.len() as u64));
         }
         digest = digest.chain(recipe.entrypoint.as_bytes());
         Image {
@@ -201,19 +200,13 @@ mod tests {
     fn image_size_sums_layers() {
         let mut b = ImageBuilder::new();
         let img = b.build(&recipe());
-        assert_eq!(
-            img.size(),
-            img.layers.iter().map(|l| l.size).sum::<u64>()
-        );
+        assert_eq!(img.size(), img.layers.iter().map(|l| l.size).sum::<u64>());
         assert!(img.size() > 200 * 1024 * 1024);
     }
 
     #[test]
     fn digest_display_format() {
         let d = Digest(1, 2);
-        assert_eq!(
-            d.to_string(),
-            "sha-sim:00000000000000010000000000000002"
-        );
+        assert_eq!(d.to_string(), "sha-sim:00000000000000010000000000000002");
     }
 }

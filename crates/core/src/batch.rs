@@ -28,8 +28,7 @@ use std::time::{Duration, Instant};
 
 /// Callback that dispatches one coalesced batch and returns outputs in
 /// input order.
-pub type BatchDispatch =
-    Arc<dyn Fn(Vec<Value>) -> Result<Vec<Value>, DlhubError> + Send + Sync>;
+pub type BatchDispatch = Arc<dyn Fn(Vec<Value>) -> Result<Vec<Value>, DlhubError> + Send + Sync>;
 
 /// How the flush threshold is chosen.
 ///
@@ -103,11 +102,7 @@ impl Batcher {
 
     /// Create a batcher with an explicit sizing policy (fixed or
     /// profile-adaptive).
-    pub fn with_sizing(
-        sizing: BatchSizing,
-        max_delay: Duration,
-        dispatch: BatchDispatch,
-    ) -> Self {
+    pub fn with_sizing(sizing: BatchSizing, max_delay: Duration, dispatch: BatchDispatch) -> Self {
         let state = Arc::new(Mutex::new(State {
             pending: Vec::new(),
             oldest: None,
@@ -151,8 +146,7 @@ impl Batcher {
                             }
                         }
                     };
-                    let inputs: Vec<Value> =
-                        batch.iter().map(|p| p.input.clone()).collect();
+                    let inputs: Vec<Value> = batch.iter().map(|p| p.input.clone()).collect();
                     match (dispatch)(inputs) {
                         Ok(outputs) if outputs.len() == batch.len() => {
                             for (p, out) in batch.into_iter().zip(outputs) {
@@ -237,7 +231,11 @@ mod tests {
     #[test]
     fn single_request_flushes_after_delay() {
         let batches = Arc::new(Mutex::new(Vec::new()));
-        let b = Batcher::new(100, Duration::from_millis(10), counting_dispatch(batches.clone()));
+        let b = Batcher::new(
+            100,
+            Duration::from_millis(10),
+            counting_dispatch(batches.clone()),
+        );
         let start = Instant::now();
         let out = b.submit(Value::Int(7)).unwrap();
         assert_eq!(out, Value::Int(7));
@@ -317,11 +315,7 @@ mod tests {
 
     #[test]
     fn output_count_mismatch_is_an_error() {
-        let b = Batcher::new(
-            1,
-            Duration::from_millis(5),
-            Arc::new(|_| Ok(vec![])),
-        );
+        let b = Batcher::new(1, Duration::from_millis(5), Arc::new(|_| Ok(vec![])));
         assert!(matches!(
             b.submit(Value::Null).unwrap_err(),
             DlhubError::Transport(_)
@@ -340,12 +334,7 @@ mod tests {
         // No profile yet: conservative threshold of 1.
         assert_eq!(sizing.current_max(), 1);
         // Cheap servable with heavy overhead: wants the cap.
-        registry.record(
-            "m",
-            Duration::from_micros(5),
-            Duration::from_millis(3),
-            1,
-        );
+        registry.record("m", Duration::from_micros(5), Duration::from_millis(3), 1);
         assert_eq!(sizing.current_max(), 64);
     }
 

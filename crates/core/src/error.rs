@@ -102,8 +102,7 @@ mod tests {
     fn conversions_preserve_meaning() {
         let e: DlhubError = dlhub_queue::RpcError::Timeout.into();
         assert_eq!(e, DlhubError::Timeout);
-        let e: DlhubError =
-            dlhub_queue::QueueError::NoSuchTopic("t".into()).into();
+        let e: DlhubError = dlhub_queue::QueueError::NoSuchTopic("t".into()).into();
         assert!(matches!(e, DlhubError::Transport(_)));
     }
 }

@@ -10,7 +10,7 @@ use crate::servable::{ModelType, Servable};
 use crate::value::Value;
 use crossbeam::channel;
 use dlhub_container::{Cluster, Digest, PodSpec};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -69,17 +69,18 @@ impl Pool {
                         // surfaced as an execution error.
                         while let Ok(job) = rx.recv() {
                             let start = Instant::now();
-                            let result = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(|| job.servable.run(&job.input)),
-                            )
-                            .unwrap_or_else(|panic| {
-                                let msg = panic
-                                    .downcast_ref::<&str>()
-                                    .map(|s| s.to_string())
-                                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                                    .unwrap_or_else(|| "unknown panic".into());
-                                Err(format!("servable panicked: {msg}"))
-                            });
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    job.servable.run(&job.input)
+                                }))
+                                .unwrap_or_else(|panic| {
+                                    let msg = panic
+                                        .downcast_ref::<&str>()
+                                        .map(|s| s.to_string())
+                                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                                        .unwrap_or_else(|| "unknown panic".into());
+                                    Err(format!("servable panicked: {msg}"))
+                                });
                             let inference = start.elapsed();
                             let _ = job.reply.send((job.index, result, inference));
                         }
@@ -108,7 +109,10 @@ impl Pool {
 /// DLHub serve "any Python 3-compatible model or processing function".
 pub struct ParslExecutor {
     cluster: Cluster,
-    pools: Mutex<HashMap<String, Pool>>,
+    // Read-mostly: every dispatch reads the pool map, while writes
+    // only happen on deploy/rescale. An RwLock lets concurrent
+    // requests for different (or the same) servables share the map.
+    pools: RwLock<HashMap<String, Pool>>,
     default_replicas: usize,
     dispatched: AtomicU64,
 }
@@ -119,7 +123,7 @@ impl ParslExecutor {
     pub fn new(cluster: Cluster, default_replicas: usize) -> Self {
         ParslExecutor {
             cluster,
-            pools: Mutex::new(HashMap::new()),
+            pools: RwLock::new(HashMap::new()),
             default_replicas: default_replicas.max(1),
             dispatched: AtomicU64::new(0),
         }
@@ -143,7 +147,7 @@ impl ParslExecutor {
         } else {
             let _ = self.cluster.scale(&deployment, replicas);
         }
-        let mut pools = self.pools.lock();
+        let mut pools = self.pools.write();
         if let Some(pool) = pools.remove(servable_id) {
             if pool.replicas == replicas {
                 pools.insert(servable_id.to_string(), pool);
@@ -157,14 +161,11 @@ impl ParslExecutor {
 
     /// Current replica count for a servable (0 if never deployed).
     pub fn replicas(&self, servable_id: &str) -> usize {
-        self.pools
-            .lock()
-            .get(servable_id)
-            .map_or(0, |p| p.replicas)
+        self.pools.read().get(servable_id).map_or(0, |p| p.replicas)
     }
 
     fn ensure_pool(&self, servable_id: &str) {
-        if !self.pools.lock().contains_key(servable_id) {
+        if !self.pools.read().contains_key(servable_id) {
             self.scale(servable_id, self.default_replicas);
         }
     }
@@ -188,7 +189,9 @@ impl Executor for ParslExecutor {
         self.ensure_pool(servable_id);
         let (reply_tx, reply_rx) = channel::unbounded();
         {
-            let pools = self.pools.lock();
+            // Shared lock: many batches dispatch concurrently; the
+            // per-replica channels do the fan-out.
+            let pools = self.pools.read();
             let pool = pools.get(servable_id).expect("pool ensured above");
             for (index, input) in inputs.iter().enumerate() {
                 self.dispatched.fetch_add(1, Ordering::Relaxed);
@@ -232,7 +235,7 @@ impl Executor for ParslExecutor {
 
 impl Drop for ParslExecutor {
     fn drop(&mut self) {
-        for (_, pool) in self.pools.lock().drain() {
+        for (_, pool) in self.pools.write().drain() {
             pool.shutdown();
         }
     }
@@ -336,8 +339,7 @@ impl Executor for SageMakerExecutor {
             self.dispatched.fetch_add(1, Ordering::Relaxed);
             // HTTP body round trip in, …
             let body = serde_json::to_vec(input).map_err(|e| e.to_string())?;
-            let decoded: Value =
-                serde_json::from_slice(&body).map_err(|e| e.to_string())?;
+            let decoded: Value = serde_json::from_slice(&body).map_err(|e| e.to_string())?;
             let start = Instant::now();
             let output = servable.run(&decoded)?;
             times.push(start.elapsed());
@@ -425,9 +427,7 @@ mod tests {
             Ok(v.clone())
         });
         // The panicking input yields an error, not a hang.
-        let err = ex
-            .execute("u/bomb", &bomb, &[Value::Int(13)])
-            .unwrap_err();
+        let err = ex.execute("u/bomb", &bomb, &[Value::Int(13)]).unwrap_err();
         assert!(err.contains("panicked"), "{err}");
         assert!(err.contains("simulated crash"), "{err}");
         // Both replicas are still alive and serving afterwards.

@@ -129,10 +129,8 @@ impl TestHubBuilder {
             if i == 0 {
                 executors.push(Arc::clone(&parsl) as Arc<dyn Executor>);
             } else {
-                executors.push(Arc::new(ParslExecutor::new(
-                    cluster.clone(),
-                    self.replicas,
-                )) as Arc<dyn Executor>);
+                executors.push(Arc::new(ParslExecutor::new(cluster.clone(), self.replicas))
+                    as Arc<dyn Executor>);
             }
             task_managers.push(TaskManager::start(
                 &format!("cooley-tm-{i}"),
@@ -286,7 +284,10 @@ mod tests {
 
     #[test]
     fn replicas_are_deployed_on_the_cluster() {
-        let hub = TestHub::builder().replicas(3).without_eval_servables().build();
+        let hub = TestHub::builder()
+            .replicas(3)
+            .without_eval_servables()
+            .build();
         hub.publish_simple(
             "m",
             ModelType::PythonFunction,

@@ -7,6 +7,21 @@
 //! Manager — which is why, unlike Clipper's cluster-side cache, a
 //! DLHub hit costs ~1 ms (§V-B5).
 //!
+//! # Concurrency
+//!
+//! The cache is sharded: the key's content hash selects one of
+//! [`SHARD_COUNT`] independently locked shards, so concurrent requests
+//! for different keys almost never contend on a lock. Within a shard,
+//! recency is an intrusive doubly-linked list threaded through a slab
+//! of entries, giving O(1) touch-on-hit and O(1) eviction (no
+//! full-table scans). The byte budget is global: a put that pushes the
+//! cache over budget evicts the globally oldest shard head until the
+//! budget holds again — an O(shards) operation, independent of entry
+//! count. Hit/miss/eviction counters and the byte/entry gauges are
+//! relaxed atomics, so [`MemoCache::stats`], [`MemoCache::len`] and
+//! [`MemoCache::bytes`] never take a lock and never stall the hot
+//! path.
+//!
 //! ```
 //! use dlhub_core::memo::{MemoCache, MemoKey};
 //! use dlhub_core::value::Value;
@@ -21,7 +36,16 @@
 
 use crate::value::Value;
 use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of independently locked shards (power of two).
+const SHARD_COUNT: usize = 16;
+
+/// Sentinel index for the intrusive recency list.
+const NIL: usize = usize::MAX;
 
 /// Cache key: servable id plus the input's 128-bit content hash.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -38,6 +62,13 @@ impl MemoKey {
             input_hash: input.content_hash(),
         }
     }
+
+    /// Which shard this key lives in.
+    fn shard(&self) -> usize {
+        let mut hasher = DefaultHasher::new();
+        self.hash(&mut hasher);
+        (hasher.finish() as usize) & (SHARD_COUNT - 1)
+    }
 }
 
 /// Hit/miss counters.
@@ -51,53 +82,155 @@ pub struct MemoStats {
     pub evictions: u64,
 }
 
-struct Entry {
+/// One cached entry, doubly linked into its shard's recency list
+/// (`prev` toward LRU, `next` toward MRU).
+struct Slot {
+    key: MemoKey,
     output: Value,
     size: usize,
     last_used: u64,
+    prev: usize,
+    next: usize,
 }
 
-struct State {
-    entries: HashMap<MemoKey, Entry>,
-    stats: MemoStats,
-    bytes: usize,
-    clock: u64,
+/// One lock's worth of the cache: an index map plus a slab of slots
+/// threaded by an intrusive LRU list. All operations are O(1).
+struct Shard {
+    index: HashMap<MemoKey, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Least recently used slot (eviction candidate).
+    head: usize,
+    /// Most recently used slot.
+    tail: usize,
 }
 
-/// An LRU-evicting memo cache with a byte budget.
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            index: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn push_mru(&mut self, idx: usize) {
+        self.slots[idx].prev = self.tail;
+        self.slots[idx].next = NIL;
+        match self.tail {
+            NIL => self.head = idx,
+            t => self.slots[t].next = idx,
+        }
+        self.tail = idx;
+    }
+
+    /// Move an existing slot to the MRU end.
+    fn touch(&mut self, idx: usize, now: u64) {
+        self.unlink(idx);
+        self.push_mru(idx);
+        self.slots[idx].last_used = now;
+    }
+
+    fn insert(&mut self, key: MemoKey, output: Value, size: usize, now: u64) {
+        let slot = Slot {
+            key: key.clone(),
+            output,
+            size,
+            last_used: now,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = slot;
+                idx
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(key, idx);
+        self.push_mru(idx);
+    }
+
+    /// Remove a slot by index, returning its byte size.
+    fn remove(&mut self, idx: usize) -> usize {
+        self.unlink(idx);
+        let key = self.slots[idx].key.clone();
+        self.index.remove(&key);
+        let size = self.slots[idx].size;
+        // Drop the payload eagerly; the slot is recycled.
+        self.slots[idx].output = Value::Null;
+        self.slots[idx].size = 0;
+        self.free.push(idx);
+        size
+    }
+}
+
+/// A sharded, LRU-evicting memo cache with a global byte budget.
 pub struct MemoCache {
-    state: Mutex<State>,
+    shards: Vec<Mutex<Shard>>,
     capacity_bytes: usize,
+    bytes: AtomicUsize,
+    entries: AtomicUsize,
+    /// Logical clock ordering recency across shards.
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl MemoCache {
     /// Create a cache bounded to `capacity_bytes` of stored outputs.
     pub fn new(capacity_bytes: usize) -> Self {
         MemoCache {
-            state: Mutex::new(State {
-                entries: HashMap::new(),
-                stats: MemoStats::default(),
-                bytes: 0,
-                clock: 0,
-            }),
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(Shard::new())).collect(),
             capacity_bytes,
+            bytes: AtomicUsize::new(0),
+            entries: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Look up a cached output.
     pub fn get(&self, key: &MemoKey) -> Option<Value> {
-        let mut st = self.state.lock();
-        st.clock += 1;
-        let clock = st.clock;
-        match st.entries.get_mut(key) {
-            Some(entry) => {
-                entry.last_used = clock;
-                let out = entry.output.clone();
-                st.stats.hits += 1;
+        let now = self.tick();
+        let mut shard = self.shards[key.shard()].lock();
+        match shard.index.get(key).copied() {
+            Some(idx) => {
+                shard.touch(idx, now);
+                let out = shard.slots[idx].output.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(out)
             }
             None => {
-                st.stats.misses += 1;
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -111,46 +244,70 @@ impl MemoCache {
         if size > self.capacity_bytes {
             return;
         }
-        let mut st = self.state.lock();
-        st.clock += 1;
-        let clock = st.clock;
-        if let Some(old) = st.entries.remove(&key) {
-            st.bytes -= old.size;
+        let now = self.tick();
+        {
+            let mut shard = self.shards[key.shard()].lock();
+            if let Some(idx) = shard.index.get(&key).copied() {
+                let old = shard.remove(idx);
+                self.bytes.fetch_sub(old, Ordering::Relaxed);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+            }
+            shard.insert(key, output, size, now);
+            self.bytes.fetch_add(size, Ordering::Relaxed);
+            self.entries.fetch_add(1, Ordering::Relaxed);
         }
-        while st.bytes + size > self.capacity_bytes {
-            let victim = st
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone());
+        self.trim();
+    }
+
+    /// Evict globally-oldest entries until the byte budget holds.
+    /// Each round peeks one slot per shard (O(shards), independent of
+    /// entry count) and pops the stalest head. Locks are taken one
+    /// shard at a time, never nested.
+    fn trim(&self) {
+        while self.bytes.load(Ordering::Relaxed) > self.capacity_bytes {
+            let mut victim: Option<(usize, u64)> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                let shard = shard.lock();
+                if shard.head != NIL {
+                    let ts = shard.slots[shard.head].last_used;
+                    if victim.is_none_or(|(_, best)| ts < best) {
+                        victim = Some((i, ts));
+                    }
+                }
+            }
             match victim {
-                Some(k) => {
-                    let e = st.entries.remove(&k).expect("victim present");
-                    st.bytes -= e.size;
-                    st.stats.evictions += 1;
+                Some((i, _)) => {
+                    let mut shard = self.shards[i].lock();
+                    // The head may have moved since the peek; evicting
+                    // whatever is oldest in this shard now keeps the
+                    // policy approximately LRU without re-scanning.
+                    if shard.head == NIL {
+                        continue;
+                    }
+                    let idx = shard.head;
+                    let size = shard.remove(idx);
+                    drop(shard);
+                    self.bytes.fetch_sub(size, Ordering::Relaxed);
+                    self.entries.fetch_sub(1, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break,
             }
         }
-        st.bytes += size;
-        st.entries.insert(
-            key,
-            Entry {
-                output,
-                size,
-                last_used: clock,
-            },
-        );
     }
 
-    /// Current counters.
+    /// Current counters. Lock-free: reads three relaxed atomics.
     pub fn stats(&self) -> MemoStats {
-        self.state.lock().stats
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 
-    /// Entries currently cached.
+    /// Entries currently cached. Lock-free.
     pub fn len(&self) -> usize {
-        self.state.lock().entries.len()
+        self.entries.load(Ordering::Relaxed)
     }
 
     /// True when no entries are cached.
@@ -158,24 +315,29 @@ impl MemoCache {
         self.len() == 0
     }
 
-    /// Bytes currently stored.
+    /// Bytes currently stored. Lock-free.
     pub fn bytes(&self) -> usize {
-        self.state.lock().bytes
+        self.bytes.load(Ordering::Relaxed)
     }
 
-    /// Drop all entries (used when a servable is republished: stale
-    /// outputs must not survive a version bump).
+    /// Drop all entries for one servable (used when a servable is
+    /// republished: stale outputs must not survive a version bump).
+    /// Walks shards one at a time — readers of other shards are never
+    /// blocked, and there is no moment the whole cache is frozen.
     pub fn invalidate_servable(&self, servable: &str) {
-        let mut st = self.state.lock();
-        let victims: Vec<MemoKey> = st
-            .entries
-            .keys()
-            .filter(|k| k.servable == servable)
-            .cloned()
-            .collect();
-        for k in victims {
-            let e = st.entries.remove(&k).expect("victim present");
-            st.bytes -= e.size;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let victims: Vec<usize> = shard
+                .index
+                .iter()
+                .filter(|(k, _)| k.servable == servable)
+                .map(|(_, idx)| *idx)
+                .collect();
+            for idx in victims {
+                let size = shard.remove(idx);
+                self.bytes.fetch_sub(size, Ordering::Relaxed);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -183,6 +345,7 @@ impl MemoCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn cache() -> MemoCache {
         MemoCache::new(10_000)
@@ -211,8 +374,14 @@ mod tests {
     #[test]
     fn equal_inputs_hit_regardless_of_identity() {
         let c = cache();
-        let k1 = MemoKey::new("m", &Value::List(vec![Value::Int(1), Value::Str("x".into())]));
-        let k2 = MemoKey::new("m", &Value::List(vec![Value::Int(1), Value::Str("x".into())]));
+        let k1 = MemoKey::new(
+            "m",
+            &Value::List(vec![Value::Int(1), Value::Str("x".into())]),
+        );
+        let k2 = MemoKey::new(
+            "m",
+            &Value::List(vec![Value::Int(1), Value::Str("x".into())]),
+        );
         c.put(k1, Value::Bool(true));
         assert_eq!(c.get(&k2), Some(Value::Bool(true)));
     }
@@ -233,6 +402,39 @@ mod tests {
         assert!(c.get(&k(3)).is_some());
         assert_eq!(c.stats().evictions, 1);
         assert!(c.bytes() <= 100);
+    }
+
+    #[test]
+    fn eviction_order_is_global_across_shards() {
+        // Keys land in different shards; eviction must still pick the
+        // globally least-recently-used entry, not a per-shard victim.
+        let entry = |i: i64| {
+            (
+                MemoKey::new("m", &Value::Int(i)),
+                Value::Bytes(vec![0; 100]),
+            )
+        };
+        let (k0, v0) = entry(0);
+        let probe = v0.approx_size();
+        // Budget for exactly 8 entries.
+        let c = MemoCache::new(8 * probe);
+        c.put(k0, v0);
+        for i in 1..8 {
+            let (k, v) = entry(i);
+            c.put(k, v);
+        }
+        assert_eq!(c.len(), 8);
+        // Refresh everything except entry 3: it becomes global LRU.
+        for i in 0..8 {
+            if i != 3 {
+                assert!(c.get(&MemoKey::new("m", &Value::Int(i))).is_some());
+            }
+        }
+        let (k8, v8) = entry(8);
+        c.put(k8, v8);
+        assert_eq!(c.get(&MemoKey::new("m", &Value::Int(3))), None);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 8);
     }
 
     #[test]
@@ -262,7 +464,113 @@ mod tests {
         c.put(MemoKey::new("b", &Value::Int(1)), Value::Int(30));
         c.invalidate_servable("a");
         assert_eq!(c.get(&MemoKey::new("a", &Value::Int(1))), None);
-        assert_eq!(c.get(&MemoKey::new("b", &Value::Int(1))), Some(Value::Int(30)));
+        assert_eq!(
+            c.get(&MemoKey::new("b", &Value::Int(1))),
+            Some(Value::Int(30))
+        );
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled_after_eviction() {
+        let c = MemoCache::new(200);
+        let k = |i: i64| MemoKey::new("m", &Value::Int(i));
+        for i in 0..100 {
+            c.put(k(i), Value::Bytes(vec![0; 40]));
+        }
+        // Only a handful fit at a time; the slabs must not have grown
+        // one slot per put.
+        let total_slots: usize = c.shards.iter().map(|s| s.lock().slots.len()).sum();
+        assert!(total_slots <= 32, "slab leaked slots: {total_slots}");
+        assert!(c.bytes() <= 200);
+    }
+
+    #[test]
+    fn concurrent_get_put_invalidate_is_consistent() {
+        let c = Arc::new(MemoCache::new(64 * 1024));
+        let threads = 8;
+        let ops = 2_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let mut local_gets = 0u64;
+                    for i in 0..ops {
+                        let servable = format!("s{}", (t + i) % 3);
+                        let key = MemoKey::new(&servable, &Value::Int((i % 97) as i64));
+                        match i % 5 {
+                            0 | 1 => {
+                                c.put(key, Value::Bytes(vec![t as u8; 64 + i % 32]));
+                            }
+                            2 | 3 => {
+                                let _ = c.get(&key);
+                                local_gets += 1;
+                            }
+                            _ => c.invalidate_servable(&servable),
+                        }
+                    }
+                    local_gets
+                })
+            })
+            .collect();
+        let total_gets: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let stats = c.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            total_gets,
+            "every get counted once"
+        );
+        assert!(
+            c.bytes() <= 64 * 1024,
+            "byte budget violated: {}",
+            c.bytes()
+        );
+        // The lock-free gauges must agree with the ground truth held
+        // under the shard locks once the storm has quiesced.
+        let (real_entries, real_bytes) = c.shards.iter().fold((0, 0), |(n, b), s| {
+            let s = s.lock();
+            (
+                n + s.index.len(),
+                b + s.index.values().map(|&i| s.slots[i].size).sum::<usize>(),
+            )
+        });
+        assert_eq!(c.len(), real_entries);
+        assert_eq!(c.bytes(), real_bytes);
+    }
+
+    #[test]
+    fn stats_never_block_during_a_put_storm() {
+        let c = Arc::new(MemoCache::new(32 * 1024));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0i64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let key = MemoKey::new("storm", &Value::Int(i * 4 + t));
+                        c.put(key, Value::Bytes(vec![0; 128]));
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        // The reader must sail through a large number of metric reads
+        // while the writers hold shard locks; counters only grow.
+        let mut last = 0u64;
+        for _ in 0..50_000 {
+            let s = c.stats();
+            let total = s.hits + s.misses + s.evictions;
+            assert!(total >= last, "counters went backwards");
+            last = total;
+            let _ = c.len();
+            let _ = c.bytes();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert!(c.bytes() <= 32 * 1024);
     }
 }

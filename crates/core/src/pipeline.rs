@@ -40,10 +40,7 @@ impl Pipeline {
         }
         for pair in self.steps.windows(2) {
             if pair[0] == pair[1] {
-                return Err(format!(
-                    "pipeline repeats step '{}' consecutively",
-                    pair[0]
-                ));
+                return Err(format!("pipeline repeats step '{}' consecutively", pair[0]));
             }
         }
         Ok(())

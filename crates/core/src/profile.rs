@@ -138,7 +138,10 @@ impl ProfileRegistry {
             .inference
             .get_or_insert_with(Ewma::new)
             .update(per_item_inference);
-        entry.overhead.get_or_insert_with(Ewma::new).update(overhead);
+        entry
+            .overhead
+            .get_or_insert_with(Ewma::new)
+            .update(overhead);
         entry.overhead_floor = Some(match entry.overhead_floor {
             Some(floor) => floor.min(overhead),
             None => overhead,
@@ -157,9 +160,7 @@ impl ProfileRegistry {
             overhead: Duration::from_secs_f64(
                 entry.overhead.map(|e| e.value).unwrap_or(0.0).max(0.0),
             ),
-            overhead_floor: Duration::from_secs_f64(
-                entry.overhead_floor.unwrap_or(0.0).max(0.0),
-            ),
+            overhead_floor: Duration::from_secs_f64(entry.overhead_floor.unwrap_or(0.0).max(0.0)),
             samples: entry.samples,
         })
     }
@@ -189,12 +190,7 @@ mod tests {
     fn record_and_get() {
         let reg = ProfileRegistry::new();
         assert!(reg.get("m").is_none());
-        reg.record(
-            "m",
-            Duration::from_millis(40),
-            Duration::from_millis(45),
-            1,
-        );
+        reg.record("m", Duration::from_millis(40), Duration::from_millis(45), 1);
         let p = reg.get("m").unwrap();
         assert_eq!(p.samples, 1);
         assert!((p.inference.as_secs_f64() - 0.040).abs() < 1e-9);
@@ -261,7 +257,11 @@ mod tests {
             reg.record("m", Duration::from_millis(10), Duration::from_millis(90), 1);
         }
         let p = reg.get("m").unwrap();
-        assert!(p.overhead > Duration::from_millis(40), "mean {:?}", p.overhead);
+        assert!(
+            p.overhead > Duration::from_millis(40),
+            "mean {:?}",
+            p.overhead
+        );
         assert_eq!(p.overhead_floor, Duration::from_millis(1));
         // The knee uses the floor: 10ms / 1ms => 10 replicas, not 1.
         assert_eq!(p.suggested_replicas(32), 10);

@@ -202,9 +202,10 @@ impl Repository {
         };
         if let PublishVisibility::Restricted { users, groups } = &visibility {
             for qualified in users {
-                let uid = self.auth.lookup(qualified).ok_or_else(|| {
-                    DlhubError::Publication(format!("unknown user: {qualified}"))
-                })?;
+                let uid = self
+                    .auth
+                    .lookup(qualified)
+                    .ok_or_else(|| DlhubError::Publication(format!("unknown user: {qualified}")))?;
                 acl.allow_user(uid);
             }
             for g in groups {
@@ -501,8 +502,7 @@ impl Repository {
             return Err(DlhubError::Auth(format!("not an owner of {id}")));
         }
         entry.acl.make_public();
-        let (metadata, acl, version) =
-            (entry.metadata.clone(), entry.acl.clone(), entry.version);
+        let (metadata, acl, version) = (entry.metadata.clone(), entry.acl.clone(), entry.version);
         drop(entries);
         self.index_entry(id, &metadata, &acl, version)
     }
@@ -527,8 +527,7 @@ impl Repository {
             return Err(DlhubError::Auth(format!("not an owner of {id}")));
         }
         entry.acl.allow_user(uid);
-        let (metadata, acl, version) =
-            (entry.metadata.clone(), entry.acl.clone(), entry.version);
+        let (metadata, acl, version) = (entry.metadata.clone(), entry.acl.clone(), entry.version);
         drop(entries);
         self.index_entry(id, &metadata, &acl, version)
     }
@@ -574,8 +573,7 @@ impl Repository {
         if let Some(t) = tags {
             entry.metadata.tags = t;
         }
-        let (metadata, acl, version) =
-            (entry.metadata.clone(), entry.acl.clone(), entry.version);
+        let (metadata, acl, version) = (entry.metadata.clone(), entry.acl.clone(), entry.version);
         drop(entries);
         self.index_entry(id, &metadata, &acl, version)
     }
@@ -810,7 +808,10 @@ mod tests {
         // Owner resolves fine.
         assert!(f.repo.resolve(Some(&f.alice), "alice/secret").is_ok());
         // Search hides it too.
-        assert!(f.repo.search(Some(&f.bob), &Query::free_text("secret")).is_empty());
+        assert!(f
+            .repo
+            .search(Some(&f.bob), &Query::free_text("secret"))
+            .is_empty());
         assert_eq!(
             f.repo
                 .search(Some(&f.alice), &Query::free_text("secret"))
@@ -1122,7 +1123,11 @@ mod tests {
             .search(None, &Query::field_match("tags", "bundle matminer"));
         assert_eq!(hits.len(), 2);
         // The bundle image is pullable under its bundle reference.
-        assert!(f.repo.registry().resolve("dlhub/alice-matminer:bundle").is_some());
+        assert!(f
+            .repo
+            .registry()
+            .resolve("dlhub/alice-matminer:bundle")
+            .is_some());
     }
 
     #[test]
@@ -1181,9 +1186,7 @@ mod tests {
                 )
                 .unwrap();
         }
-        let results = f
-            .repo
-            .search_faceted(None, &Query::All, &["model_type"]);
+        let results = f.repo.search_faceted(None, &Query::All, &["model_type"]);
         assert_eq!(results.facets["model_type"]["keras"], 2);
         assert_eq!(results.facets["model_type"]["scikit-learn"], 1);
     }

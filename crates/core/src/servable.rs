@@ -237,7 +237,10 @@ mod tests {
 
     #[test]
     fn descriptors_render() {
-        assert_eq!(TypeDesc::Tensor(Some(vec![3, 2])).descriptor(), "tensor[3x2]");
+        assert_eq!(
+            TypeDesc::Tensor(Some(vec![3, 2])).descriptor(),
+            "tensor[3x2]"
+        );
         assert_eq!(TypeDesc::Json.descriptor(), "json");
     }
 
@@ -261,10 +264,7 @@ mod tests {
     #[test]
     fn fn_servable_runs() {
         let s = servable_fn(|v| Ok(Value::Str(format!("got {v}"))));
-        assert_eq!(
-            s.run(&Value::Int(3)).unwrap(),
-            Value::Str("got 3".into())
-        );
+        assert_eq!(s.run(&Value::Int(3)).unwrap(), Value::Str("got 3".into()));
         let failing = servable_fn(|_| Err("nope".into()));
         assert_eq!(failing.run(&Value::Null).unwrap_err(), "nope");
     }

@@ -100,8 +100,7 @@ impl Servable for MatminerUtil {
         let formula = input
             .as_str()
             .ok_or_else(|| "matminer util expects a formula string".to_string())?;
-        let composition =
-            dlhub_matsci::parse_formula(formula).map_err(|e| e.to_string())?;
+        let composition = dlhub_matsci::parse_formula(formula).map_err(|e| e.to_string())?;
         let amounts: serde_json::Map<String, serde_json::Value> = composition
             .amounts
             .iter()
@@ -131,8 +130,7 @@ impl Servable for MatminerFeaturize {
             Value::Str(s) => s.clone(),
             _ => return Err("matminer featurize expects json or string".into()),
         };
-        let composition =
-            dlhub_matsci::parse_formula(&formula).map_err(|e| e.to_string())?;
+        let composition = dlhub_matsci::parse_formula(&formula).map_err(|e| e.to_string())?;
         let features = dlhub_matsci::featurize(&composition);
         Ok(Value::Tensor {
             shape: vec![features.len()],

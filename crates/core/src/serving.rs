@@ -10,8 +10,8 @@ use crate::batch::Batcher;
 use crate::error::DlhubError;
 use crate::memo::{MemoCache, MemoKey, MemoStats};
 use crate::metrics::Timings;
-use crate::profile::ProfileRegistry;
 use crate::pipeline::{Pipeline, StepTiming};
+use crate::profile::ProfileRegistry;
 use crate::repository::{PublishReceipt, PublishVisibility, Repository, SERVE_SCOPE};
 use crate::servable::{Servable, ServableMetadata};
 use crate::task::{next_task_id, TaskHandle, TaskRequest, TaskResponse, TaskStatus, TaskTable};
@@ -19,8 +19,8 @@ use crate::task_manager::{TmRegistration, REGISTRATION_TOPIC};
 use crate::value::Value;
 use dlhub_auth::{Scope, Token};
 use dlhub_queue::{Broker, RpcClient};
-use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -44,6 +44,10 @@ pub struct ServingConfig {
     /// profiles instead of the fixed `batch_max` (the paper's proposed
     /// adaptive batching, §V-B3). `batch_max` remains the cap.
     pub adaptive_batching: bool,
+    /// Threads in the service-owned worker pool that runs
+    /// [`ManagementService::run_async`] dispatches. The pool bounds
+    /// concurrent async work; 0 is treated as 1.
+    pub async_workers: usize,
 }
 
 impl Default for ServingConfig {
@@ -56,6 +60,90 @@ impl Default for ServingConfig {
             batch_max: 32,
             batch_delay: Duration::from_millis(5),
             adaptive_batching: false,
+            async_workers: 4,
+        }
+    }
+}
+
+/// A fixed-size worker pool with an injector queue, replacing the
+/// thread-per-request dispatch of async runs. Workers block on the
+/// queue's condvar; shutdown drains every queued job before the
+/// threads exit, so no accepted request is dropped.
+struct AsyncPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    available: Condvar,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<Box<dyn FnOnce() + Send>>,
+    shutdown: bool,
+}
+
+impl AsyncPool {
+    fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dlhub-async-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let mut queue = shared.queue.lock();
+                            loop {
+                                if let Some(job) = queue.jobs.pop_front() {
+                                    break Some(job);
+                                }
+                                // Only exit once the queue is drained:
+                                // shutdown is graceful.
+                                if queue.shutdown {
+                                    break None;
+                                }
+                                shared.available.wait(&mut queue);
+                            }
+                        };
+                        match job {
+                            Some(job) => job(),
+                            None => break,
+                        }
+                    })
+                    .expect("spawn async pool worker")
+            })
+            .collect();
+        AsyncPool { shared, workers }
+    }
+
+    fn submit(&self, job: Box<dyn FnOnce() + Send>) {
+        let mut queue = self.shared.queue.lock();
+        queue.jobs.push_back(job);
+        drop(queue);
+        self.shared.available.notify_one();
+    }
+}
+
+impl Drop for AsyncPool {
+    fn drop(&mut self) {
+        self.shared.queue.lock().shutdown = true;
+        self.shared.available.notify_all();
+        // The last Arc<ManagementService> can be dropped from inside a
+        // pool job, making a worker run this destructor: it must not
+        // join itself.
+        let current = std::thread::current().id();
+        for worker in self.workers.drain(..) {
+            if worker.thread().id() != current {
+                let _ = worker.join();
+            }
         }
     }
 }
@@ -86,8 +174,12 @@ pub struct ManagementService {
     memo_enabled: AtomicBool,
     task_table: Arc<TaskTable>,
     pipelines: RwLock<HashMap<String, Pipeline>>,
-    batchers: Mutex<HashMap<String, Arc<Batcher>>>,
-    registrations: Mutex<Vec<TmRegistration>>,
+    // Read-mostly registries: steady-state requests only take the
+    // shared side; the exclusive side is reserved for first-touch
+    // creation and registration drains.
+    batchers: RwLock<HashMap<String, Arc<Batcher>>>,
+    registrations: RwLock<Vec<TmRegistration>>,
+    async_pool: AsyncPool,
     profiles: ProfileRegistry,
     broker: Broker,
     config: ServingConfig,
@@ -104,8 +196,9 @@ impl ManagementService {
             memo_enabled: AtomicBool::new(config.memo_enabled),
             task_table: TaskTable::new(),
             pipelines: RwLock::new(HashMap::new()),
-            batchers: Mutex::new(HashMap::new()),
-            registrations: Mutex::new(Vec::new()),
+            batchers: RwLock::new(HashMap::new()),
+            registrations: RwLock::new(Vec::new()),
+            async_pool: AsyncPool::new(config.async_workers),
             profiles: ProfileRegistry::new(),
             broker: broker.clone(),
             repo,
@@ -169,7 +262,10 @@ impl ManagementService {
     fn authorize_serve(&self, token: &Token) -> Result<(), DlhubError> {
         self.repo
             .auth()
-            .authorize(token, &Scope::new(crate::repository::RESOURCE_SERVER, SERVE_SCOPE))
+            .authorize(
+                token,
+                &Scope::new(crate::repository::RESOURCE_SERVER, SERVE_SCOPE),
+            )
             .map(|_| ())
             .map_err(DlhubError::from)
     }
@@ -221,12 +317,8 @@ impl ManagementService {
         let invocation = Duration::from_nanos(response.invocation_nanos);
         // Feed the servable's rolling profile: adaptive batching and
         // the replica autoscaler consume these observations.
-        self.profiles.record(
-            id,
-            inference.iter().sum(),
-            invocation,
-            outputs.len().max(1),
-        );
+        self.profiles
+            .record(id, inference.iter().sum(), invocation, outputs.len().max(1));
         Ok((outputs, inference, invocation))
     }
 
@@ -272,11 +364,10 @@ impl ManagementService {
                 });
             }
         }
-        let (mut outputs, inference, invocation) =
-            self.execute_remote(id, vec![input])?;
-        let value = outputs.pop().ok_or_else(|| {
-            DlhubError::Transport("task manager returned no output".into())
-        })?;
+        let (mut outputs, inference, invocation) = self.execute_remote(id, vec![input])?;
+        let value = outputs
+            .pop()
+            .ok_or_else(|| DlhubError::Transport("task manager returned no output".into()))?;
         if memoize {
             self.memo.put(key, value.clone());
         }
@@ -326,8 +417,15 @@ impl ManagementService {
         input: Value,
     ) -> Result<Value, DlhubError> {
         self.preflight(token, id, std::slice::from_ref(&input))?;
+        // Fast path: the batcher already exists, so a read lock keeps
+        // concurrent submitters for different servables contention-free.
+        if let Some(batcher) = self.batchers.read().get(id).map(Arc::clone) {
+            return batcher.submit(input);
+        }
         let batcher = {
-            let mut batchers = self.batchers.lock();
+            let mut batchers = self.batchers.write();
+            // Double-check: another caller may have created it between
+            // the read unlock and the write lock.
             match batchers.get(id) {
                 Some(b) => Arc::clone(b),
                 None => {
@@ -375,19 +473,18 @@ impl ManagementService {
         let handle = TaskHandle::new(task_id.clone(), Arc::clone(&self.task_table));
         let service = Arc::clone(self);
         let servable = id.to_string();
-        std::thread::Builder::new()
-            .name(format!("async-{task_id}"))
-            .spawn(move || {
-                let status = match service.execute_remote(&servable, vec![input]) {
-                    Ok((mut outputs, _, _)) => match outputs.pop() {
-                        Some(v) => TaskStatus::Completed(v),
-                        None => TaskStatus::Failed("no output".into()),
-                    },
-                    Err(e) => TaskStatus::Failed(e.to_string()),
-                };
-                service.task_table.resolve(&task_id, status);
-            })
-            .expect("spawn async task");
+        // No thread is spawned per request: the job joins the injector
+        // queue and one of the `async_workers` pool threads runs it.
+        self.async_pool.submit(Box::new(move || {
+            let status = match service.execute_remote(&servable, vec![input]) {
+                Ok((mut outputs, _, _)) => match outputs.pop() {
+                    Some(v) => TaskStatus::Completed(v),
+                    None => TaskStatus::Failed("no output".into()),
+                },
+                Err(e) => TaskStatus::Failed(e.to_string()),
+            };
+            service.task_table.resolve(&task_id, status);
+        }));
         Ok(handle)
     }
 
@@ -400,11 +497,7 @@ impl ManagementService {
 
     /// Register a pipeline. Every step must be visible to the
     /// registrant.
-    pub fn register_pipeline(
-        &self,
-        token: &Token,
-        pipeline: Pipeline,
-    ) -> Result<(), DlhubError> {
+    pub fn register_pipeline(&self, token: &Token, pipeline: Pipeline) -> Result<(), DlhubError> {
         self.authorize_serve(token)?;
         pipeline.validate().map_err(DlhubError::Pipeline)?;
         for step in &pipeline.steps {
@@ -455,16 +548,20 @@ impl ManagementService {
     /// Task Managers that have registered so far (§IV-B). Drains the
     /// registration topic on each call.
     pub fn task_managers(&self) -> Vec<TmRegistration> {
-        let mut registrations = self.registrations.lock();
+        // Drain outside any lock; only extend under the write lock
+        // when something actually arrived, so concurrent callers that
+        // find the topic empty share the read side.
+        let mut fresh = Vec::new();
         while let Ok(Some(delivery)) = self.broker.try_recv(REGISTRATION_TOPIC) {
-            if let Ok(reg) =
-                serde_json::from_slice::<TmRegistration>(&delivery.message.payload)
-            {
-                registrations.push(reg);
+            if let Ok(reg) = serde_json::from_slice::<TmRegistration>(&delivery.message.payload) {
+                fresh.push(reg);
             }
             delivery.ack();
         }
-        registrations.clone()
+        if !fresh.is_empty() {
+            self.registrations.write().extend(fresh);
+        }
+        self.registrations.read().clone()
     }
 }
 
@@ -480,7 +577,10 @@ mod tests {
     #[test]
     fn run_noop_returns_hello_world_with_timings() {
         let hub = TestHub::builder().build();
-        let result = hub.service.run(&hub.token, "dlhub/noop", Value::Null).unwrap();
+        let result = hub
+            .service
+            .run(&hub.token, "dlhub/noop", Value::Null)
+            .unwrap();
         assert_eq!(result.value, Value::Str("hello world".into()));
         assert!(result.timings.request >= result.timings.invocation);
         assert!(result.timings.invocation >= result.timings.inference);
@@ -619,7 +719,10 @@ mod tests {
             .run_async(&hub.token, "dlhub/noop", Value::Null)
             .unwrap();
         let status = handle.wait(Duration::from_secs(5));
-        assert_eq!(status, TaskStatus::Completed(Value::Str("hello world".into())));
+        assert_eq!(
+            status,
+            TaskStatus::Completed(Value::Str("hello world".into()))
+        );
         // The service can be polled by UUID too.
         assert_eq!(
             hub.service.task_status(&handle.id).unwrap(),
@@ -660,9 +763,7 @@ mod tests {
                 "dlhub/matminer-model".into(),
             ],
         );
-        hub.service
-            .register_pipeline(&hub.token, pipeline)
-            .unwrap();
+        hub.service.register_pipeline(&hub.token, pipeline).unwrap();
         let (value, steps) = hub
             .service
             .run_pipeline(&hub.token, "formation-enthalpy", Value::Str("SiO2".into()))
@@ -681,10 +782,7 @@ mod tests {
         let hub = TestHub::builder().build();
         let err = hub
             .service
-            .register_pipeline(
-                &hub.token,
-                Pipeline::new("bad", vec!["dlhub/ghost".into()]),
-            )
+            .register_pipeline(&hub.token, Pipeline::new("bad", vec!["dlhub/ghost".into()]))
             .unwrap_err();
         assert!(matches!(err, DlhubError::NotFound(_)));
         let err = hub
@@ -716,7 +814,10 @@ mod tests {
 
     #[test]
     fn profiles_accumulate_from_real_traffic() {
-        let hub = TestHub::builder().without_eval_servables().memo(false).build();
+        let hub = TestHub::builder()
+            .without_eval_servables()
+            .memo(false)
+            .build();
         hub.publish_simple(
             "sleepy",
             ModelType::PythonFunction,
@@ -744,7 +845,10 @@ mod tests {
     #[test]
     fn autoscaler_closes_the_loop_over_live_profiles() {
         use crate::autoscale::{AutoscalePolicy, Autoscaler};
-        let hub = TestHub::builder().without_eval_servables().memo(false).build();
+        let hub = TestHub::builder()
+            .without_eval_servables()
+            .memo(false)
+            .build();
         hub.publish_simple(
             "heavy",
             ModelType::PythonFunction,
@@ -814,6 +918,91 @@ mod tests {
             .collect();
         got.sort_unstable();
         assert_eq!(got, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn async_burst_is_bounded_by_the_worker_pool() {
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        let workers = 2;
+        let hub = TestHub::builder()
+            .without_eval_servables()
+            .memo(false)
+            .replicas(8)
+            .consumers(8)
+            .config(ServingConfig {
+                async_workers: workers,
+                ..ServingConfig::default()
+            })
+            .build();
+        hub.publish_simple(
+            "gauge",
+            ModelType::PythonFunction,
+            servable_fn(|v| {
+                let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                PEAK.fetch_max(live, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(20));
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+                Ok(v.clone())
+            }),
+        );
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                hub.service
+                    .run_async(&hub.token, "dlhub/gauge", Value::Int(i))
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            match h.wait(Duration::from_secs(10)) {
+                TaskStatus::Completed(Value::Int(_)) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Executors and consumers have spare capacity (8 each), so the
+        // only thing limiting concurrency is the async worker pool.
+        let peak = PEAK.load(Ordering::SeqCst);
+        assert!(
+            peak <= workers,
+            "pool leaked concurrency: peak {peak} > {workers} workers"
+        );
+        assert!(peak >= 1);
+    }
+
+    #[test]
+    fn memo_stats_stay_readable_during_a_run_storm() {
+        let hub = TestHub::builder().memo(true).build();
+        let service = Arc::clone(&hub.service);
+        let token = hub.token.clone();
+        let per_writer = 100i64;
+        let writers: Vec<_> = (0..3)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                let token = token.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_writer {
+                        // Distinct inputs: every request is a miss
+                        // followed by a put, hammering the cache's
+                        // write side.
+                        let input = Value::Str(format!("Na{}Cl{}", t + 1, i + 1));
+                        service.run(&token, "dlhub/matminer-util", input).unwrap();
+                    }
+                })
+            })
+            .collect();
+        // Metric reads must make progress (lock-free counters) while
+        // the put storm runs; totals can only grow.
+        let mut last = 0u64;
+        while last < 3 * per_writer as u64 {
+            let s = service.memo_stats();
+            let total = s.hits + s.misses;
+            assert!(total >= last, "memo counters went backwards");
+            last = total;
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert!(service.memo_stats().misses >= 3 * per_writer as u64);
     }
 
     #[test]

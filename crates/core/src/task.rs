@@ -249,10 +249,7 @@ mod tests {
         let table = TaskTable::new();
         table.register("t");
         let handle = TaskHandle::new("t".into(), Arc::clone(&table));
-        assert_eq!(
-            handle.wait(Duration::from_millis(20)),
-            TaskStatus::Pending
-        );
+        assert_eq!(handle.wait(Duration::from_millis(20)), TaskStatus::Pending);
     }
 
     #[test]

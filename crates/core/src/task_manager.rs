@@ -327,7 +327,10 @@ mod tests {
         let f = fixture(vec![parsl()]);
         let reply = f
             .client
-            .call_wait(bytes::Bytes::from_static(b"garbage"), Duration::from_secs(5))
+            .call_wait(
+                bytes::Bytes::from_static(b"garbage"),
+                Duration::from_secs(5),
+            )
             .unwrap();
         let response = TaskResponse::from_bytes(&reply).unwrap();
         assert!(response.outcome.unwrap_err().contains("malformed"));

@@ -160,7 +160,13 @@ fn canonical_json(v: &serde_json::Value) -> String {
             keys.sort();
             let inner: Vec<String> = keys
                 .into_iter()
-                .map(|k| format!("{}:{}", serde_json::Value::from(k.clone()), canonical_json(&map[k])))
+                .map(|k| {
+                    format!(
+                        "{}:{}",
+                        serde_json::Value::from(k.clone()),
+                        canonical_json(&map[k])
+                    )
+                })
                 .collect();
             format!("{{{}}}", inner.join(","))
         }
@@ -249,7 +255,10 @@ mod tests {
             Value::Str("1".into()).content_hash(),
             Value::Int(1).content_hash()
         );
-        assert_ne!(Value::Null.content_hash(), Value::Bool(false).content_hash());
+        assert_ne!(
+            Value::Null.content_hash(),
+            Value::Bool(false).content_hash()
+        );
         assert_ne!(
             Value::Bytes(vec![65]).content_hash(),
             Value::Str("A".into()).content_hash()

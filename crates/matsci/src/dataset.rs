@@ -48,17 +48,19 @@ impl Dataset {
     pub fn split(mut self, train_fraction: f64) -> (Dataset, Dataset) {
         let cut = (self.examples.len() as f64 * train_fraction) as usize;
         let test = self.examples.split_off(cut);
-        (Dataset { examples: self.examples }, Dataset { examples: test })
+        (
+            Dataset {
+                examples: self.examples,
+            },
+            Dataset { examples: test },
+        )
     }
 }
 
 /// The synthetic ground truth: a smooth function of composition.
 pub fn ground_truth(composition: &Composition) -> f64 {
     let fractions = composition.fractions();
-    let mean_en: f64 = fractions
-        .iter()
-        .map(|(e, f)| e.electronegativity * f)
-        .sum();
+    let mean_en: f64 = fractions.iter().map(|(e, f)| e.electronegativity * f).sum();
     let en_spread: f64 = fractions
         .iter()
         .map(|(e, f)| (e.electronegativity - mean_en).abs() * f)
@@ -160,8 +162,7 @@ mod tests {
         // skill-free baseline; learning must at least halve it.
         let targets = test.targets();
         let mean = targets.iter().sum::<f64>() / targets.len() as f64;
-        let baseline =
-            targets.iter().map(|t| (t - mean).abs()).sum::<f64>() / targets.len() as f64;
+        let baseline = targets.iter().map(|t| (t - mean).abs()).sum::<f64>() / targets.len() as f64;
         assert!(
             mae < baseline / 2.0,
             "MAE {mae} did not halve the mean-predictor baseline {baseline}"

@@ -53,11 +53,7 @@ pub fn featurize(composition: &Composition) -> Vec<f64> {
     // Stoichiometric attributes.
     features.push(fractions.len() as f64);
     let l2: f64 = fractions.iter().map(|(_, f)| f * f).sum::<f64>().sqrt();
-    let l3: f64 = fractions
-        .iter()
-        .map(|(_, f)| f.powi(3))
-        .sum::<f64>()
-        .cbrt();
+    let l3: f64 = fractions.iter().map(|(_, f)| f.powi(3)).sum::<f64>().cbrt();
     features.push(l2);
     features.push(l3);
     debug_assert_eq!(features.len(), FEATURE_COUNT);

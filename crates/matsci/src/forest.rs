@@ -76,16 +76,7 @@ impl DecisionTree {
             .clamp(1, n_features.max(1));
         let mut nodes = Vec::new();
         let mut work = indices.to_vec();
-        Self::grow(
-            x,
-            y,
-            &mut work,
-            0,
-            config,
-            max_features,
-            rng,
-            &mut nodes,
-        );
+        Self::grow(x, y, &mut work, 0, config, max_features, rng, &mut nodes);
         DecisionTree { nodes }
     }
 
@@ -140,7 +131,14 @@ impl DecisionTree {
             let (left_part, right_part) = indices.split_at_mut(split_at);
             let l = Self::grow(x, y, left_part, depth + 1, config, max_features, rng, nodes);
             let r = Self::grow(
-                x, y, right_part, depth + 1, config, max_features, rng, nodes,
+                x,
+                y,
+                right_part,
+                depth + 1,
+                config,
+                max_features,
+                rng,
+                nodes,
             );
             (l, r)
         };
@@ -267,7 +265,9 @@ impl RandomForest {
         let trees: Vec<DecisionTree> = (0..config.n_trees)
             .into_par_iter()
             .map(|t| {
-                let mut rng = StdRng::seed_from_u64(config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = StdRng::seed_from_u64(
+                    config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 let bootstrap: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
                 DecisionTree::fit(x, y, &bootstrap, config, &mut rng)
             })
@@ -294,7 +294,11 @@ impl RandomForest {
         let per_tree: Vec<f64> = self.trees.iter().map(|t| t.predict(features)).collect();
         let n = per_tree.len() as f64;
         let mean = per_tree.iter().sum::<f64>() / n;
-        let variance = per_tree.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n;
+        let variance = per_tree
+            .iter()
+            .map(|p| (p - mean) * (p - mean))
+            .sum::<f64>()
+            / n;
         (mean, variance.sqrt())
     }
 
@@ -306,12 +310,7 @@ impl RandomForest {
     /// Mean absolute error over a labelled set.
     pub fn mae(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
         let preds = self.predict_batch(x);
-        preds
-            .iter()
-            .zip(y)
-            .map(|(p, t)| (p - t).abs())
-            .sum::<f64>()
-            / y.len() as f64
+        preds.iter().zip(y).map(|(p, t)| (p - t).abs()).sum::<f64>() / y.len() as f64
     }
 }
 
@@ -384,14 +383,7 @@ mod tests {
         let f2 = RandomForest::fit(&x, &y, &config);
         let probe = vec![0.3, -0.4];
         assert_eq!(f1.predict(&probe), f2.predict(&probe));
-        let f3 = RandomForest::fit(
-            &x,
-            &y,
-            &ForestConfig {
-                seed: 43,
-                ..config
-            },
-        );
+        let f3 = RandomForest::fit(&x, &y, &ForestConfig { seed: 43, ..config });
         assert_ne!(f1.predict(&probe), f3.predict(&probe));
     }
 

@@ -72,10 +72,7 @@ impl Composition {
 
     /// Fraction-weighted mean atomic weight.
     pub fn mean_weight(&self) -> f64 {
-        self.fractions()
-            .iter()
-            .map(|(e, f)| e.weight * f)
-            .sum()
+        self.fractions().iter().map(|(e, f)| e.weight * f).sum()
     }
 
     /// Reduced formula string with elements in Hill-ish (alphabetical)
@@ -147,8 +144,7 @@ fn parse_group(
                 *pos += 1;
             }
             let symbol: String = chars[start..*pos].iter().collect();
-            let element =
-                by_symbol(&symbol).ok_or(FormulaError::UnknownElement(symbol.clone()))?;
+            let element = by_symbol(&symbol).ok_or(FormulaError::UnknownElement(symbol.clone()))?;
             let amount = parse_amount(chars, pos)?.unwrap_or(1.0);
             *amounts.entry(element.symbol).or_insert(0.0) += amount * multiplier;
         } else if c.is_whitespace() {

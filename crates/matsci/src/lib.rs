@@ -23,9 +23,9 @@
 pub mod dataset;
 pub mod elements;
 pub mod featurize;
-pub mod formula;
 pub mod forest;
+pub mod formula;
 
 pub use featurize::{featurize, FEATURE_COUNT};
-pub use formula::{parse_formula, Composition, FormulaError};
 pub use forest::{DecisionTree, ForestConfig, RandomForest};
+pub use formula::{parse_formula, Composition, FormulaError};

@@ -8,7 +8,7 @@
 use crate::message::{Message, MessageId};
 use crate::stats::TopicStats;
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -90,8 +90,12 @@ struct Topic {
     config: TopicConfig,
     state: Mutex<TopicState>,
     /// Signalled when a message becomes ready or the topic closes.
+    /// Steady-state publishes wake exactly one consumer
+    /// (`notify_one`); only shutdown paths (close/delete) broadcast,
+    /// avoiding thundering-herd wake-ups on busy topics.
     ready_cv: Condvar,
-    /// Signalled when space frees up in a bounded topic.
+    /// Signalled when space frees up in a bounded topic. Same
+    /// discipline: one freed slot wakes one blocked sender.
     space_cv: Condvar,
 }
 
@@ -198,7 +202,10 @@ pub struct Broker {
 
 struct BrokerInner {
     config: BrokerConfig,
-    topics: Mutex<HashMap<String, Arc<Topic>>>,
+    // Read-mostly: every send/recv resolves a topic name, while
+    // topics are created and deleted rarely. A shared lock keeps the
+    // per-request lookup contention-free.
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
 }
 
 impl Broker {
@@ -207,7 +214,7 @@ impl Broker {
         Broker {
             inner: Arc::new(BrokerInner {
                 config,
-                topics: Mutex::new(HashMap::new()),
+                topics: RwLock::new(HashMap::new()),
             }),
         }
     }
@@ -219,7 +226,7 @@ impl Broker {
 
     /// Create a topic with an explicit configuration.
     pub fn create_topic_with(&self, name: &str, config: TopicConfig) -> Result<(), QueueError> {
-        let mut topics = self.inner.topics.lock();
+        let mut topics = self.inner.topics.write();
         if topics.contains_key(name) {
             return Err(QueueError::TopicExists(name.to_string()));
         }
@@ -229,7 +236,10 @@ impl Broker {
 
     /// Create the topic if it does not exist yet; never fails.
     pub fn ensure_topic(&self, name: &str) {
-        let mut topics = self.inner.topics.lock();
+        if self.inner.topics.read().contains_key(name) {
+            return;
+        }
+        let mut topics = self.inner.topics.write();
         topics
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(Topic::new(self.inner.config.topic_defaults.clone())));
@@ -237,13 +247,13 @@ impl Broker {
 
     /// List existing topic names (unordered).
     pub fn topics(&self) -> Vec<String> {
-        self.inner.topics.lock().keys().cloned().collect()
+        self.inner.topics.read().keys().cloned().collect()
     }
 
     /// Delete a topic, dropping all queued and in-flight messages.
     pub fn delete_topic(&self, name: &str) -> Result<(), QueueError> {
         let topic = {
-            let mut topics = self.inner.topics.lock();
+            let mut topics = self.inner.topics.write();
             topics
                 .remove(name)
                 .ok_or_else(|| QueueError::NoSuchTopic(name.to_string()))?
@@ -269,7 +279,7 @@ impl Broker {
     fn topic(&self, name: &str) -> Result<Arc<Topic>, QueueError> {
         self.inner
             .topics
-            .lock()
+            .read()
             .get(name)
             .cloned()
             .ok_or_else(|| QueueError::NoSuchTopic(name.to_string()))
@@ -342,17 +352,20 @@ impl Broker {
         let mut st = topic.state.lock();
         Topic::reap_expired(&mut st, topic.config.max_attempts, Instant::now());
         match Self::lease_front(&topic, &mut st) {
-            Some(d) => Ok(Some(d)),
+            Some(d) => {
+                // Like the blocking receive path: leasing frees a
+                // ready slot, so a sender blocked on a bounded topic
+                // must be woken.
+                drop(st);
+                topic.space_cv.notify_one();
+                Ok(Some(d))
+            }
             None if st.closed => Err(QueueError::Closed(name.to_string())),
             None => Ok(None),
         }
     }
 
-    fn recv_deadline(
-        &self,
-        name: &str,
-        deadline: Option<Instant>,
-    ) -> Result<Delivery, QueueError> {
+    fn recv_deadline(&self, name: &str, deadline: Option<Instant>) -> Result<Delivery, QueueError> {
         let topic = self.topic(name)?;
         let mut st = topic.state.lock();
         loop {
@@ -597,6 +610,31 @@ mod tests {
     }
 
     #[test]
+    fn try_recv_frees_space_for_blocked_sender() {
+        let broker = Broker::new(BrokerConfig::default());
+        broker
+            .create_topic_with(
+                "t",
+                TopicConfig {
+                    capacity: Some(1),
+                    ..TopicConfig::default()
+                },
+            )
+            .unwrap();
+        broker.send("t", Bytes::from_static(b"a")).unwrap();
+        let b2 = broker.clone();
+        let h = thread::spawn(move || b2.send("t", Bytes::from_static(b"b")).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        // A non-blocking consumer must also wake the blocked sender.
+        let d = broker.try_recv("t").unwrap().expect("message ready");
+        d.ack();
+        h.join().unwrap();
+        let d = broker.recv("t").unwrap();
+        assert_eq!(&d.message.payload[..], b"b");
+        d.ack();
+    }
+
+    #[test]
     fn recv_timeout_times_out() {
         let broker = b();
         let err = broker
@@ -613,10 +651,7 @@ mod tests {
         // Existing message can still be drained.
         let d = broker.recv("t").unwrap();
         d.ack();
-        assert!(matches!(
-            broker.recv("t"),
-            Err(QueueError::Closed(_))
-        ));
+        assert!(matches!(broker.recv("t"), Err(QueueError::Closed(_))));
         assert!(matches!(
             broker.send("t", Bytes::new()),
             Err(QueueError::Closed(_))

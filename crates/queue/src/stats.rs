@@ -41,7 +41,8 @@ impl TopicStats {
     /// Messages currently unaccounted for (enqueued but neither acked
     /// nor dead-lettered). Useful as a liveness check in tests.
     pub fn outstanding(&self) -> u64 {
-        self.enqueued.saturating_sub(self.acked + self.dead_lettered)
+        self.enqueued
+            .saturating_sub(self.acked + self.dead_lettered)
     }
 }
 

@@ -71,11 +71,7 @@ mod tests {
 
     #[test]
     fn flattens_nested_objects() {
-        let d = Document::new(
-            "x",
-            json!({"a": {"b": 1, "c": "two"}, "d": true}),
-            vec![],
-        );
+        let d = Document::new("x", json!({"a": {"b": 1, "c": "two"}, "d": true}), vec![]);
         let mut fields = d.flat_fields();
         fields.sort_by(|a, b| a.0.cmp(&b.0));
         assert_eq!(

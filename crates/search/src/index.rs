@@ -334,9 +334,8 @@ fn eval(st: &State, query: &Query) -> HashMap<DocId, f64> {
             .iter()
             .filter(|(_, stored)| {
                 stored.numbers.get(field).is_some_and(|vals| {
-                    vals.iter().any(|v| {
-                        min.is_none_or(|m| *v >= m) && max.is_none_or(|m| *v <= m)
-                    })
+                    vals.iter()
+                        .any(|v| min.is_none_or(|m| *v >= m) && max.is_none_or(|m| *v <= m))
                 })
             })
             .map(|(id, _)| (id.clone(), 1.0))
@@ -472,7 +471,7 @@ mod tests {
         let index = corpus();
         let r = index.search(&Query::field_match("model_type", "keras"), PUBLIC);
         assert_eq!(ids(&r), vec!["cifar10"]); // candle-drug is restricted
-        // "keras" never appears in titles:
+                                              // "keras" never appears in titles:
         let r = index.search(&Query::field_match("title", "keras"), PUBLIC);
         assert!(r.hits.is_empty());
     }
@@ -500,12 +499,12 @@ mod tests {
     #[test]
     fn boolean_composition() {
         let index = corpus();
-        let q = Query::field_match("domain", "vision")
-            .and(Query::range("year", Some(2016.0), None));
+        let q =
+            Query::field_match("domain", "vision").and(Query::range("year", Some(2016.0), None));
         assert_eq!(ids(&index.search(&q, PUBLIC)), vec!["cifar10"]);
 
-        let q = Query::field_match("domain", "materials")
-            .or(Query::field_match("domain", "vision"));
+        let q =
+            Query::field_match("domain", "materials").or(Query::field_match("domain", "vision"));
         let r = index.search(&q, PUBLIC);
         let mut got = ids(&r);
         got.sort();

@@ -115,7 +115,9 @@ mod tests {
 
     #[test]
     fn and_flattens() {
-        let q = Query::free_text("a").and(Query::free_text("b")).and(Query::free_text("c"));
+        let q = Query::free_text("a")
+            .and(Query::free_text("b"))
+            .and(Query::free_text("c"));
         match q {
             Query::And(qs) => assert_eq!(qs.len(), 3),
             other => panic!("expected And, got {other:?}"),
@@ -124,7 +126,9 @@ mod tests {
 
     #[test]
     fn or_flattens() {
-        let q = Query::free_text("a").or(Query::free_text("b")).or(Query::free_text("c"));
+        let q = Query::free_text("a")
+            .or(Query::free_text("b"))
+            .or(Query::free_text("c"));
         match q {
             Query::Or(qs) => assert_eq!(qs.len(), 3),
             other => panic!("expected Or, got {other:?}"),

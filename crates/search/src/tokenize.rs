@@ -63,6 +63,9 @@ mod tests {
 
     #[test]
     fn unique_tokens_dedup() {
-        assert_eq!(unique_tokens("deep deep learning"), vec!["deep", "learning"]);
+        assert_eq!(
+            unique_tokens("deep deep learning"),
+            vec!["deep", "learning"]
+        );
     }
 }

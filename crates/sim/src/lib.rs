@@ -31,7 +31,5 @@ pub mod testbed;
 pub mod time;
 
 pub use engine::Sim;
-pub use serving::{
-    BatchPolicy, CacheLocation, RequestSample, ServableModel, ServingProfile,
-};
+pub use serving::{BatchPolicy, CacheLocation, RequestSample, ServableModel, ServingProfile};
 pub use time::SimTime;

@@ -53,7 +53,12 @@ pub struct ServableModel {
 
 impl ServableModel {
     /// Convenience constructor.
-    pub fn new(name: impl Into<String>, service_time: SimTime, input_kb: f64, output_kb: f64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        service_time: SimTime,
+        input_kb: f64,
+        output_kb: f64,
+    ) -> Self {
         ServableModel {
             name: name.into(),
             service_time,
@@ -177,8 +182,7 @@ impl ServingProfile {
                 // crosses TM -> cluster and back.
                 let lan = self.jittered(self.tm_cluster_rtt, rng);
                 let frontend = self.jittered(self.dispatch_overhead, rng);
-                let transfer =
-                    self.transfer(servable.input_kb) + self.transfer(servable.output_kb);
+                let transfer = self.transfer(servable.input_kb) + self.transfer(servable.output_kb);
                 let lookup = self.jittered(self.cache_lookup, rng);
                 let invocation = lan + frontend + transfer + lookup;
                 let request = ms + wan + tm + invocation;
@@ -192,8 +196,7 @@ impl ServingProfile {
             _ => {
                 let lan = self.jittered(self.tm_cluster_rtt, rng);
                 let dispatch = self.jittered(self.dispatch_overhead, rng);
-                let transfer =
-                    self.transfer(servable.input_kb) + self.transfer(servable.output_kb);
+                let transfer = self.transfer(servable.input_kb) + self.transfer(servable.output_kb);
                 let inference = self.jittered(servable.service_time, rng);
                 let invocation = lan + dispatch + transfer + inference;
                 let request = ms + wan + tm + invocation;
@@ -429,7 +432,7 @@ mod tests {
     fn extra_task_managers_lift_the_dispatch_ceiling() {
         let p = profile(None);
         let m = servable(); // 40ms service, 3ms dispatch
-        // Past the single-TM knee, more replicas are wasted…
+                            // Past the single-TM knee, more replicas are wasted…
         let one_tm = p.run_throughput_multi_tm(&m, 600, 40, 1, 0);
         // …until a second TM doubles the dispatch rate.
         let two_tm = p.run_throughput_multi_tm(&m, 600, 40, 2, 0);

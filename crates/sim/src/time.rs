@@ -79,7 +79,10 @@ mod tests {
         let t = SimTime::from_millis(20.7);
         assert!((t.as_millis() - 20.7).abs() < 1e-9);
         assert_eq!(SimTime::from_micros(170.0).as_millis(), 0.17);
-        assert_eq!(SimTime::from_duration(Duration::from_millis(5)).0, 5_000_000);
+        assert_eq!(
+            SimTime::from_duration(Duration::from_millis(5)).0,
+            5_000_000
+        );
     }
 
     #[test]

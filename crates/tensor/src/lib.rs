@@ -33,4 +33,4 @@ pub mod train;
 pub use layer::Layer;
 pub use network::{Block, Network};
 pub use tensor::{Tensor, TensorError};
-pub use train::{Trainable, TrainError};
+pub use train::{TrainError, Trainable};

@@ -122,10 +122,10 @@ pub fn inception(seed: u64) -> Network {
     blocks.push(inception_module(&mut rng, 96, 32, 24, 32, 32, 48, 16)); // -> 128
     blocks.push(inception_module(&mut rng, 128, 32, 24, 32, 32, 48, 16)); // -> 128
     blocks.push(inception_module(&mut rng, 128, 48, 32, 48, 40, 64, 32)); // -> 192
-    // Reduction + one module at 8x8.
+                                                                          // Reduction + one module at 8x8.
     blocks.push(Block::Seq(vec![Layer::MaxPool { size: 3, stride: 2 }])); // 192 x 8 x 8
     blocks.push(inception_module(&mut rng, 192, 64, 48, 64, 48, 96, 32)); // -> 256
-    // Head.
+                                                                          // Head.
     blocks.push(Block::Seq(vec![
         Layer::GlobalAvgPool,
         dense(&mut rng, 256, INCEPTION_CLASSES),
@@ -144,23 +144,21 @@ pub const CIFAR10_CLASSES: usize = 10;
 /// in 10 categories", §V-A). Deterministic for a given `seed`.
 pub fn cifar10(seed: u64) -> Network {
     let mut rng = StdRng::seed_from_u64(seed);
-    let blocks = vec![
-        Block::Seq(vec![
-            conv(&mut rng, 3, 32, 3, 1, 1),
-            Layer::ReLU,
-            conv(&mut rng, 32, 32, 3, 1, 1),
-            Layer::ReLU,
-            Layer::MaxPool { size: 2, stride: 2 }, // 32 x 16 x 16
-            conv(&mut rng, 32, 64, 3, 1, 1),
-            Layer::ReLU,
-            Layer::MaxPool { size: 2, stride: 2 }, // 64 x 8 x 8
-            Layer::Flatten,
-            dense(&mut rng, 64 * 8 * 8, 256),
-            Layer::ReLU,
-            dense(&mut rng, 256, CIFAR10_CLASSES),
-            Layer::Softmax,
-        ]),
-    ];
+    let blocks = vec![Block::Seq(vec![
+        conv(&mut rng, 3, 32, 3, 1, 1),
+        Layer::ReLU,
+        conv(&mut rng, 32, 32, 3, 1, 1),
+        Layer::ReLU,
+        Layer::MaxPool { size: 2, stride: 2 }, // 32 x 16 x 16
+        conv(&mut rng, 32, 64, 3, 1, 1),
+        Layer::ReLU,
+        Layer::MaxPool { size: 2, stride: 2 }, // 64 x 8 x 8
+        Layer::Flatten,
+        dense(&mut rng, 64 * 8 * 8, 256),
+        Layer::ReLU,
+        dense(&mut rng, 256, CIFAR10_CLASSES),
+        Layer::Softmax,
+    ])];
     Network::new("cifar10-cnn", CIFAR10_INPUT.to_vec(), blocks)
 }
 

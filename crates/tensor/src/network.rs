@@ -23,11 +23,7 @@ impl Block {
             Block::Branches(branches) => {
                 let outputs: Vec<Tensor> = branches
                     .iter()
-                    .map(|branch| {
-                        branch
-                            .iter()
-                            .fold(input.clone(), |t, l| l.forward(t))
-                    })
+                    .map(|branch| branch.iter().fold(input.clone(), |t, l| l.forward(t)))
                     .collect();
                 concat_channels(&outputs)
             }
@@ -155,9 +151,7 @@ mod tests {
             vec![1, 2, 2],
             vec![Block::Branches(vec![branch(1.0), branch(2.0)])],
         );
-        let out = net.forward(
-            Tensor::new(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap(),
-        );
+        let out = net.forward(Tensor::new(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap());
         assert_eq!(out.shape(), &[2, 2, 2]);
         assert_eq!(out.data(), &[1.0, 2.0, 3.0, 4.0, 2.0, 4.0, 6.0, 8.0]);
     }

@@ -337,8 +337,11 @@ mod tests {
     #[test]
     fn conv2d_multi_channel_sums_inputs() {
         // Two input channels, kernel of ones: output = c0 + c1 per pixel.
-        let input = Tensor::new(vec![2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0])
-            .unwrap();
+        let input = Tensor::new(
+            vec![2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+        )
+        .unwrap();
         let out = conv2d(&input, &[1.0, 1.0], &[0.0], 1, 1, 1, 1, 0);
         assert_eq!(out.data(), &[11.0, 22.0, 33.0, 44.0]);
     }

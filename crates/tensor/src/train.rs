@@ -132,9 +132,7 @@ impl Trainable {
                 }
                 Layer::BatchNorm { .. } => return Err(TrainError::Unsupported("BatchNorm")),
                 Layer::AvgPool { .. } => return Err(TrainError::Unsupported("AvgPool")),
-                Layer::GlobalAvgPool => {
-                    return Err(TrainError::Unsupported("GlobalAvgPool"))
-                }
+                Layer::GlobalAvgPool => return Err(TrainError::Unsupported("GlobalAvgPool")),
             }
         }
         let velocity = layers.iter().map(LayerGrads::zeros_like).collect();
@@ -277,16 +275,7 @@ impl Trainable {
                             }
                         }
                     }
-                    dy = col2im(
-                        &dcols,
-                        input.shape(),
-                        *kh,
-                        *kw,
-                        *stride,
-                        *padding,
-                        oh,
-                        ow,
-                    );
+                    dy = col2im(&dcols, input.shape(), *kh, *kw, *stride, *padding, oh, ow);
                 }
                 (Layer::ReLU, Cache::ReLU { mask }) => {
                     let data = dy.data_mut();
@@ -351,7 +340,10 @@ impl Trainable {
                 || {
                     (
                         0.0,
-                        self.layers.iter().map(LayerGrads::zeros_like).collect::<Vec<_>>(),
+                        self.layers
+                            .iter()
+                            .map(LayerGrads::zeros_like)
+                            .collect::<Vec<_>>(),
                     )
                 },
                 |(l1, mut g1), (l2, g2)| {
@@ -380,9 +372,7 @@ impl Trainable {
                         *v = momentum * *v - learning_rate * g;
                         *w += *v;
                     }
-                    for ((b, v), g) in
-                        bias.iter_mut().zip(vel.bias.iter_mut()).zip(&grad.bias)
-                    {
+                    for ((b, v), g) in bias.iter_mut().zip(vel.bias.iter_mut()).zip(&grad.bias) {
                         *v = momentum * *v - learning_rate * g;
                         *b += *v;
                     }
@@ -557,7 +547,11 @@ mod tests {
     fn random_input(seed: u64, shape: &[usize]) -> Tensor {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = shape.iter().product();
-        Tensor::new(shape.to_vec(), (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()).unwrap()
+        Tensor::new(
+            shape.to_vec(),
+            (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap()
     }
 
     /// Loss of the network at its current parameters.
@@ -757,6 +751,9 @@ mod tests {
         let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
         let back = col2im(&y, x.shape(), kh, kw, stride, padding, oh, ow);
         let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
     }
 }

@@ -165,11 +165,9 @@ impl TransferService {
                 let outcome = match source.get(&source_path) {
                     Some(content) => {
                         let bytes = content.len();
-                        let bandwidth =
-                            source.bandwidth_mbps().min(dest.bandwidth_mbps());
-                        let modeled = Duration::from_secs_f64(
-                            bytes as f64 / (bandwidth * 1024.0 * 1024.0),
-                        );
+                        let bandwidth = source.bandwidth_mbps().min(dest.bandwidth_mbps());
+                        let modeled =
+                            Duration::from_secs_f64(bytes as f64 / (bandwidth * 1024.0 * 1024.0));
                         let arrived = Checksum::of(&content);
                         if arrived != expected {
                             (
@@ -223,15 +221,15 @@ impl TransferService {
         let mut tasks = self.registry.tasks.lock();
         loop {
             match tasks.get(id) {
-                Some(info) if info.status != TransferStatus::Active => {
-                    return Ok(info.clone())
-                }
+                Some(info) if info.status != TransferStatus::Active => return Ok(info.clone()),
                 Some(_) => {
-                    if self.registry.cv.wait_until(&mut tasks, deadline).timed_out() {
-                        return Ok(tasks
-                            .get(id)
-                            .cloned()
-                            .expect("task present while waiting"));
+                    if self
+                        .registry
+                        .cv
+                        .wait_until(&mut tasks, deadline)
+                        .timed_out()
+                    {
+                        return Ok(tasks.get(id).cloned().expect("task present while waiting"));
                     }
                 }
                 None => return Err(TransferError::UnknownTask(id.to_string())),
@@ -330,7 +328,10 @@ mod tests {
             svc.status(&ghost),
             Err(TransferError::UnknownTask(_))
         ));
-        assert!(matches!(svc.wait(&ghost), Err(TransferError::UnknownTask(_))));
+        assert!(matches!(
+            svc.wait(&ghost),
+            Err(TransferError::UnknownTask(_))
+        ));
     }
 
     #[test]

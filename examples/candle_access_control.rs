@@ -53,7 +53,10 @@ fn main() {
             },
         )
         .expect("publish restricted model");
-    println!("published {} v{} (doi {})", receipt.id, receipt.version, receipt.doi);
+    println!(
+        "published {} v{} (doi {})",
+        receipt.id, receipt.version, receipt.doi
+    );
 
     // Discovery respects the ACL: the tester sees it, the outsider
     // does not — and cannot even learn it exists.
@@ -62,7 +65,11 @@ fn main() {
             .search(Some(token), &Query::free_text("drug response"))
             .len()
     };
-    println!("search hits — tester: {}, outsider: {}", visible(&tester), visible(&outsider));
+    println!(
+        "search hits — tester: {}, outsider: {}",
+        visible(&tester),
+        visible(&outsider)
+    );
 
     let tester_run = hub
         .service

@@ -36,7 +36,15 @@ fn main() {
         .expect("register pipeline");
 
     println!("composition -> predicted formation energy (synthetic model, eV/atom)\n");
-    for formula in ["SiO2", "NaCl", "Fe2O3", "CuNi", "Ca(OH)2", "BaTiO3", "Mg0.5Fe0.5O"] {
+    for formula in [
+        "SiO2",
+        "NaCl",
+        "Fe2O3",
+        "CuNi",
+        "Ca(OH)2",
+        "BaTiO3",
+        "Mg0.5Fe0.5O",
+    ] {
         let (value, steps) = hub
             .service
             .run_pipeline(&hub.token, "formation-enthalpy", Value::Str(formula.into()))
@@ -45,7 +53,10 @@ fn main() {
             .iter()
             .map(|s| s.timings.request.as_secs_f64() * 1e3)
             .sum();
-        println!("  {formula:<12} -> {value:>8}   ({total_ms:.2} ms across {} server-side steps)", steps.len());
+        println!(
+            "  {formula:<12} -> {value:>8}   ({total_ms:.2} ms across {} server-side steps)",
+            steps.len()
+        );
     }
 
     // The same stages remain individually invocable — the pipeline is
@@ -67,7 +78,11 @@ fn main() {
     let start = std::time::Instant::now();
     let parsed = hub
         .service
-        .run(&hub.token, "dlhub/matminer-util", Value::Str("BaTiO3".into()))
+        .run(
+            &hub.token,
+            "dlhub/matminer-util",
+            Value::Str("BaTiO3".into()),
+        )
         .unwrap();
     let feats = hub
         .service
@@ -105,7 +120,11 @@ fn main() {
         .expect("register UQ pipeline");
     let (with_uq, _) = hub
         .service
-        .run_pipeline(&hub.token, "formation-enthalpy-uq", Value::Str("SiO2".into()))
+        .run_pipeline(
+            &hub.token,
+            "formation-enthalpy-uq",
+            Value::Str("SiO2".into()),
+        )
         .expect("UQ pipeline run");
     println!("\nwith uncertainty quantification: SiO2 -> {with_uq}");
 }

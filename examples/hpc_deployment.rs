@@ -32,8 +32,7 @@ fn main() {
     let owner_id = hub.auth.lookup(&hub.owner).unwrap();
     lab.restrict_to(owner_id);
 
-    let mut metadata =
-        ServableMetadata::new("stability-rf", &hub.owner, ModelType::ScikitLearn);
+    let mut metadata = ServableMetadata::new("stability-rf", &hub.owner, ModelType::ScikitLearn);
     metadata.description = "Random forest with endpoint-staged components".into();
     let receipt = hub
         .repo

@@ -53,7 +53,10 @@ fn main() {
     ];
 
     for dataset in datasets {
-        println!("\n=== ingesting dataset '{}' (records: {}) ===", dataset.name, dataset.record_type);
+        println!(
+            "\n=== ingesting dataset '{}' (records: {}) ===",
+            dataset.name, dataset.record_type
+        );
         // The automated workflow queries DLHub for models whose
         // declared input type matches the dataset's record type —
         // schema-driven selection, not hardcoded model lists.
@@ -66,7 +69,10 @@ fn main() {
             continue;
         }
         for hit in &applicable {
-            println!("  applicable model: {} ({})", hit.id, hit.body["description"]);
+            println!(
+                "  applicable model: {} ({})",
+                hit.id, hit.body["description"]
+            );
         }
 
         // Invoke each applicable model over the records and attach the

@@ -24,7 +24,10 @@ fn main() {
     let client = DlhubClient::new(Arc::clone(&hub.service), hub.token.clone());
     println!("\nmodels matching 'image':");
     for (id, metadata) in client.search("image").unwrap() {
-        println!("  {id}  [{}]  {}", metadata["model_type"], metadata["description"]);
+        println!(
+            "  {id}  [{}]  {}",
+            metadata["model_type"], metadata["description"]
+        );
     }
 
     // 3. Run the noop servable ("hello world").

@@ -33,7 +33,11 @@ fn synthetic_slices(n: usize, center: usize, seed: u64) -> Vec<Value> {
             let quality = 1.0 / (1.0 + 0.4 * (i as f32 - center as f32).abs());
             let data: Vec<f32> = (0..SLICE * SLICE)
                 .map(|p| {
-                    let signal = if (p / SLICE + p % SLICE) % 7 < 3 { 1.0 } else { 0.0 };
+                    let signal = if (p / SLICE + p % SLICE) % 7 < 3 {
+                        1.0
+                    } else {
+                        0.0
+                    };
                     quality * signal + (1.0 - quality) * rng.gen_range(0.4..0.6)
                 })
                 .collect();

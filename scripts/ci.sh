@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The PR gate, runnable locally and from CI: formatting, lints (deny
+# warnings), a release build of the whole workspace, and every test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "######## fmt"
+cargo fmt --all --check
+
+echo "######## clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "######## build (release)"
+cargo build --workspace --release
+
+echo "######## test"
+cargo test --workspace --release --quiet
+
+echo "######## ci OK"

@@ -21,7 +21,10 @@ fn cifar_image(variant: u64) -> Value {
 fn all_six_evaluation_servables_serve_correctly() {
     let hub = TestHub::builder().build();
     // noop
-    let r = hub.service.run(&hub.token, "dlhub/noop", Value::Null).unwrap();
+    let r = hub
+        .service
+        .run(&hub.token, "dlhub/noop", Value::Null)
+        .unwrap();
     assert_eq!(r.value, Value::Str("hello world".into()));
     // cifar10
     let r = hub
@@ -39,7 +42,11 @@ fn all_six_evaluation_servables_serve_correctly() {
     // matminer chain
     let parsed = hub
         .service
-        .run(&hub.token, "dlhub/matminer-util", Value::Str("Fe2O3".into()))
+        .run(
+            &hub.token,
+            "dlhub/matminer-util",
+            Value::Str("Fe2O3".into()),
+        )
         .unwrap();
     let feats = hub
         .service
@@ -88,11 +95,8 @@ fn restricted_model_lifecycle_across_users() {
     let hub = TestHub::builder().without_eval_servables().build();
     let stranger = hub.user_token("stranger");
     // Publish restricted, invisible to the stranger.
-    let mut metadata = dlhub_core::ServableMetadata::new(
-        "secret",
-        &hub.owner,
-        ModelType::PythonFunction,
-    );
+    let mut metadata =
+        dlhub_core::ServableMetadata::new("secret", &hub.owner, ModelType::PythonFunction);
     metadata.description = "pre-release".into();
     hub.service
         .publish(
@@ -114,7 +118,10 @@ fn restricted_model_lifecycle_across_users() {
     hub.repo
         .share_with(&hub.token, "dlhub/secret", "stranger@dlhub.org")
         .unwrap();
-    let r = hub.service.run(&stranger, "dlhub/secret", Value::Null).unwrap();
+    let r = hub
+        .service
+        .run(&stranger, "dlhub/secret", Value::Null)
+        .unwrap();
     assert_eq!(r.value, Value::Int(42));
 }
 
@@ -198,9 +205,7 @@ fn multiple_task_managers_share_the_queue() {
         .map(|i| {
             let service = Arc::clone(&hub.service);
             let token = hub.token.clone();
-            std::thread::spawn(move || {
-                service.run(&token, "dlhub/slow", Value::Int(i)).unwrap()
-            })
+            std::thread::spawn(move || service.run(&token, "dlhub/slow", Value::Int(i)).unwrap())
         })
         .collect();
     for h in handles {
@@ -260,7 +265,10 @@ fn no_task_manager_means_timeout_not_hang() {
 
 #[test]
 fn republished_model_serves_new_behaviour_immediately() {
-    let hub = TestHub::builder().without_eval_servables().memo(true).build();
+    let hub = TestHub::builder()
+        .without_eval_servables()
+        .memo(true)
+        .build();
     hub.publish_simple(
         "evolving",
         ModelType::PythonFunction,
@@ -399,7 +407,10 @@ fn retrain_and_redeploy_lifecycle() {
             .collect()
     }
 
-    let hub = TestHub::builder().without_eval_servables().memo(true).build();
+    let hub = TestHub::builder()
+        .without_eval_servables()
+        .memo(true)
+        .build();
 
     // v1: trained on a small set.
     let serve_v1 = {
@@ -409,8 +420,7 @@ fn retrain_and_redeploy_lifecycle() {
         sm.create_endpoint("e", "quadrant", 1).unwrap();
         servable_fn(move |input| sm.invoke_endpoint("e", input).map_err(|e| e.to_string()))
     };
-    let mut metadata =
-        dlhub_core::ServableMetadata::new("quadrant", &hub.owner, ModelType::Keras);
+    let mut metadata = dlhub_core::ServableMetadata::new("quadrant", &hub.owner, ModelType::Keras);
     metadata.description = "quadrant classifier v1".into();
     let v1 = hub
         .service
@@ -457,7 +467,10 @@ fn retrain_and_redeploy_lifecycle() {
         .service
         .run(&hub.token, "dlhub/quadrant", probe)
         .unwrap();
-    assert!(!second.timings.cache_hit, "stale memo entry served after redeploy");
+    assert!(
+        !second.timings.cache_hit,
+        "stale memo entry served after redeploy"
+    );
     for value in [&first.value, &second.value] {
         match value {
             Value::Json(doc) => {

@@ -4,11 +4,11 @@
 
 use dlhub_baselines::protocol::Protocol;
 use dlhub_baselines::{Clipper, SageMaker, TensorFlowModelServer};
+use dlhub_container::Cluster;
 use dlhub_core::hub::TestHub;
 use dlhub_core::servable::builtins::ImageClassifier;
 use dlhub_core::servable::ModelType;
 use dlhub_core::value::Value;
-use dlhub_container::Cluster;
 use std::sync::Arc;
 
 fn cifar_image(variant: u64) -> Value {
@@ -236,7 +236,8 @@ fn sagemaker_trains_models_dlhub_only_serves() {
         targets: data.targets(),
     };
     sm.create_training_job("stability", &training, 3).unwrap();
-    sm.create_endpoint("stability-prod", "stability", 1).unwrap();
+    sm.create_endpoint("stability-prod", "stability", 1)
+        .unwrap();
 
     let probe = {
         let composition = dlhub_core::matsci::parse_formula("NaCl").unwrap();

@@ -19,7 +19,9 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from([]) }
+        Bytes {
+            data: Arc::from([]),
+        }
     }
 
     /// Wrap a static byte slice (copies, unlike the real crate, but
@@ -53,6 +55,7 @@ impl Bytes {
     }
 
     /// Borrow the underlying slice.
+    #[allow(clippy::should_implement_trait)] // inherent method mirroring the real `bytes` API
     pub fn as_ref(&self) -> &[u8] {
         &self.data
     }

@@ -186,14 +186,14 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one benchmark in this group.
-    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let mut bencher = Bencher::new(self.measurement_time);
         f(&mut bencher);
         if let Some(summary) = &bencher.summary {
-            report(&format!("{}/{}", self.name, id), summary);
+            report(&format!("{}/{}", self.name, id.as_ref()), summary);
         }
         self
     }
@@ -210,8 +210,7 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
-            default_measurement: env_measurement_override()
-                .unwrap_or(Duration::from_secs(1)),
+            default_measurement: env_measurement_override().unwrap_or(Duration::from_secs(1)),
         }
     }
 }
@@ -229,14 +228,14 @@ impl Criterion {
     }
 
     /// Run one stand-alone benchmark.
-    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let mut bencher = Bencher::new(self.default_measurement);
         f(&mut bencher);
         if let Some(summary) = &bencher.summary {
-            report(id, summary);
+            report(id.as_ref(), summary);
         }
         self
     }

@@ -213,8 +213,7 @@ impl Arbitrary for f32 {
 impl Arbitrary for char {
     fn arbitrary(rng: &mut StdRng) -> char {
         if rng.gen_range(0u32..8) == 0 {
-            char::from_u32(rng.gen_range(0x80u32..0x2000))
-                .unwrap_or('\u{fffd}')
+            char::from_u32(rng.gen_range(0x80u32..0x2000)).unwrap_or('\u{fffd}')
         } else {
             rng.gen_range(0x20u32..0x7f) as u8 as char
         }
@@ -382,10 +381,7 @@ pub mod collection {
     }
 
     /// A set whose cardinality approaches a draw from `size`.
-    pub fn btree_set<S: Strategy>(
-        element: S,
-        size: impl Into<SizeRange>,
-    ) -> BTreeSetStrategy<S>
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
     where
         S::Value: Ord,
     {

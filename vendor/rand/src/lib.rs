@@ -98,8 +98,12 @@ impl<R: RngCore + ?Sized> Rng for R {}
 pub trait SampleUniform: Copy + PartialOrd {
     /// Uniform draw from `[lo, hi)` (`inclusive = false`) or
     /// `[lo, hi]` (`inclusive = true`).
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! int_sample_uniform {
@@ -192,10 +196,7 @@ pub mod rngs {
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -373,8 +374,8 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
-    use super::prelude::*;
     use super::distributions::Alphanumeric;
+    use super::prelude::*;
 
     #[test]
     fn deterministic_per_seed() {

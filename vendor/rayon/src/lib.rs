@@ -265,11 +265,8 @@ mod tests {
     fn filter_count_and_reduce() {
         let evens = (0..100).into_par_iter().filter(|i| i % 2 == 0).count();
         assert_eq!(evens, 50);
-        let data = vec![1u64, 2, 3, 4];
-        let sum = data
-            .par_iter()
-            .map(|&v| v)
-            .reduce(|| 0, |a, b| a + b);
+        let data = [1u64, 2, 3, 4];
+        let sum = data.par_iter().map(|&v| v).reduce(|| 0, |a, b| a + b);
         assert_eq!(sum, 10);
     }
 }

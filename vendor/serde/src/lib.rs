@@ -442,8 +442,9 @@ pub fn __get_field<T: Deserialize>(
     ty: &str,
 ) -> Result<T, DeError> {
     match m.get(key) {
-        Some(v) => T::deserialize(v)
-            .map_err(|e| DeError::custom(format!("field `{key}` of {ty}: {e}"))),
+        Some(v) => {
+            T::deserialize(v).map_err(|e| DeError::custom(format!("field `{key}` of {ty}: {e}")))
+        }
         None => T::deserialize(&Value::Null)
             .map_err(|_| DeError::custom(format!("missing field `{key}` in {ty}"))),
     }

@@ -234,9 +234,7 @@ fn gen_serialize(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.shape {
         Shape::NamedStruct(fields) => {
-            let mut s = String::from(
-                "let mut __map = ::serde::json::Map::new();\n",
-            );
+            let mut s = String::from("let mut __map = ::serde::json::Map::new();\n");
             for f in fields {
                 s.push_str(&format!(
                     "__map.insert(::std::string::String::from(\"{f}\"), \
@@ -284,13 +282,10 @@ fn gen_serialize(input: &Input) -> String {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let binds: Vec<String> = fields
-                            .iter()
-                            .map(|f| format!("{f}: __field_{f}"))
-                            .collect();
-                        let mut inner = String::from(
-                            "let mut __map = ::serde::json::Map::new();\n",
-                        );
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: __field_{f}")).collect();
+                        let mut inner =
+                            String::from("let mut __map = ::serde::json::Map::new();\n");
                         for f in fields {
                             inner.push_str(&format!(
                                 "__map.insert(::std::string::String::from(\"{f}\"), \
@@ -323,9 +318,7 @@ fn gen_deserialize(input: &Input) -> String {
         Shape::NamedStruct(fields) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("{f}: ::serde::__get_field(__m, \"{f}\", \"{name}\")?")
-                })
+                .map(|f| format!("{f}: ::serde::__get_field(__m, \"{f}\", \"{name}\")?"))
                 .collect();
             format!(
                 "match __v {{\n\
@@ -335,9 +328,9 @@ fn gen_deserialize(input: &Input) -> String {
                 inits.join(", ")
             )
         }
-        Shape::TupleStruct(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
-        ),
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
         Shape::TupleStruct(n) => {
             let inits: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::deserialize(&__a[{i}])?"))

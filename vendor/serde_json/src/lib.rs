@@ -82,10 +82,9 @@ impl<'a> Parser<'a> {
     fn expect(&mut self, b: u8) -> Result<()> {
         match self.bump() {
             Some(got) if got == b => Ok(()),
-            Some(got) => Err(self.err(format!(
-                "expected `{}`, found `{}`",
-                b as char, got as char
-            ))),
+            Some(got) => {
+                Err(self.err(format!("expected `{}`, found `{}`", b as char, got as char)))
+            }
             None => Err(self.err("unexpected end of input")),
         }
     }
@@ -142,10 +141,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => continue,
                 Some(b']') => return Ok(Value::Array(items)),
                 Some(b) => {
-                    return Err(self.err(format!(
-                        "expected `,` or `]`, found `{}`",
-                        b as char
-                    )))
+                    return Err(self.err(format!("expected `,` or `]`, found `{}`", b as char)))
                 }
                 None => return Err(self.err("unexpected end of input in array")),
             }
@@ -172,10 +168,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => continue,
                 Some(b'}') => return Ok(Value::Object(map)),
                 Some(b) => {
-                    return Err(self.err(format!(
-                        "expected `,` or `}}`, found `{}`",
-                        b as char
-                    )))
+                    return Err(self.err(format!("expected `,` or `}}`, found `{}`", b as char)))
                 }
                 None => return Err(self.err("unexpected end of input in object")),
             }
@@ -218,12 +211,7 @@ impl<'a> Parser<'a> {
                                 .ok_or_else(|| self.err("invalid unicode escape"))?,
                         );
                     }
-                    Some(b) => {
-                        return Err(self.err(format!(
-                            "invalid escape `\\{}`",
-                            b as char
-                        )))
-                    }
+                    Some(b) => return Err(self.err(format!("invalid escape `\\{}`", b as char))),
                     None => return Err(self.err("unexpected end of input in string")),
                 },
                 Some(b) if b < 0x20 => {
@@ -588,7 +576,10 @@ mod tests {
         assert_eq!(arr[0].as_u64(), Some(u64::MAX));
         assert_eq!(arr[1].as_i64(), Some(i64::MIN));
         assert!(matches!(arr[2], Value::Number(Number::Float(_))));
-        assert_eq!(to_string(&v).unwrap(), "[18446744073709551615,-9223372036854775808,1.0]");
+        assert_eq!(
+            to_string(&v).unwrap(),
+            "[18446744073709551615,-9223372036854775808,1.0]"
+        );
     }
 
     #[test]
