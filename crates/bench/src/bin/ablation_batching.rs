@@ -78,9 +78,8 @@ fn burst(hub: &TestHub, servable: &str, n: usize) -> (Duration, Vec<Duration>) {
     (start.elapsed(), latencies)
 }
 
-fn median(mut v: Vec<Duration>) -> Duration {
-    v.sort();
-    v[v.len() / 2]
+fn median(v: Vec<Duration>) -> Duration {
+    dlhub_core::metrics::percentile(&v, 0.5).unwrap_or_default()
 }
 
 fn main() {

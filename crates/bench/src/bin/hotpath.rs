@@ -60,11 +60,7 @@ impl Cell {
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[rank]
+    dlhub_core::metrics::percentile(sorted, p).unwrap_or_default()
 }
 
 fn drive(hub: &TestHub, threads: usize, window: Duration, rtt: Duration, all_hits: bool) -> Cell {
@@ -226,6 +222,25 @@ fn main() {
         speedup >= 2.0,
     );
 
+    // The run's own telemetry rides along in the artifact: per-servable
+    // latency histograms from the service's metrics registry, so the
+    // committed JSON carries the paper's three measurement points
+    // without a separate collection step.
+    let metrics = hub.service.metrics_snapshot();
+    let echo_series = metrics
+        .servables
+        .iter()
+        .find(|(id, _)| id == "dlhub/echo")
+        .map(|(_, s)| s.clone())
+        .expect("echo servable recorded metrics");
+    shape_check(
+        &format!(
+            "metrics registry observed every request ({} recorded)",
+            echo_series.requests
+        ),
+        echo_series.requests > 0 && echo_series.request_latency.is_some(),
+    );
+
     let doc = serde_json::json!({
         "bench": "hotpath",
         "window_ms": window.as_millis() as u64,
@@ -233,15 +248,22 @@ fn main() {
         "thread_counts": THREADS.to_vec(),
         "modes": serde_json::Value::Object(json_modes),
         "hit100_speedup_8t_over_1t": speedup,
+        "metrics": metrics.to_json(),
     });
     let path = write_json("BENCH_hotpath.json", &doc);
     // Mirror to the workspace root so the committed copy lives next to
-    // the code it measures.
-    let root_copy = std::path::Path::new("BENCH_hotpath.json");
-    std::fs::copy(&path, root_copy).expect("copy BENCH_hotpath.json");
-    println!(
-        "wrote {} (mirrored to {})",
-        path.display(),
-        root_copy.display()
-    );
+    // the code it measures. `HOTPATH_MIRROR=0` keeps smoke runs (CI)
+    // from clobbering the committed full-length numbers.
+    let mirror = std::env::var("HOTPATH_MIRROR").map_or(true, |v| v != "0");
+    if mirror {
+        let root_copy = std::path::Path::new("BENCH_hotpath.json");
+        std::fs::copy(&path, root_copy).expect("copy BENCH_hotpath.json");
+        println!(
+            "wrote {} (mirrored to {})",
+            path.display(),
+            root_copy.display()
+        );
+    } else {
+        println!("wrote {} (mirror disabled)", path.display());
+    }
 }

@@ -82,8 +82,51 @@ impl Cli {
             ["publish"] => self.publish(workdir),
             ["run", input] => self.run(workdir, input),
             ["ls"] => self.ls(workdir),
-            [] => Err("usage: dlhub <init|update|publish|run|ls>".into()),
+            ["stats", rest @ ..] => self.stats(rest),
+            ["trace", rest @ ..] => self.trace(rest),
+            [] => Err("usage: dlhub <init|update|publish|run|ls|stats|trace>".into()),
             other => Err(format!("unknown command: {}", other.join(" "))),
+        }
+    }
+
+    /// `stats [--prometheus]`: the service's per-servable serving
+    /// dashboard, or the raw Prometheus text exposition.
+    fn stats(&self, args: &[&str]) -> Result<String, CliError> {
+        match args {
+            [] => Ok(self.service.metrics_snapshot().render_dashboard()),
+            ["--prometheus"] => Ok(self.service.render_prometheus()),
+            other => Err(format!(
+                "usage: dlhub stats [--prometheus] (got: {})",
+                other.join(" ")
+            )),
+        }
+    }
+
+    /// `trace [<trace-id>] [--json]`: collected request traces as an
+    /// indented span tree (or a JSON dump). Trace ids are the values
+    /// printed by `run` and accepted in decimal or `0x…` hex.
+    fn trace(&self, args: &[&str]) -> Result<String, CliError> {
+        let json = args.contains(&"--json");
+        let ids: Vec<&&str> = args.iter().filter(|a| **a != "--json").collect();
+        let trace = match ids.as_slice() {
+            [] => None,
+            [id] => Some(parse_trace_id(id)?),
+            other => {
+                return Err(format!(
+                    "usage: dlhub trace [<trace-id>] [--json] (got: {})",
+                    other
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ))
+            }
+        };
+        let export = self.service.trace_export(trace);
+        if json {
+            Ok(serde_json::to_string_pretty(&export.to_json()).expect("trace export serializes"))
+        } else {
+            Ok(export.render_text())
         }
     }
 
@@ -182,7 +225,7 @@ impl Cli {
             .run(&self.token, &id, value)
             .map_err(|e| e.to_string())?;
         Ok(format!(
-            "{}\n(request {:.2} ms, invocation {:.2} ms, inference {:.2} ms{})",
+            "{}\n(request {:.2} ms, invocation {:.2} ms, inference {:.2} ms{}, trace {:#x})",
             result.value,
             result.timings.request.as_secs_f64() * 1e3,
             result.timings.invocation.as_secs_f64() * 1e3,
@@ -191,7 +234,8 @@ impl Cli {
                 ", cached"
             } else {
                 ""
-            }
+            },
+            result.trace,
         ))
     }
 
@@ -204,6 +248,14 @@ impl Cli {
         };
         Ok(format!("{} (kind {}) — {status}", local.name, local.kind))
     }
+}
+
+fn parse_trace_id(text: &str) -> Result<u64, CliError> {
+    let parsed = match text.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => text.parse(),
+    };
+    parsed.map_err(|_| format!("not a trace id: {text}"))
 }
 
 fn flag_value<'a>(args: &[&'a str], flag: &str) -> Option<&'a str> {
@@ -313,6 +365,37 @@ mod tests {
         cli.execute(&dir.0, &["init", "m"]).unwrap();
         let err = cli.execute(&dir.0, &["run", "x"]).unwrap_err();
         assert!(err.contains("publish"), "{err}");
+    }
+
+    #[test]
+    fn stats_and_trace_surface_observability() {
+        let hub = TestHub::builder().without_eval_servables().build();
+        let cli = cli(&hub);
+        let dir = TempDir::new("stats");
+        cli.execute(&dir.0, &["init", "echo"]).unwrap();
+        cli.execute(&dir.0, &["publish"]).unwrap();
+        let out = cli.execute(&dir.0, &["run", "\"hi\""]).unwrap();
+        assert!(out.contains("trace 0x"), "{out}");
+        let dash = cli.execute(&dir.0, &["stats"]).unwrap();
+        assert!(dash.contains("servable dlhub/echo"), "{dash}");
+        assert!(dash.contains("requests 1"), "{dash}");
+        let prom = cli.execute(&dir.0, &["stats", "--prometheus"]).unwrap();
+        assert!(
+            prom.contains("dlhub_servable_requests_total{servable=\"dlhub/echo\"} 1"),
+            "{prom}"
+        );
+        // The trace id printed by `run` selects exactly that request.
+        let id = out
+            .split("trace ")
+            .nth(1)
+            .and_then(|rest| rest.strip_suffix(')'))
+            .unwrap();
+        let tree = cli.execute(&dir.0, &["trace", id]).unwrap();
+        assert!(tree.contains("request"), "{tree}");
+        assert!(tree.contains("invocation"), "{tree}");
+        let json = cli.execute(&dir.0, &["trace", id, "--json"]).unwrap();
+        assert!(json.contains("\"spans\""), "{json}");
+        assert!(cli.execute(&dir.0, &["trace", "not-a-number"]).is_err());
     }
 
     #[test]

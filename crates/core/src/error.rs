@@ -33,8 +33,12 @@ pub enum DlhubError {
     Timeout,
     /// No executor can run this servable type.
     NoExecutor(String),
-    /// Async task id unknown.
+    /// Async task id unknown — it was never registered with this
+    /// service.
     UnknownTask(String),
+    /// Async task id belonged to a task whose record has since been
+    /// expired (forgotten); its result is gone but the id was real.
+    ExpiredTask(String),
     /// Pipeline definition invalid (empty, or references missing
     /// servables).
     Pipeline(String),
@@ -56,6 +60,7 @@ impl fmt::Display for DlhubError {
             DlhubError::Timeout => write!(f, "request timed out"),
             DlhubError::NoExecutor(t) => write!(f, "no executor for model type {t}"),
             DlhubError::UnknownTask(id) => write!(f, "unknown task: {id}"),
+            DlhubError::ExpiredTask(id) => write!(f, "task expired: {id}"),
             DlhubError::Pipeline(m) => write!(f, "invalid pipeline: {m}"),
         }
     }

@@ -10,6 +10,7 @@ use crate::servable::{ModelType, Servable};
 use crate::value::Value;
 use crossbeam::channel;
 use dlhub_container::{Cluster, Digest, PodSpec};
+use dlhub_obs::{Obs, SpanRecord, TraceContext};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,6 +37,56 @@ pub trait Executor: Send + Sync {
 
     /// Number of tasks dispatched so far.
     fn dispatched(&self) -> u64;
+
+    /// [`Executor::execute`] plus span recording: when an observability
+    /// handle and a parent context are supplied, record one
+    /// `inference` span per input under the parent (the Task Manager's
+    /// invocation span).
+    ///
+    /// The default implementation runs `execute` and reconstructs
+    /// end-anchored spans from the reported durations, which is exact
+    /// for executors that run inputs sequentially inline. Executors
+    /// with replica pools should override it to record spans on the
+    /// replica threads themselves (see [`ParslExecutor`]).
+    fn execute_traced(
+        &self,
+        servable_id: &str,
+        servable: &Arc<dyn Servable>,
+        inputs: &[Value],
+        obs: Option<&Obs>,
+        parent: Option<TraceContext>,
+    ) -> Result<(Vec<Value>, Vec<Duration>), String> {
+        let result = self.execute(servable_id, servable, inputs);
+        if let (Some(obs), Some(parent), Ok((_, times))) = (obs, parent, &result) {
+            if obs.tracer.enabled() {
+                let end_ns = dlhub_obs::now_ns();
+                for time in times {
+                    obs.tracer.record(SpanRecord {
+                        trace: parent.trace,
+                        span: 0, // minted by the tracer
+                        parent: parent.span,
+                        name: "inference",
+                        start_ns: end_ns.saturating_sub(time.as_nanos() as u64),
+                        end_ns,
+                        attrs: vec![
+                            ("servable", servable_id.to_string()),
+                            ("executor", self.name().to_string()),
+                        ],
+                    });
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Trace baggage attached to a pooled job so the replica thread can
+/// record its own exact `inference` span (with the replica's identity)
+/// instead of a reconstructed one.
+struct JobTrace {
+    tracer: dlhub_obs::Tracer,
+    parent: TraceContext,
+    servable_id: String,
 }
 
 struct Job {
@@ -43,6 +94,7 @@ struct Job {
     input: Value,
     reply: channel::Sender<(usize, Result<Value, String>, Duration)>,
     index: usize,
+    trace: Option<JobTrace>,
 }
 
 struct Pool {
@@ -69,6 +121,7 @@ impl Pool {
                         // surfaced as an execution error.
                         while let Ok(job) = rx.recv() {
                             let start = Instant::now();
+                            let start_ns = dlhub_obs::now_ns();
                             let result =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     job.servable.run(&job.input)
@@ -82,6 +135,21 @@ impl Pool {
                                     Err(format!("servable panicked: {msg}"))
                                 });
                             let inference = start.elapsed();
+                            if let Some(trace) = job.trace {
+                                trace.tracer.record(SpanRecord {
+                                    trace: trace.parent.trace,
+                                    span: 0, // minted by the tracer
+                                    parent: trace.parent.span,
+                                    name: "inference",
+                                    start_ns,
+                                    end_ns: dlhub_obs::now_ns(),
+                                    attrs: vec![
+                                        ("servable", trace.servable_id),
+                                        ("replica", i.to_string()),
+                                        ("executor", "parsl".to_string()),
+                                    ],
+                                });
+                            }
                             let _ = job.reply.send((job.index, result, inference));
                         }
                     })
@@ -169,22 +237,13 @@ impl ParslExecutor {
             self.scale(servable_id, self.default_replicas);
         }
     }
-}
 
-impl Executor for ParslExecutor {
-    fn name(&self) -> &str {
-        "parsl"
-    }
-
-    fn supports(&self, _model_type: ModelType) -> bool {
-        true
-    }
-
-    fn execute(
+    fn execute_inner(
         &self,
         servable_id: &str,
         servable: &Arc<dyn Servable>,
         inputs: &[Value],
+        trace: Option<(&Obs, TraceContext)>,
     ) -> Result<(Vec<Value>, Vec<Duration>), String> {
         self.ensure_pool(servable_id);
         let (reply_tx, reply_rx) = channel::unbounded();
@@ -201,6 +260,11 @@ impl Executor for ParslExecutor {
                         input: input.clone(),
                         reply: reply_tx.clone(),
                         index,
+                        trace: trace.map(|(obs, parent)| JobTrace {
+                            tracer: obs.tracer.clone(),
+                            parent,
+                            servable_id: servable_id.to_string(),
+                        }),
                     })
                     .map_err(|_| "executor pool shut down".to_string())?;
             }
@@ -227,9 +291,45 @@ impl Executor for ParslExecutor {
             .collect::<Result<Vec<_>, _>>()?;
         Ok((outputs, inference))
     }
+}
+
+impl Executor for ParslExecutor {
+    fn name(&self) -> &str {
+        "parsl"
+    }
+
+    fn supports(&self, _model_type: ModelType) -> bool {
+        true
+    }
+
+    fn execute(
+        &self,
+        servable_id: &str,
+        servable: &Arc<dyn Servable>,
+        inputs: &[Value],
+    ) -> Result<(Vec<Value>, Vec<Duration>), String> {
+        self.execute_inner(servable_id, servable, inputs, None)
+    }
 
     fn dispatched(&self) -> u64 {
         self.dispatched.load(Ordering::Relaxed)
+    }
+
+    fn execute_traced(
+        &self,
+        servable_id: &str,
+        servable: &Arc<dyn Servable>,
+        inputs: &[Value],
+        obs: Option<&Obs>,
+        parent: Option<TraceContext>,
+    ) -> Result<(Vec<Value>, Vec<Duration>), String> {
+        // Record spans on the replica threads themselves so each span
+        // carries the replica that ran it and exact start/end stamps.
+        let trace = match (obs, parent) {
+            (Some(obs), Some(parent)) if obs.tracer.enabled() => Some((obs, parent)),
+            _ => None,
+        };
+        self.execute_inner(servable_id, servable, inputs, trace)
     }
 }
 
@@ -477,6 +577,53 @@ mod tests {
             .execute("u/echo", &echo, std::slice::from_ref(&input))
             .unwrap();
         assert_eq!(out[0], input);
+    }
+
+    #[test]
+    fn parsl_traced_execution_records_replica_spans() {
+        let ex = ParslExecutor::new(cluster(), 2);
+        let echo = servable_fn(|v| Ok(v.clone()));
+        let obs = Obs::new();
+        let root = obs.tracer.start_root("invocation");
+        let parent = root.ctx();
+        let inputs: Vec<Value> = (0..6).map(Value::Int).collect();
+        let (outputs, times) = ex
+            .execute_traced("u/echo", &echo, &inputs, Some(&obs), Some(parent))
+            .unwrap();
+        assert_eq!(outputs, inputs);
+        assert_eq!(times.len(), 6);
+        obs.tracer.finish(root);
+        let export = obs.tracer.export(Some(parent.trace));
+        let spans = export.named("inference");
+        assert_eq!(spans.len(), 6);
+        assert!(spans.iter().all(|s| s.parent == parent.span));
+        assert!(spans.iter().all(|s| s.attr("servable") == Some("u/echo")));
+        assert!(spans.iter().all(|s| s.attr("replica").is_some()));
+    }
+
+    #[test]
+    fn default_execute_traced_reconstructs_inference_spans() {
+        let tfs = TfServingExecutor::new();
+        let noop: Arc<dyn Servable> = Arc::new(NoopServable);
+        let obs = Obs::new();
+        let root = obs.tracer.start_root("invocation");
+        let parent = root.ctx();
+        tfs.execute_traced(
+            "u/noop",
+            &noop,
+            &[Value::Null, Value::Null],
+            Some(&obs),
+            Some(parent),
+        )
+        .unwrap();
+        obs.tracer.finish(root);
+        let export = obs.tracer.export(Some(parent.trace));
+        let spans = export.named("inference");
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.parent == parent.span));
+        assert!(spans
+            .iter()
+            .all(|s| s.attr("executor") == Some("tfserving")));
     }
 
     #[test]

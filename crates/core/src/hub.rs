@@ -119,6 +119,12 @@ impl TestHubBuilder {
         let parsl = Arc::new(ParslExecutor::new(cluster.clone(), self.replicas));
         let mut config = self.config;
         config.memo_enabled = self.memo;
+        // One observability layer for the whole deployment: the broker,
+        // every Task Manager and the Management Service record into the
+        // same tracer and registry, so one request yields one trace
+        // tree spanning all tiers.
+        let obs = dlhub_obs::Obs::new();
+        broker.attach_obs(&obs.metrics);
         let mut task_managers = Vec::with_capacity(self.task_managers);
         for i in 0..self.task_managers {
             // The first TM shares the exposed Parsl executor so tests
@@ -132,16 +138,17 @@ impl TestHubBuilder {
                 executors.push(Arc::new(ParslExecutor::new(cluster.clone(), self.replicas))
                     as Arc<dyn Executor>);
             }
-            task_managers.push(TaskManager::start(
+            task_managers.push(TaskManager::start_with_obs(
                 &format!("cooley-tm-{i}"),
                 &broker,
                 &config.task_topic,
                 Arc::clone(&repo),
                 executors,
                 self.consumers,
+                obs.clone(),
             ));
         }
-        let service = ManagementService::new(Arc::clone(&repo), &broker, config);
+        let service = ManagementService::with_obs(Arc::clone(&repo), &broker, config, obs);
         TestHub {
             auth,
             repo,

@@ -60,3 +60,8 @@ pub use value::Value;
 // benches) reach the model builders without extra dependencies.
 pub use dlhub_matsci as matsci;
 pub use dlhub_tensor as tensor;
+
+// Re-export the observability layer: every handle the serving stack
+// exposes (`ManagementService::obs`, trace exports, metric snapshots)
+// is typed in terms of this crate.
+pub use dlhub_obs as obs;

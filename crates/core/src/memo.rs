@@ -40,6 +40,16 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Observability instruments, resolved once at attach time so the hot
+/// path touches plain atomics — never the registry maps.
+struct ObsHooks {
+    hits: Arc<dlhub_obs::Counter>,
+    misses: Arc<dlhub_obs::Counter>,
+    evictions: Arc<dlhub_obs::Counter>,
+    tracer: dlhub_obs::Tracer,
+}
 
 /// Number of independently locked shards (power of two).
 const SHARD_COUNT: usize = 16;
@@ -195,6 +205,7 @@ pub struct MemoCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    obs: Option<ObsHooks>,
 }
 
 impl MemoCache {
@@ -209,7 +220,24 @@ impl MemoCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            obs: None,
         }
+    }
+
+    /// Mirror this cache's counters into an observability handle:
+    /// hits/misses/evictions are incremented in the registry
+    /// (`memo_hits_total`, `memo_misses_total`, `memo_evictions_total`)
+    /// at the same sites as the local [`MemoStats`] counters — the two
+    /// always agree — and every eviction is recorded as a tracer event
+    /// carrying the evicted servable.
+    pub fn attach_obs(mut self, obs: &dlhub_obs::Obs) -> Self {
+        self.obs = Some(ObsHooks {
+            hits: obs.metrics.counter("memo_hits_total"),
+            misses: obs.metrics.counter("memo_misses_total"),
+            evictions: obs.metrics.counter("memo_evictions_total"),
+            tracer: obs.tracer.clone(),
+        });
+        self
     }
 
     fn tick(&self) -> u64 {
@@ -226,11 +254,17 @@ impl MemoCache {
                 let out = shard.slots[idx].output.clone();
                 drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(hooks) = &self.obs {
+                    hooks.hits.inc();
+                }
                 Some(out)
             }
             None => {
                 drop(shard);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(hooks) = &self.obs {
+                    hooks.misses.inc();
+                }
                 None
             }
         }
@@ -285,11 +319,21 @@ impl MemoCache {
                         continue;
                     }
                     let idx = shard.head;
+                    let servable = self
+                        .obs
+                        .as_ref()
+                        .map(|_| shard.slots[idx].key.servable.clone());
                     let size = shard.remove(idx);
                     drop(shard);
                     self.bytes.fetch_sub(size, Ordering::Relaxed);
                     self.entries.fetch_sub(1, Ordering::Relaxed);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    if let (Some(hooks), Some(servable)) = (&self.obs, servable) {
+                        hooks.evictions.inc();
+                        hooks
+                            .tracer
+                            .event(None, "memo_evict", vec![("servable", servable)]);
+                    }
                 }
                 None => break,
             }
@@ -435,6 +479,34 @@ mod tests {
         assert_eq!(c.get(&MemoKey::new("m", &Value::Int(3))), None);
         assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn registry_counters_agree_with_memo_stats() {
+        let obs = dlhub_obs::Obs::new();
+        let c = MemoCache::new(100).attach_obs(&obs);
+        let k = |i: i64| MemoKey::new("m", &Value::Int(i));
+        let val = || Value::Bytes(vec![0; 40]);
+        // Two entries fit; the third put must evict.
+        c.put(k(1), val());
+        c.put(k(2), val());
+        c.put(k(3), val());
+        assert!(c.get(&k(3)).is_some());
+        assert!(c.get(&k(999)).is_none());
+        let stats = c.stats();
+        assert!(stats.evictions > 0);
+        assert_eq!(stats.hits, obs.metrics.counter("memo_hits_total").get());
+        assert_eq!(stats.misses, obs.metrics.counter("memo_misses_total").get());
+        assert_eq!(
+            stats.evictions,
+            obs.metrics.counter("memo_evictions_total").get()
+        );
+        // Each eviction was also recorded as a tracer event naming the
+        // evicted servable.
+        let events = obs.tracer.export(None);
+        let evicts = events.named("memo_evict");
+        assert_eq!(evicts.len(), stats.evictions as usize);
+        assert!(evicts.iter().all(|e| e.attr("servable") == Some("m")));
     }
 
     #[test]

@@ -23,23 +23,39 @@ pub struct Timings {
     pub cache_hit: bool,
 }
 
+/// Single percentile (`0.0 ..= 1.0`, nearest-rank) of a duration
+/// series. `None` on an empty series.
+pub fn percentile(series: &[Duration], q: f64) -> Option<Duration> {
+    if series.is_empty() {
+        return None;
+    }
+    let mut sorted = series.to_vec();
+    sorted.sort();
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    Some(sorted[idx])
+}
+
 /// Percentile summary of a duration series: `(p5, median, p95)` —
-/// exactly the statistics the paper's error bars show.
-pub fn percentile_summary(series: &[Duration]) -> (Duration, Duration, Duration) {
-    assert!(!series.is_empty(), "empty timing series");
+/// exactly the statistics the paper's error bars show. `None` on an
+/// empty series (earlier versions panicked here while [`mean`]
+/// silently returned zero; both now report emptiness the same way).
+pub fn percentile_summary(series: &[Duration]) -> Option<(Duration, Duration, Duration)> {
+    if series.is_empty() {
+        return None;
+    }
     let mut sorted = series.to_vec();
     sorted.sort();
     let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
-    (at(0.05), at(0.5), at(0.95))
+    Some((at(0.05), at(0.5), at(0.95)))
 }
 
-/// Mean of a duration series.
-pub fn mean(series: &[Duration]) -> Duration {
+/// Mean of a duration series. `None` on an empty series.
+pub fn mean(series: &[Duration]) -> Option<Duration> {
     if series.is_empty() {
-        return Duration::ZERO;
+        return None;
     }
     let total: Duration = series.iter().sum();
-    total / series.len() as u32
+    Some(total / series.len() as u32)
 }
 
 #[cfg(test)]
@@ -49,17 +65,20 @@ mod tests {
     #[test]
     fn percentiles_ordered() {
         let series: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
-        let (p5, p50, p95) = percentile_summary(&series);
+        let (p5, p50, p95) = percentile_summary(&series).unwrap();
         // round(99 * 0.5) = 50 -> the 51st value of 1..=100.
         assert_eq!(p50, Duration::from_millis(51));
         assert!(p5 < p50 && p50 < p95);
         assert_eq!(p5, Duration::from_millis(6));
         assert_eq!(p95, Duration::from_millis(95));
+        assert_eq!(percentile(&series, 0.5), Some(p50));
+        assert_eq!(percentile(&series, 0.0), Some(Duration::from_millis(1)));
+        assert_eq!(percentile(&series, 1.0), Some(Duration::from_millis(100)));
     }
 
     #[test]
     fn single_sample_summary() {
-        let (p5, p50, p95) = percentile_summary(&[Duration::from_millis(7)]);
+        let (p5, p50, p95) = percentile_summary(&[Duration::from_millis(7)]).unwrap();
         assert_eq!(p5, p50);
         assert_eq!(p50, p95);
     }
@@ -67,13 +86,13 @@ mod tests {
     #[test]
     fn mean_of_series() {
         let series = vec![Duration::from_millis(10), Duration::from_millis(30)];
-        assert_eq!(mean(&series), Duration::from_millis(20));
-        assert_eq!(mean(&[]), Duration::ZERO);
+        assert_eq!(mean(&series), Some(Duration::from_millis(20)));
     }
 
     #[test]
-    #[should_panic(expected = "empty timing series")]
-    fn empty_percentiles_panic() {
-        percentile_summary(&[]);
+    fn empty_series_report_none_consistently() {
+        assert_eq!(percentile_summary(&[]), None);
+        assert_eq!(mean(&[]), None);
+        assert_eq!(percentile(&[], 0.5), None);
     }
 }

@@ -18,6 +18,7 @@ use crate::task::{next_task_id, TaskHandle, TaskRequest, TaskResponse, TaskStatu
 use crate::task_manager::{TmRegistration, REGISTRATION_TOPIC};
 use crate::value::Value;
 use dlhub_auth::{Scope, Token};
+use dlhub_obs::{Gauge, MetricsSnapshot, Obs, TraceContext, TraceExport};
 use dlhub_queue::{Broker, RpcClient};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -77,6 +78,10 @@ struct AsyncPool {
 struct PoolShared {
     queue: Mutex<PoolQueue>,
     available: Condvar,
+    /// Jobs waiting in the injector queue.
+    depth: Arc<Gauge>,
+    /// Workers currently running a job (pool occupancy).
+    active: Arc<Gauge>,
 }
 
 struct PoolQueue {
@@ -85,13 +90,15 @@ struct PoolQueue {
 }
 
 impl AsyncPool {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, depth: Arc<Gauge>, active: Arc<Gauge>) -> Self {
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(PoolQueue {
                 jobs: VecDeque::new(),
                 shutdown: false,
             }),
             available: Condvar::new(),
+            depth,
+            active,
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -114,7 +121,12 @@ impl AsyncPool {
                             }
                         };
                         match job {
-                            Some(job) => job(),
+                            Some(job) => {
+                                shared.depth.add(-1);
+                                shared.active.add(1);
+                                job();
+                                shared.active.add(-1);
+                            }
                             None => break,
                         }
                     })
@@ -128,6 +140,7 @@ impl AsyncPool {
         let mut queue = self.shared.queue.lock();
         queue.jobs.push_back(job);
         drop(queue);
+        self.shared.depth.add(1);
         self.shared.available.notify_one();
     }
 }
@@ -156,6 +169,10 @@ pub struct RunResult {
     pub value: Value,
     /// Measured timings.
     pub timings: Timings,
+    /// Trace id of this request's span tree; feed it to
+    /// [`ManagementService::trace_export`] to inspect the request's
+    /// path through the tiers.
+    pub trace: u64,
 }
 
 /// Per-request options.
@@ -183,27 +200,68 @@ pub struct ManagementService {
     profiles: ProfileRegistry,
     broker: Broker,
     config: ServingConfig,
+    obs: Obs,
 }
 
 impl ManagementService {
-    /// Wire a Management Service to a repository and broker.
+    /// Wire a Management Service to a repository and broker, with a
+    /// fresh observability layer.
     pub fn new(repo: Arc<Repository>, broker: &Broker, config: ServingConfig) -> Arc<Self> {
+        ManagementService::with_obs(repo, broker, config, Obs::new())
+    }
+
+    /// Wire a Management Service around an existing [`Obs`] handle, so
+    /// the Task Managers and broker of the same deployment can share
+    /// one tracer and one metrics registry (trace trees then span all
+    /// tiers).
+    pub fn with_obs(
+        repo: Arc<Repository>,
+        broker: &Broker,
+        config: ServingConfig,
+        obs: Obs,
+    ) -> Arc<Self> {
         broker.ensure_topic(&config.task_topic);
         broker.ensure_topic(REGISTRATION_TOPIC);
         Arc::new(ManagementService {
             rpc: RpcClient::connect(broker, &config.task_topic),
-            memo: MemoCache::new(config.memo_capacity),
+            memo: MemoCache::new(config.memo_capacity).attach_obs(&obs),
             memo_enabled: AtomicBool::new(config.memo_enabled),
             task_table: TaskTable::new(),
             pipelines: RwLock::new(HashMap::new()),
             batchers: RwLock::new(HashMap::new()),
             registrations: RwLock::new(Vec::new()),
-            async_pool: AsyncPool::new(config.async_workers),
+            async_pool: AsyncPool::new(
+                config.async_workers,
+                obs.metrics.gauge("async_queue_depth"),
+                obs.metrics.gauge("async_pool_active"),
+            ),
             profiles: ProfileRegistry::new(),
             broker: broker.clone(),
             repo,
             config,
+            obs,
         })
+    }
+
+    /// The service's observability handles (tracer + metrics registry).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Point-in-time snapshot of every metric the deployment recorded.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.metrics.snapshot()
+    }
+
+    /// Prometheus text exposition of the current metrics snapshot.
+    pub fn render_prometheus(&self) -> String {
+        self.metrics_snapshot().render_prometheus()
+    }
+
+    /// Collect and export spans, optionally restricted to one trace id
+    /// (as returned in [`RunResult::trace`]).
+    pub fn trace_export(&self, trace: Option<u64>) -> TraceExport {
+        self.obs.tracer.export(trace)
     }
 
     /// The backing repository.
@@ -291,15 +349,19 @@ impl ManagementService {
     }
 
     /// Dispatch `inputs` to a Task Manager and await the response.
+    /// `trace` rides inside the task envelope so the Task Manager can
+    /// parent its invocation span under the caller's request span.
     fn execute_remote(
         &self,
         id: &str,
         inputs: Vec<Value>,
+        trace: Option<TraceContext>,
     ) -> Result<(Vec<Value>, Vec<Duration>, Duration), DlhubError> {
         let request = TaskRequest {
             task_id: next_task_id(),
             servable: id.to_string(),
             inputs,
+            trace,
         };
         let reply = self
             .rpc
@@ -342,7 +404,72 @@ impl ManagementService {
         input: Value,
         options: &RunOptions,
     ) -> Result<RunResult, DlhubError> {
+        self.run_inner(token, id, input, options, None)
+    }
+
+    /// The traced request path: mints the `request` span (root, or a
+    /// child of `parent` when the request is a pipeline step), records
+    /// the per-servable series, and delegates to [`Self::run_measured`]
+    /// for the actual work.
+    fn run_inner(
+        &self,
+        token: &Token,
+        id: &str,
+        input: Value,
+        options: &RunOptions,
+        parent: Option<TraceContext>,
+    ) -> Result<RunResult, DlhubError> {
         let started = Instant::now();
+        let mut span = match parent {
+            Some(p) => self.obs.tracer.start_child(p, "request"),
+            None => self.obs.tracer.start_root("request"),
+        };
+        span.attr("servable", id);
+        let trace = span.trace();
+        let series = self.obs.metrics.series(id);
+        series.requests.inc();
+        match self.run_measured(token, id, input, options, span.ctx(), started) {
+            Ok((value, timings)) => {
+                span.attr(
+                    "cache_hit",
+                    if timings.cache_hit { "true" } else { "false" },
+                );
+                series.request_latency.record_duration(timings.request);
+                series
+                    .invocation_latency
+                    .record_duration(timings.invocation);
+                if timings.cache_hit {
+                    series.cache_hits.inc();
+                } else {
+                    series.inference_latency.record_duration(timings.inference);
+                }
+                self.obs.tracer.finish(span);
+                Ok(RunResult {
+                    value,
+                    timings,
+                    trace,
+                })
+            }
+            Err(e) => {
+                series.errors.inc();
+                span.attr("error", e.to_string());
+                self.obs.tracer.finish(span);
+                Err(e)
+            }
+        }
+    }
+
+    /// Validate, consult the memo cache, and dispatch to a Task
+    /// Manager. `ctx` is the enclosing request span's context.
+    fn run_measured(
+        &self,
+        token: &Token,
+        id: &str,
+        input: Value,
+        options: &RunOptions,
+        ctx: TraceContext,
+        started: Instant,
+    ) -> Result<(Value, Timings), DlhubError> {
         self.preflight(token, id, std::slice::from_ref(&input))?;
         let memoize = options
             .memoize
@@ -353,33 +480,34 @@ impl ManagementService {
             if let Some(cached) = self.memo.get(&key) {
                 // A hit never reaches the Task Manager: invocation
                 // collapses to the cache lookup (§V-B5).
-                return Ok(RunResult {
-                    value: cached,
-                    timings: Timings {
+                return Ok((
+                    cached,
+                    Timings {
                         inference: Duration::ZERO,
                         invocation: lookup_started.elapsed(),
                         request: started.elapsed(),
                         cache_hit: true,
                     },
-                });
+                ));
             }
         }
-        let (mut outputs, inference, invocation) = self.execute_remote(id, vec![input])?;
+        let (mut outputs, inference, invocation) =
+            self.execute_remote(id, vec![input], Some(ctx))?;
         let value = outputs
             .pop()
             .ok_or_else(|| DlhubError::Transport("task manager returned no output".into()))?;
         if memoize {
             self.memo.put(key, value.clone());
         }
-        Ok(RunResult {
+        Ok((
             value,
-            timings: Timings {
+            Timings {
                 inference: inference.first().copied().unwrap_or_default(),
                 invocation,
                 request: started.elapsed(),
                 cache_hit: false,
             },
-        })
+        ))
     }
 
     /// Explicit batch execution: all inputs travel in one task,
@@ -396,16 +524,35 @@ impl ManagementService {
             return Ok((Vec::new(), Timings::default()));
         }
         self.preflight(token, id, &inputs)?;
-        let (outputs, inference, invocation) = self.execute_remote(id, inputs)?;
-        Ok((
-            outputs,
-            Timings {
-                inference: inference.iter().sum(),
-                invocation,
-                request: started.elapsed(),
-                cache_hit: false,
-            },
-        ))
+        let mut span = self.obs.tracer.start_root("request");
+        span.attr("servable", id);
+        span.attr("batch_size", inputs.len().to_string());
+        let series = self.obs.metrics.series(id);
+        series.requests.add(inputs.len() as u64);
+        series.batch_sizes.record(inputs.len() as u64);
+        let outcome = self.execute_remote(id, inputs, Some(span.ctx()));
+        let (outputs, inference, invocation) = match outcome {
+            Ok(parts) => parts,
+            Err(e) => {
+                series.errors.inc();
+                span.attr("error", e.to_string());
+                self.obs.tracer.finish(span);
+                return Err(e);
+            }
+        };
+        let timings = Timings {
+            inference: inference.iter().sum(),
+            invocation,
+            request: started.elapsed(),
+            cache_hit: false,
+        };
+        series.request_latency.record_duration(timings.request);
+        series
+            .invocation_latency
+            .record_duration(timings.invocation);
+        series.inference_latency.record_duration(timings.inference);
+        self.obs.tracer.finish(span);
+        Ok((outputs, timings))
     }
 
     /// Submit through the auto-batcher: the request is coalesced with
@@ -444,10 +591,24 @@ impl ManagementService {
                     let batcher = Arc::new(Batcher::with_sizing(
                         sizing,
                         self.config.batch_delay,
-                        Arc::new(move |inputs| {
-                            service
-                                .execute_remote(&servable, inputs)
-                                .map(|(outputs, _, _)| outputs)
+                        Arc::new(move |inputs: Vec<Value>| {
+                            // One flush = one task: trace it as its own
+                            // root and record the coalesced size.
+                            let mut span = service.obs.tracer.start_root("batch_flush");
+                            span.attr("servable", servable.clone());
+                            span.attr("batch_size", inputs.len().to_string());
+                            let series = service.obs.metrics.series(&servable);
+                            series.requests.add(inputs.len() as u64);
+                            series.batch_sizes.record(inputs.len() as u64);
+                            let result = service
+                                .execute_remote(&servable, inputs, Some(span.ctx()))
+                                .map(|(outputs, _, _)| outputs);
+                            if let Err(e) = &result {
+                                series.errors.inc();
+                                span.attr("error", e.to_string());
+                            }
+                            service.obs.tracer.finish(span);
+                            result
                         }),
                     ));
                     batchers.insert(id.to_string(), Arc::clone(&batcher));
@@ -473,26 +634,62 @@ impl ManagementService {
         let handle = TaskHandle::new(task_id.clone(), Arc::clone(&self.task_table));
         let service = Arc::clone(self);
         let servable = id.to_string();
+        // The request span opens at submission: queueing time inside
+        // the async pool is part of the user-visible request.
+        let started = Instant::now();
+        let mut span = self.obs.tracer.start_root("request");
+        span.attr("servable", id);
+        span.attr("mode", "async");
+        span.attr("task_id", task_id.clone());
         // No thread is spawned per request: the job joins the injector
         // queue and one of the `async_workers` pool threads runs it.
         self.async_pool.submit(Box::new(move || {
-            let status = match service.execute_remote(&servable, vec![input]) {
-                Ok((mut outputs, _, _)) => match outputs.pop() {
-                    Some(v) => TaskStatus::Completed(v),
-                    None => TaskStatus::Failed("no output".into()),
-                },
-                Err(e) => TaskStatus::Failed(e.to_string()),
+            let mut span = span;
+            let series = service.obs.metrics.series(&servable);
+            series.requests.inc();
+            let status = match service.execute_remote(&servable, vec![input], Some(span.ctx())) {
+                Ok((mut outputs, inference, invocation)) => {
+                    series.invocation_latency.record_duration(invocation);
+                    series
+                        .inference_latency
+                        .record_duration(inference.first().copied().unwrap_or_default());
+                    match outputs.pop() {
+                        Some(v) => TaskStatus::Completed(v),
+                        None => TaskStatus::Failed("no output".into()),
+                    }
+                }
+                Err(e) => {
+                    series.errors.inc();
+                    span.attr("error", e.to_string());
+                    TaskStatus::Failed(e.to_string())
+                }
             };
+            series.request_latency.record_duration(started.elapsed());
+            service.obs.tracer.finish(span);
             service.task_table.resolve(&task_id, status);
         }));
         Ok(handle)
     }
 
-    /// Poll an async task by UUID.
+    /// Poll an async task by UUID. Ids whose record was dropped by
+    /// [`Self::forget_task`] report [`DlhubError::ExpiredTask`], so a
+    /// client can tell "poll again later is pointless" apart from a
+    /// typo'd id ([`DlhubError::UnknownTask`]).
     pub fn task_status(&self, task_id: &str) -> Result<TaskStatus, DlhubError> {
-        self.task_table
-            .status(task_id)
-            .ok_or_else(|| DlhubError::UnknownTask(task_id.to_string()))
+        match self.task_table.status(task_id) {
+            Some(status) => Ok(status),
+            None if self.task_table.was_forgotten(task_id) => {
+                Err(DlhubError::ExpiredTask(task_id.to_string()))
+            }
+            None => Err(DlhubError::UnknownTask(task_id.to_string())),
+        }
+    }
+
+    /// Drop a finished task's record (housekeeping after the client
+    /// retrieved the result). A bounded tombstone keeps later polls
+    /// answering "expired" rather than "never existed".
+    pub fn forget_task(&self, task_id: &str) {
+        self.task_table.forget(task_id);
     }
 
     /// Register a pipeline. Every step must be visible to the
@@ -518,6 +715,20 @@ impl ManagementService {
         name: &str,
         input: Value,
     ) -> Result<(Value, Vec<StepTiming>), DlhubError> {
+        self.run_pipeline_traced(token, name, input)
+            .map(|(value, steps, _)| (value, steps))
+    }
+
+    /// [`Self::run_pipeline`], additionally returning the trace id of
+    /// the pipeline's span tree: one `pipeline` root with one `request`
+    /// child per step, each carrying its `invocation`/`inference`
+    /// descendants from the deeper tiers.
+    pub fn run_pipeline_traced(
+        &self,
+        token: &Token,
+        name: &str,
+        input: Value,
+    ) -> Result<(Value, Vec<StepTiming>, u64), DlhubError> {
         self.authorize_serve(token)?;
         let pipeline = self
             .pipelines
@@ -525,17 +736,31 @@ impl ManagementService {
             .get(name)
             .cloned()
             .ok_or_else(|| DlhubError::Pipeline(format!("no such pipeline: {name}")))?;
+        let mut span = self.obs.tracer.start_root("pipeline");
+        span.attr("pipeline", name);
+        span.attr("steps", pipeline.steps.len().to_string());
+        let trace = span.trace();
+        let ctx = span.ctx();
         let mut current = input;
         let mut steps = Vec::with_capacity(pipeline.steps.len());
         for step in &pipeline.steps {
-            let result = self.run(token, step, current)?;
+            let result =
+                match self.run_inner(token, step, current, &RunOptions::default(), Some(ctx)) {
+                    Ok(result) => result,
+                    Err(e) => {
+                        span.attr("error", e.to_string());
+                        self.obs.tracer.finish(span);
+                        return Err(e);
+                    }
+                };
             steps.push(StepTiming {
                 servable: step.clone(),
                 timings: result.timings,
             });
             current = result.value;
         }
-        Ok((current, steps))
+        self.obs.tracer.finish(span);
+        Ok((current, steps, trace))
     }
 
     /// Registered pipelines.
@@ -1003,6 +1228,153 @@ mod tests {
             w.join().unwrap();
         }
         assert!(service.memo_stats().misses >= 3 * per_writer as u64);
+    }
+
+    #[test]
+    fn forgotten_tasks_report_expired_not_unknown() {
+        let hub = TestHub::builder().build();
+        let handle = hub
+            .service
+            .run_async(&hub.token, "dlhub/noop", Value::Null)
+            .unwrap();
+        handle.wait(Duration::from_secs(5));
+        hub.service.forget_task(&handle.id);
+        assert!(matches!(
+            hub.service.task_status(&handle.id),
+            Err(DlhubError::ExpiredTask(_))
+        ));
+        assert!(matches!(
+            hub.service.task_status("task-bogus"),
+            Err(DlhubError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn run_produces_a_trace_spanning_all_three_tiers() {
+        let hub = TestHub::builder().memo(false).build();
+        let result = hub
+            .service
+            .run(&hub.token, "dlhub/noop", Value::Null)
+            .unwrap();
+        assert!(result.trace > 0);
+        let export = hub.service.trace_export(Some(result.trace));
+        let request = export.named("request");
+        assert_eq!(request.len(), 1);
+        assert_eq!(request[0].parent, 0);
+        assert_eq!(request[0].attr("servable"), Some("dlhub/noop"));
+        assert_eq!(request[0].attr("cache_hit"), Some("false"));
+        let invocation = export.named("invocation");
+        assert_eq!(invocation.len(), 1);
+        assert_eq!(invocation[0].parent, request[0].span);
+        let inference = export.named("inference");
+        assert_eq!(inference.len(), 1);
+        assert_eq!(inference[0].parent, invocation[0].span);
+        // The tiers nest: each inner span is no longer than its parent.
+        assert!(inference[0].duration() <= invocation[0].duration());
+        assert!(invocation[0].duration() <= request[0].duration());
+    }
+
+    #[test]
+    fn cache_hits_are_traced_and_counted() {
+        let hub = TestHub::builder().memo(true).build();
+        let input = Value::Str("NaCl".into());
+        hub.service
+            .run(&hub.token, "dlhub/matminer-util", input.clone())
+            .unwrap();
+        let hit = hub
+            .service
+            .run(&hub.token, "dlhub/matminer-util", input)
+            .unwrap();
+        let export = hub.service.trace_export(Some(hit.trace));
+        let request = export.named("request");
+        assert_eq!(request.len(), 1);
+        assert_eq!(request[0].attr("cache_hit"), Some("true"));
+        // A hit never reaches the Task Manager: no deeper spans.
+        assert!(export.named("invocation").is_empty());
+        let snap = hub.service.metrics_snapshot();
+        let (_, series) = snap
+            .servables
+            .iter()
+            .find(|(s, _)| s == "dlhub/matminer-util")
+            .expect("series recorded");
+        assert_eq!(series.requests, 2);
+        assert_eq!(series.cache_hits, 1);
+        // Registry counters from the attached memo cache agree with
+        // the cache's own stats.
+        let stats = hub.service.memo_stats();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("memo_hits_total"), stats.hits);
+        assert_eq!(counter("memo_misses_total"), stats.misses);
+    }
+
+    #[test]
+    fn snapshot_renders_prometheus_with_servable_series() {
+        let hub = TestHub::builder().memo(false).build();
+        hub.service
+            .run(&hub.token, "dlhub/noop", Value::Null)
+            .unwrap();
+        let prom = hub.service.render_prometheus();
+        assert!(prom.contains("dlhub_servable_requests_total{servable=\"dlhub/noop\"} 1"));
+        assert!(prom.contains("dlhub_servable_request_latency_seconds{servable=\"dlhub/noop\""));
+        assert!(prom.contains("dlhub_broker_send_total"));
+        assert!(prom.contains("dlhub_tm_tasks_total 1"));
+    }
+
+    #[test]
+    fn failed_requests_are_counted_and_annotated() {
+        let hub = TestHub::builder().without_eval_servables().build();
+        hub.publish_simple(
+            "boom",
+            ModelType::PythonFunction,
+            servable_fn(|_| Err("exploded".into())),
+        );
+        let err = hub
+            .service
+            .run(&hub.token, "dlhub/boom", Value::Null)
+            .unwrap_err();
+        assert!(matches!(err, DlhubError::Execution { .. }));
+        let snap = hub.service.metrics_snapshot();
+        let (_, series) = snap
+            .servables
+            .iter()
+            .find(|(s, _)| s == "dlhub/boom")
+            .expect("series recorded");
+        assert_eq!(series.errors, 1);
+        let export = hub.service.trace_export(None);
+        let request = export.named("request");
+        assert_eq!(request.len(), 1);
+        assert!(request[0].attr("error").is_some());
+    }
+
+    #[test]
+    fn traced_pipeline_nests_steps_under_one_root() {
+        let hub = TestHub::builder().memo(false).build();
+        let pipeline = Pipeline::new(
+            "formation-enthalpy",
+            vec![
+                "dlhub/matminer-util".into(),
+                "dlhub/matminer-featurize".into(),
+                "dlhub/matminer-model".into(),
+            ],
+        );
+        hub.service.register_pipeline(&hub.token, pipeline).unwrap();
+        let (_, steps, trace) = hub
+            .service
+            .run_pipeline_traced(&hub.token, "formation-enthalpy", Value::Str("SiO2".into()))
+            .unwrap();
+        assert_eq!(steps.len(), 3);
+        let export = hub.service.trace_export(Some(trace));
+        let roots = export.named("pipeline");
+        assert_eq!(roots.len(), 1);
+        let requests = export.named("request");
+        assert_eq!(requests.len(), 3);
+        assert!(requests.iter().all(|r| r.parent == roots[0].span));
     }
 
     #[test]

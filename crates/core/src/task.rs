@@ -7,9 +7,10 @@
 
 use crate::value::Value;
 use bytes::Bytes;
+use dlhub_obs::TraceContext;
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -24,6 +25,11 @@ pub struct TaskRequest {
     pub servable: String,
     /// One or more inputs (|inputs| > 1 means a coalesced batch).
     pub inputs: Vec<Value>,
+    /// Trace context propagated from the Management Service so the
+    /// Task Manager can parent its invocation span. Absent on the wire
+    /// for untraced requests and for envelopes from older senders
+    /// (a missing field deserializes to `None`).
+    pub trace: Option<TraceContext>,
 }
 
 /// The Task Manager's reply, carrying outputs plus the timings it
@@ -82,8 +88,15 @@ pub enum TaskStatus {
     Failed(String),
 }
 
+/// Tombstones kept for forgotten tasks, so `was_forgotten` can
+/// distinguish "expired" from "never existed".
+const TOMBSTONE_CAPACITY: usize = 1024;
+
 struct TableState {
     tasks: HashMap<String, TaskStatus>,
+    /// Recently forgotten ids, oldest first, bounded by
+    /// `TOMBSTONE_CAPACITY`.
+    expired: VecDeque<String>,
 }
 
 /// Shared task-status table backing async handles.
@@ -98,6 +111,7 @@ impl TaskTable {
         Arc::new(TaskTable {
             state: Mutex::new(TableState {
                 tasks: HashMap::new(),
+                expired: VecDeque::new(),
             }),
             cv: Condvar::new(),
         })
@@ -138,9 +152,24 @@ impl TaskTable {
         }
     }
 
-    /// Remove a finished task's record (housekeeping).
+    /// Remove a finished task's record (housekeeping), leaving a
+    /// bounded tombstone so later status queries can report "expired"
+    /// rather than "never existed".
     pub fn forget(&self, id: &str) {
-        self.state.lock().tasks.remove(id);
+        let mut st = self.state.lock();
+        if st.tasks.remove(id).is_some() && !st.expired.iter().any(|e| e == id) {
+            if st.expired.len() == TOMBSTONE_CAPACITY {
+                st.expired.pop_front();
+            }
+            st.expired.push_back(id.to_string());
+        }
+    }
+
+    /// Whether the id belonged to a task that was since forgotten.
+    /// Best-effort: tombstones are bounded, so very old ids may fall
+    /// back to "never existed".
+    pub fn was_forgotten(&self, id: &str) -> bool {
+        self.state.lock().expired.iter().any(|e| e == id)
     }
 }
 
@@ -186,10 +215,23 @@ mod tests {
             task_id: next_task_id(),
             servable: "logan/noop".into(),
             inputs: vec![Value::Null, Value::Int(2)],
+            trace: Some(TraceContext {
+                trace: 11,
+                span: 12,
+            }),
         };
         let back = TaskRequest::from_bytes(&req.to_bytes()).unwrap();
         assert_eq!(back, req);
         assert!(TaskRequest::from_bytes(b"not json").is_err());
+    }
+
+    #[test]
+    fn request_without_trace_field_deserializes_to_none() {
+        // Envelope from a sender predating trace propagation.
+        let wire = br#"{"task_id":"t1","servable":"a/b","inputs":[]}"#;
+        let req = TaskRequest::from_bytes(wire).unwrap();
+        assert_eq!(req.trace, None);
+        assert_eq!(req.servable, "a/b");
     }
 
     #[test]
@@ -227,6 +269,31 @@ mod tests {
         );
         table.forget("t1");
         assert_eq!(table.status("t1"), None);
+    }
+
+    #[test]
+    fn forget_leaves_a_tombstone_but_unknown_ids_have_none() {
+        let table = TaskTable::new();
+        table.register("t1");
+        table.resolve("t1", TaskStatus::Completed(Value::Int(1)));
+        table.forget("t1");
+        assert!(table.was_forgotten("t1"));
+        assert!(!table.was_forgotten("never-registered"));
+        // Forgetting an id that was never registered leaves no trace.
+        table.forget("ghost");
+        assert!(!table.was_forgotten("ghost"));
+    }
+
+    #[test]
+    fn tombstones_are_bounded() {
+        let table = TaskTable::new();
+        for i in 0..(TOMBSTONE_CAPACITY + 10) {
+            let id = format!("t{i}");
+            table.register(&id);
+            table.forget(&id);
+        }
+        assert!(!table.was_forgotten("t0"));
+        assert!(table.was_forgotten(&format!("t{}", TOMBSTONE_CAPACITY + 9)));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::executor::Executor;
 use crate::repository::Repository;
 use crate::task::{TaskRequest, TaskResponse};
+use dlhub_obs::Obs;
 use dlhub_queue::{Broker, RpcServer};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,6 +55,33 @@ impl TaskManager {
         executors: Vec<Arc<dyn Executor>>,
         consumers: usize,
     ) -> Self {
+        Self::start_with_obs(
+            name,
+            broker,
+            task_topic,
+            repository,
+            executors,
+            consumers,
+            Obs::new(),
+        )
+    }
+
+    /// [`TaskManager::start`] recording into a shared observability
+    /// handle: the TM's consumer threads record `invocation` spans
+    /// (parented under the requester's propagated context), executors
+    /// record `inference` spans, and `tm_tasks_total` counts handled
+    /// tasks. Deployments pass the same handle to the Management
+    /// Service so one trace spans all tiers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_obs(
+        name: &str,
+        broker: &Broker,
+        task_topic: &str,
+        repository: Arc<Repository>,
+        executors: Vec<Arc<dyn Executor>>,
+        consumers: usize,
+        obs: Obs,
+    ) -> Self {
         assert!(!executors.is_empty(), "task manager needs an executor");
         // Register with the Management Service (§IV-B).
         broker.ensure_topic(REGISTRATION_TOPIC);
@@ -75,12 +103,13 @@ impl TaskManager {
                 let executors = executors.clone();
                 let shutdown = Arc::clone(&shutdown);
                 let served = Arc::clone(&served);
+                let obs = obs.clone();
                 std::thread::Builder::new()
                     .name(format!("tm-{name}-{i}"))
                     .spawn(move || {
                         while !shutdown.load(Ordering::Relaxed) {
                             let handled = server.serve_one(Duration::from_millis(50), |req| {
-                                handle(&repository, &executors, req).to_bytes()
+                                handle(&repository, &executors, req, &obs).to_bytes()
                             });
                             match handled {
                                 Ok(true) => {
@@ -133,11 +162,14 @@ impl Drop for TaskManager {
 /// Handle one task: resolve the servable, route to an executor,
 /// measure the invocation, and build the response. Never panics — all
 /// failures become error responses so the requester is always
-/// answered.
+/// answered. Traced requests (those carrying a `TraceContext`) get an
+/// `invocation` span parented under the requester's span, with the
+/// executor recording `inference` spans beneath it.
 fn handle(
     repository: &Repository,
     executors: &[Arc<dyn Executor>],
     raw: &bytes::Bytes,
+    obs: &Obs,
 ) -> TaskResponse {
     let request = match TaskRequest::from_bytes(raw) {
         Ok(r) => r,
@@ -150,6 +182,32 @@ fn handle(
             }
         }
     };
+    let mut span = request
+        .trace
+        .map(|p| obs.tracer.start_child(p, "invocation"));
+    if let Some(s) = span.as_mut() {
+        s.attr("servable", request.servable.clone());
+        s.attr("batch", request.inputs.len().to_string());
+    }
+    let ctx = span.as_ref().map(|s| s.ctx());
+    let response = handle_request(repository, executors, request, obs, ctx);
+    obs.metrics.counter("tm_tasks_total").inc();
+    if let Some(mut s) = span {
+        if let Err(e) = &response.outcome {
+            s.attr("error", e.clone());
+        }
+        obs.tracer.finish(s);
+    }
+    response
+}
+
+fn handle_request(
+    repository: &Repository,
+    executors: &[Arc<dyn Executor>],
+    request: TaskRequest,
+    obs: &Obs,
+    ctx: Option<dlhub_obs::TraceContext>,
+) -> TaskResponse {
     let started = Instant::now();
     let (servable, metadata) = match repository.resolve_internal(&request.servable) {
         Ok(pair) => pair,
@@ -173,7 +231,13 @@ fn handle(
             invocation_nanos: started.elapsed().as_nanos() as u64,
         };
     };
-    let outcome = executor.execute(&request.servable, &servable, &request.inputs);
+    let outcome = executor.execute_traced(
+        &request.servable,
+        &servable,
+        &request.inputs,
+        Some(obs),
+        ctx,
+    );
     let invocation_nanos = started.elapsed().as_nanos() as u64;
     match outcome {
         Ok((outputs, times)) => TaskResponse {
@@ -277,6 +341,7 @@ mod tests {
             task_id: next_task_id(),
             servable: "u/noop".into(),
             inputs: vec![Value::Null],
+            trace: None,
         };
         let response = roundtrip(&f, &request);
         assert_eq!(response.task_id, request.task_id);
@@ -295,6 +360,7 @@ mod tests {
             task_id: next_task_id(),
             servable: "ghost/model".into(),
             inputs: vec![Value::Null],
+            trace: None,
         };
         let response = roundtrip(&f, &request);
         assert!(response.outcome.unwrap_err().contains("ghost/model"));
@@ -307,6 +373,7 @@ mod tests {
             task_id: next_task_id(),
             servable: "u/fail".into(),
             inputs: vec![Value::Null],
+            trace: None,
         };
         let response = roundtrip(&f, &request);
         assert_eq!(response.outcome.unwrap_err(), "synthetic failure");
@@ -317,6 +384,7 @@ mod tests {
                 task_id: next_task_id(),
                 servable: "u/noop".into(),
                 inputs: vec![Value::Null],
+                trace: None,
             },
         );
         assert!(ok.outcome.is_ok());
@@ -347,6 +415,7 @@ mod tests {
                 task_id: next_task_id(),
                 servable: "u/noop".into(),
                 inputs: vec![Value::Null],
+                trace: None,
             },
         );
         assert!(response
@@ -362,6 +431,7 @@ mod tests {
             task_id: next_task_id(),
             servable: "u/noop".into(),
             inputs: vec![Value::Null; 5],
+            trace: None,
         };
         let response = roundtrip(&f, &request);
         assert_eq!(response.outcome.unwrap().len(), 5);

@@ -1,0 +1,67 @@
+//! dlhub-obs: in-tree observability for the DLHub serving stack.
+//!
+//! The paper's evaluation (§V-A) rests on three nested measurement
+//! points — `inference` at the servable, `invocation` at the Task
+//! Manager, and `request` at the Management Service. This crate makes
+//! those first-class at runtime:
+//!
+//! * [`trace`] — `TraceId`/`SpanId` propagation across tiers, spans
+//!   recorded into lock-free per-thread rings and drained by a
+//!   collector;
+//! * [`metrics`] — named counters/gauges and log2-bucket latency
+//!   histograms over relaxed atomics, with per-servable series;
+//! * exposition — [`MetricsSnapshot`] renders Prometheus text, a CLI
+//!   dashboard, and JSON for bench artifacts; [`TraceExport`] renders
+//!   JSON dumps and terminal span trees.
+//!
+//! There is deliberately no process-global state: every deployment
+//! (a `ManagementService` plus its Task Managers) shares one [`Obs`]
+//! handle, so parallel tests in one process never interleave.
+
+#![warn(missing_docs)]
+
+mod ring;
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry, ServableSeries,
+    ServableSnapshot,
+};
+pub use trace::{now_ns, SpanHandle, SpanRecord, TraceContext, TraceExport, Tracer};
+
+/// One deployment's observability handle: a tracer plus a metrics
+/// registry. Cheap to clone; clones share state, so the Management
+/// Service, Task Managers, executors, cache and broker of one
+/// deployment all record into the same place.
+#[derive(Clone, Default)]
+pub struct Obs {
+    /// Span collector for end-to-end request tracing.
+    pub tracer: Tracer,
+    /// Counter/gauge/histogram registry.
+    pub metrics: Registry,
+}
+
+impl Obs {
+    /// Fresh handle with empty tracer and registry.
+    pub fn new() -> Self {
+        Obs::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_tracer_and_registry() {
+        let obs = Obs::new();
+        let clone = obs.clone();
+        clone.metrics.counter("x").inc();
+        assert_eq!(obs.metrics.counter("x").get(), 1);
+        let span = clone.tracer.start_root("request");
+        clone.tracer.finish(span);
+        assert_eq!(obs.tracer.export(None).spans.len(), 1);
+    }
+}

@@ -1,0 +1,674 @@
+//! Metrics registry: named counters, gauges and log-scale histograms,
+//! plus per-servable series covering the paper's three measurement
+//! points (inference / invocation / request, §V-A).
+//!
+//! Everything on the record path is a relaxed atomic — matching the
+//! contention discipline of the serving hot path — and snapshots are
+//! taken by reading the atomics without stopping writers, so a
+//! snapshot is a consistent-enough view, not a linearisable one.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use serde_json::{json, Value};
+
+/// Monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Zeroed counter.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depth, pool occupancy).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Zeroed gauge.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Overwrite the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Shift the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets. Bucket `i` holds values whose bit length is
+/// `i` (i.e. `2^(i-1) <= v < 2^i`), bucket 0 holds zero, and the last
+/// bucket absorbs everything above `2^62`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+fn bucket_index(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_bound(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+/// Fixed-bucket log-scale histogram over `u64` samples (nanoseconds
+/// for latencies, raw counts for sizes). Recording is two relaxed
+/// `fetch_add`s plus a bucket increment; quantiles are estimated from
+/// bucket upper bounds, so they are exact to within one power of two.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimated quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket containing the q-th sample. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(bucket_bound(idx));
+            }
+        }
+        Some(bucket_bound(HISTOGRAM_BUCKETS - 1))
+    }
+
+    /// Point-in-time summary, `None` when no samples were recorded.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let sum = self.sum();
+        Some(HistogramSummary {
+            count,
+            sum,
+            mean: sum / count.max(1),
+            p50: self.quantile(0.50).unwrap_or(0),
+            p95: self.quantile(0.95).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+        })
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs,
+    /// for Prometheus-style cumulative bucket exposition.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_bound(idx), n))
+            })
+            .collect()
+    }
+}
+
+/// Scalar digest of a histogram. Units match the recorded samples
+/// (nanoseconds for latency histograms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Arithmetic mean.
+    pub mean: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// JSON form embedded in bench artifacts and CLI output.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        })
+    }
+}
+
+/// Pre-resolved metric family for one servable: one registry lookup
+/// per request, then plain atomic traffic.
+#[derive(Debug, Default)]
+pub struct ServableSeries {
+    /// Requests answered (hits, misses and failures alike).
+    pub requests: Counter,
+    /// Requests answered from the memo cache.
+    pub cache_hits: Counter,
+    /// Requests that returned an error.
+    pub errors: Counter,
+    /// End-to-end request latency (Management Service), nanoseconds.
+    pub request_latency: Histogram,
+    /// Task Manager invocation latency, nanoseconds.
+    pub invocation_latency: Histogram,
+    /// Servable inference latency, nanoseconds.
+    pub inference_latency: Histogram,
+    /// Batch flush sizes routed to this servable.
+    pub batch_sizes: Histogram,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    series: RwLock<BTreeMap<String, Arc<ServableSeries>>>,
+}
+
+/// Named metrics registry. Cheap to clone; clones share state.
+///
+/// Lookups are read-locked (uncontended after warm-up since callers
+/// cache the returned `Arc`s); creation takes the write lock once per
+/// name.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().get(name) {
+        return Arc::clone(found);
+    }
+    let mut map = map.write();
+    Arc::clone(map.entry(name.to_string()).or_default())
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.inner.counters, name)
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.inner.gauges, name)
+    }
+
+    /// Get or create a named histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.inner.histograms, name)
+    }
+
+    /// Get or create the per-servable series.
+    pub fn series(&self, servable: &str) -> Arc<ServableSeries> {
+        get_or_insert(&self.inner.series, servable)
+    }
+
+    /// Point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .inner
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .read()
+            .iter()
+            .filter_map(|(k, v)| v.summary().map(|s| (k.clone(), s)))
+            .collect();
+        let servables = self
+            .inner
+            .series
+            .read()
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    ServableSnapshot {
+                        requests: v.requests.get(),
+                        cache_hits: v.cache_hits.get(),
+                        errors: v.errors.get(),
+                        request_latency: v.request_latency.summary(),
+                        invocation_latency: v.invocation_latency.summary(),
+                        inference_latency: v.inference_latency.summary(),
+                        batch_sizes: v.batch_sizes.summary(),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            servables,
+        }
+    }
+}
+
+/// Frozen view of one servable's series.
+#[derive(Debug, Clone)]
+pub struct ServableSnapshot {
+    /// Total requests answered.
+    pub requests: u64,
+    /// Requests served from the memo cache.
+    pub cache_hits: u64,
+    /// Requests that errored.
+    pub errors: u64,
+    /// Request-latency digest (ns), if any samples.
+    pub request_latency: Option<HistogramSummary>,
+    /// Invocation-latency digest (ns), if any samples.
+    pub invocation_latency: Option<HistogramSummary>,
+    /// Inference-latency digest (ns), if any samples.
+    pub inference_latency: Option<HistogramSummary>,
+    /// Batch-size digest, if any batches flushed.
+    pub batch_sizes: Option<HistogramSummary>,
+}
+
+/// Frozen view of the whole registry, ready for rendering.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Name-sorted counters.
+    pub counters: Vec<(String, u64)>,
+    /// Name-sorted gauges.
+    pub gauges: Vec<(String, i64)>,
+    /// Name-sorted named histograms with at least one sample.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Name-sorted per-servable series.
+    pub servables: Vec<(String, ServableSnapshot)>,
+}
+
+fn secs(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn latency_line(label: &str, summary: &Option<HistogramSummary>) -> String {
+    match summary {
+        Some(s) => format!(
+            "  {label:<11} p50 {:>9.3}ms  p95 {:>9.3}ms  p99 {:>9.3}ms  mean {:>9.3}ms  n={}\n",
+            ms(s.p50),
+            ms(s.p95),
+            ms(s.p99),
+            ms(s.mean),
+            s.count
+        ),
+        None => format!("  {label:<11} (no samples)\n"),
+    }
+}
+
+impl MetricsSnapshot {
+    /// True when nothing at all has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.servables.is_empty()
+    }
+
+    /// JSON form (latencies in nanoseconds) embedded in `BENCH_*.json`
+    /// artifacts.
+    pub fn to_json(&self) -> Value {
+        let counters: Vec<Value> = self
+            .counters
+            .iter()
+            .map(|(k, v)| json!({ "name": k.clone(), "value": *v }))
+            .collect();
+        let gauges: Vec<Value> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| json!({ "name": k.clone(), "value": *v }))
+            .collect();
+        let histograms: Vec<Value> = self
+            .histograms
+            .iter()
+            .map(|(k, s)| json!({ "name": k.clone(), "summary": s.to_json() }))
+            .collect();
+        let servables: Vec<Value> = self
+            .servables
+            .iter()
+            .map(|(k, s)| {
+                let opt = |o: &Option<HistogramSummary>| match o {
+                    Some(s) => s.to_json(),
+                    None => Value::Null,
+                };
+                json!({
+                    "servable": k.clone(),
+                    "requests": s.requests,
+                    "cache_hits": s.cache_hits,
+                    "errors": s.errors,
+                    "request_latency_ns": opt(&s.request_latency),
+                    "invocation_latency_ns": opt(&s.invocation_latency),
+                    "inference_latency_ns": opt(&s.inference_latency),
+                    "batch_sizes": opt(&s.batch_sizes),
+                })
+            })
+            .collect();
+        json!({
+            "counters": Value::Array(counters),
+            "gauges": Value::Array(gauges),
+            "histograms": Value::Array(histograms),
+            "servables": Value::Array(servables),
+        })
+    }
+
+    /// Prometheus text exposition (latencies as seconds, summary
+    /// quantiles rather than raw buckets).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("# TYPE dlhub_{name} counter\n"));
+            out.push_str(&format!("dlhub_{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("# TYPE dlhub_{name} gauge\n"));
+            out.push_str(&format!("dlhub_{name} {value}\n"));
+        }
+        for (name, s) in &self.histograms {
+            out.push_str(&format!("# TYPE dlhub_{name} summary\n"));
+            for (q, v) in [(0.5, s.p50), (0.95, s.p95), (0.99, s.p99)] {
+                out.push_str(&format!("dlhub_{name}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("dlhub_{name}_sum {}\n", s.sum));
+            out.push_str(&format!("dlhub_{name}_count {}\n", s.count));
+        }
+        for (servable, s) in &self.servables {
+            let label = format!("{{servable=\"{servable}\"}}");
+            out.push_str(&format!(
+                "dlhub_servable_requests_total{label} {}\n",
+                s.requests
+            ));
+            out.push_str(&format!(
+                "dlhub_servable_cache_hits_total{label} {}\n",
+                s.cache_hits
+            ));
+            out.push_str(&format!(
+                "dlhub_servable_errors_total{label} {}\n",
+                s.errors
+            ));
+            for (stage, summary) in [
+                ("request", &s.request_latency),
+                ("invocation", &s.invocation_latency),
+                ("inference", &s.inference_latency),
+            ] {
+                if let Some(sum) = summary {
+                    for (q, v) in [(0.5, sum.p50), (0.95, sum.p95), (0.99, sum.p99)] {
+                        out.push_str(&format!(
+                            "dlhub_servable_{stage}_latency_seconds{{servable=\"{servable}\",quantile=\"{q}\"}} {:.9}\n",
+                            secs(v)
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "dlhub_servable_{stage}_latency_seconds_sum{label} {:.9}\n",
+                        secs(sum.sum)
+                    ));
+                    out.push_str(&format!(
+                        "dlhub_servable_{stage}_latency_seconds_count{label} {}\n",
+                        sum.count
+                    ));
+                }
+            }
+            if let Some(batch) = &s.batch_sizes {
+                out.push_str(&format!(
+                    "dlhub_servable_batch_size{{servable=\"{servable}\",quantile=\"0.5\"}} {}\n",
+                    batch.p50
+                ));
+                out.push_str(&format!(
+                    "dlhub_servable_batch_size_count{label} {}\n",
+                    batch.count
+                ));
+            }
+        }
+        out
+    }
+
+    /// Human-oriented per-servable dashboard for the CLI.
+    pub fn render_dashboard(&self) -> String {
+        let mut out = String::new();
+        for (servable, s) in &self.servables {
+            let hit_pct = if s.requests > 0 {
+                s.cache_hits as f64 * 100.0 / s.requests as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!("servable {servable}\n"));
+            out.push_str(&format!(
+                "  requests {}   cache-hits {} ({hit_pct:.1}%)   errors {}\n",
+                s.requests, s.cache_hits, s.errors
+            ));
+            out.push_str(&latency_line("request", &s.request_latency));
+            out.push_str(&latency_line("invocation", &s.invocation_latency));
+            out.push_str(&latency_line("inference", &s.inference_latency));
+            if let Some(batch) = &s.batch_sizes {
+                out.push_str(&format!(
+                    "  batch-size  p50 {}  p95 {}  flushes {}\n",
+                    batch.p50, batch.p95, batch.count
+                ));
+            }
+        }
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            out.push_str("totals\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name} {value}\n"));
+            }
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name} {value}\n"));
+            }
+        }
+        for (name, s) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name}  p50 {}  p95 {}  p99 {}  n={}\n",
+                s.p50, s.p95, s.p99, s.count
+            ));
+        }
+        if out.is_empty() {
+            out.push_str("no metrics recorded\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_bracket_values() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for v in [0u64, 1, 2, 3, 17, 1024, 1 << 40, u64::MAX] {
+            assert!(v <= bucket_bound(bucket_index(v)));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_log2_accurate() {
+        let h = Histogram::new();
+        assert!(h.summary().is_none());
+        assert!(h.quantile(0.5).is_none());
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.mean, 500);
+        // The true p50 is 500; a log2 bucket bound must bracket it
+        // within one power of two.
+        assert!(s.p50 >= 500 && s.p50 < 1024, "p50={}", s.p50);
+        assert!(s.p99 >= 990 && s.p99 < 1024, "p99={}", s.p99);
+    }
+
+    #[test]
+    fn registry_reuses_instruments_by_name() {
+        let reg = Registry::new();
+        reg.counter("broker_send_total").add(3);
+        reg.counter("broker_send_total").add(4);
+        assert_eq!(reg.counter("broker_send_total").get(), 7);
+        reg.gauge("queue_depth").set(5);
+        reg.gauge("queue_depth").add(-2);
+        assert_eq!(reg.gauge("queue_depth").get(), 3);
+        let series = reg.series("a/b");
+        series.requests.inc();
+        assert_eq!(reg.series("a/b").requests.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_renders_everywhere_without_panicking() {
+        let reg = Registry::new();
+        reg.counter("broker_send_total").add(2);
+        reg.gauge("async_pool_active").set(1);
+        reg.histogram("queue_wait_ns").record(1500);
+        let series = reg.series("dlhub/echo");
+        series.requests.add(10);
+        series.cache_hits.add(9);
+        series
+            .request_latency
+            .record_duration(Duration::from_micros(120));
+        series.batch_sizes.record(4);
+
+        let snap = reg.snapshot();
+        assert!(!snap.is_empty());
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("dlhub_broker_send_total 2"));
+        assert!(prom.contains("dlhub_servable_requests_total{servable=\"dlhub/echo\"} 10"));
+        assert!(prom.contains("dlhub_servable_request_latency_seconds"));
+        let dash = snap.render_dashboard();
+        assert!(dash.contains("servable dlhub/echo"));
+        assert!(dash.contains("cache-hits 9 (90.0%)"));
+        let j = serde_json::to_string(&snap.to_json()).unwrap();
+        assert!(j.contains("\"servable\":\"dlhub/echo\""));
+        assert!(j.contains("\"invocation_latency_ns\":null"));
+    }
+
+    #[test]
+    fn empty_snapshot_reports_empty() {
+        let snap = Registry::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.render_dashboard(), "no metrics recorded\n");
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let reg = Registry::new();
+        let series = reg.series("hot");
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let series = Arc::clone(&series);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        series.requests.inc();
+                        series.request_latency.record(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(series.requests.get(), 80_000);
+        assert_eq!(series.request_latency.count(), 80_000);
+    }
+}

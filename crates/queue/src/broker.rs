@@ -8,10 +8,11 @@
 use crate::message::{Message, MessageId};
 use crate::stats::TopicStats;
 use bytes::Bytes;
+use dlhub_obs::{Counter, Histogram, Registry};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Errors surfaced by broker operations.
@@ -200,12 +201,21 @@ pub struct Broker {
     inner: Arc<BrokerInner>,
 }
 
+/// Pre-resolved observability instruments: one registry lookup at
+/// attach time, plain atomics on the send/recv paths thereafter.
+struct BrokerObs {
+    send: Arc<Counter>,
+    recv: Arc<Counter>,
+    queue_wait: Arc<Histogram>,
+}
+
 struct BrokerInner {
     config: BrokerConfig,
     // Read-mostly: every send/recv resolves a topic name, while
     // topics are created and deleted rarely. A shared lock keeps the
     // per-request lookup contention-free.
     topics: RwLock<HashMap<String, Arc<Topic>>>,
+    obs: OnceLock<BrokerObs>,
 }
 
 impl Broker {
@@ -215,8 +225,22 @@ impl Broker {
             inner: Arc::new(BrokerInner {
                 config,
                 topics: RwLock::new(HashMap::new()),
+                obs: OnceLock::new(),
             }),
         }
+    }
+
+    /// Mirror this broker's traffic into a metrics registry:
+    /// `broker_send_total` / `broker_recv_total` counters plus a
+    /// `broker_queue_wait_ns` histogram of how long messages sat in the
+    /// queue before being leased. First attachment wins; later calls
+    /// are no-ops (the broker is shared by clones).
+    pub fn attach_obs(&self, metrics: &Registry) {
+        let _ = self.inner.obs.set(BrokerObs {
+            send: metrics.counter("broker_send_total"),
+            recv: metrics.counter("broker_recv_total"),
+            queue_wait: metrics.histogram("broker_queue_wait_ns"),
+        });
     }
 
     /// Create a topic with the broker's default topic configuration.
@@ -309,6 +333,9 @@ impl Broker {
         st.stats.enqueued += 1;
         st.ready.push_back(message);
         drop(st);
+        if let Some(obs) = self.inner.obs.get() {
+            obs.send.inc();
+        }
         topic.ready_cv.notify_one();
         Ok(id)
     }
@@ -331,6 +358,9 @@ impl Broker {
         st.stats.enqueued += 1;
         st.ready.push_back(message);
         drop(st);
+        if let Some(obs) = self.inner.obs.get() {
+            obs.send.inc();
+        }
         topic.ready_cv.notify_one();
         Ok(id)
     }
@@ -351,7 +381,7 @@ impl Broker {
         let topic = self.topic(name)?;
         let mut st = topic.state.lock();
         Topic::reap_expired(&mut st, topic.config.max_attempts, Instant::now());
-        match Self::lease_front(&topic, &mut st) {
+        match Self::lease_front(&topic, &mut st, self.inner.obs.get()) {
             Some(d) => {
                 // Like the blocking receive path: leasing frees a
                 // ready slot, so a sender blocked on a bounded topic
@@ -371,7 +401,7 @@ impl Broker {
         loop {
             let now = Instant::now();
             Topic::reap_expired(&mut st, topic.config.max_attempts, now);
-            if let Some(d) = Self::lease_front(&topic, &mut st) {
+            if let Some(d) = Self::lease_front(&topic, &mut st, self.inner.obs.get()) {
                 topic.space_cv.notify_one();
                 return Ok(d);
             }
@@ -402,12 +432,20 @@ impl Broker {
         }
     }
 
-    fn lease_front(topic: &Arc<Topic>, st: &mut TopicState) -> Option<Delivery> {
+    fn lease_front(
+        topic: &Arc<Topic>,
+        st: &mut TopicState,
+        obs: Option<&BrokerObs>,
+    ) -> Option<Delivery> {
         let mut message = st.ready.pop_front()?;
         message.attempts += 1;
         st.stats.delivered += 1;
         let queue_wait = message.enqueued_at.elapsed();
         st.stats.record_wait(queue_wait);
+        if let Some(obs) = obs {
+            obs.recv.inc();
+            obs.queue_wait.record_duration(queue_wait);
+        }
         st.in_flight.insert(
             message.id,
             InFlight {
@@ -702,6 +740,25 @@ mod tests {
         let stats = broker.stats("t").unwrap();
         assert_eq!(stats.enqueued, total as u64);
         assert_eq!(stats.acked, total as u64);
+    }
+
+    #[test]
+    fn attached_registry_mirrors_topic_stats() {
+        let broker = b();
+        let metrics = Registry::new();
+        broker.attach_obs(&metrics);
+        // A second attach (e.g. from a clone) is a harmless no-op.
+        broker.clone().attach_obs(&Registry::new());
+        for i in 0..5u8 {
+            broker.send("t", Bytes::copy_from_slice(&[i])).unwrap();
+        }
+        for _ in 0..3 {
+            broker.recv("t").unwrap().ack();
+        }
+        let stats = broker.stats("t").unwrap();
+        assert_eq!(metrics.counter("broker_send_total").get(), stats.enqueued);
+        assert_eq!(metrics.counter("broker_recv_total").get(), stats.delivered);
+        assert_eq!(metrics.histogram("broker_queue_wait_ns").count(), 3);
     }
 
     #[test]

@@ -210,6 +210,29 @@ impl ServingProfile {
         }
     }
 
+    /// [`Self::run_sequential`], additionally recording every sample
+    /// into a metrics registry under the same per-servable schema the
+    /// live Management Service uses (`requests`, `cache_hits` and the
+    /// three latency histograms of §V-A). A simulated system's
+    /// exported snapshot is then directly comparable to a real run's.
+    pub fn run_sequential_observed(
+        &self,
+        servable: &ServableModel,
+        n: usize,
+        memoize: bool,
+        repeat_input: bool,
+        seed: u64,
+        metrics: &dlhub_obs::Registry,
+    ) -> Vec<RequestSample> {
+        let samples = self.run_sequential(servable, n, memoize, repeat_input, seed);
+        record_samples(
+            metrics,
+            &format!("{}/{}", self.name, servable.name),
+            &samples,
+        );
+        samples
+    }
+
     /// Total *invocation* time to process `n` requests with or without
     /// batching (Figs 5 and 6). Without batching, each item pays the
     /// full dispatch path sequentially. With batching, all `n` inputs
@@ -299,6 +322,24 @@ impl ServingProfile {
         }
         sim.run();
         pool.makespan()
+    }
+}
+
+/// Record a simulated timing series into a metrics registry under one
+/// servable name. `SimTime` is nanoseconds, matching the live
+/// histograms' units; a cache hit skips the inference histogram just
+/// like the real request path does.
+pub fn record_samples(metrics: &dlhub_obs::Registry, servable: &str, samples: &[RequestSample]) {
+    let series = metrics.series(servable);
+    for sample in samples {
+        series.requests.inc();
+        series.request_latency.record(sample.request.0);
+        series.invocation_latency.record(sample.invocation.0);
+        if sample.cache_hit {
+            series.cache_hits.inc();
+        } else {
+            series.inference_latency.record(sample.inference.0);
+        }
     }
 }
 
@@ -469,6 +510,27 @@ mod tests {
         let (p5, p50, p95) = percentiles(&requests);
         assert!(p5 <= p50 && p50 <= p95);
         assert!(p95 > p5, "jitter must spread the distribution");
+    }
+
+    #[test]
+    fn observed_runs_export_the_live_metrics_schema() {
+        let p = profile(Some(CacheLocation::TaskManager));
+        let metrics = dlhub_obs::Registry::new();
+        let samples = p.run_sequential_observed(&servable(), 5, true, true, 0, &metrics);
+        assert_eq!(samples.len(), 5);
+        let snap = metrics.snapshot();
+        let (name, series) = &snap.servables[0];
+        assert_eq!(name, "test/m");
+        assert_eq!(series.requests, 5);
+        assert_eq!(series.cache_hits, 4);
+        let request = series.request_latency.as_ref().unwrap();
+        assert_eq!(request.count, 5);
+        // Only the one miss reaches the servable.
+        assert_eq!(series.inference_latency.as_ref().unwrap().count, 1);
+        // And the artifact renders exactly like a live run's.
+        assert!(snap
+            .render_prometheus()
+            .contains("dlhub_servable_requests_total{servable=\"test/m\"} 5"));
     }
 
     #[test]

@@ -48,9 +48,37 @@ fn main() {
         }
     }
 
+    // Observability rides along with every session: the serving
+    // dashboard and the collected request traces.
+    let run_out = cli
+        .execute(&workdir, &["run", "Mg3(PO4)2"])
+        .expect("run for trace");
+    println!("$ dlhub run Mg3(PO4)2\n{run_out}\n");
+    let trace_id = run_out
+        .split("trace ")
+        .nth(1)
+        .and_then(|rest| rest.strip_suffix(')'))
+        .expect("run output carries its trace id")
+        .to_string();
+    for args in [
+        vec!["stats"],
+        vec!["stats", "--prometheus"],
+        vec!["trace", trace_id.as_str()],
+    ] {
+        println!("$ dlhub {}", args.join(" "));
+        match cli.execute(&workdir, &args) {
+            Ok(output) => println!("{output}\n"),
+            Err(err) => println!("error: {err}\n"),
+        }
+    }
+
     // Errors are first-class too: a second init refuses, unknown
-    // commands are reported.
-    for args in [vec!["init", "again"], vec!["frobnicate"]] {
+    // commands are reported, and so are bad trace ids.
+    for args in [
+        vec!["init", "again"],
+        vec!["frobnicate"],
+        vec!["trace", "not-a-trace-id"],
+    ] {
         println!("$ dlhub {}", args.join(" "));
         match cli.execute(&workdir, &args) {
             Ok(output) => println!("{output}\n"),

@@ -16,4 +16,36 @@ cargo build --workspace --release
 echo "######## test"
 cargo test --workspace --release --quiet
 
+echo "######## obs unit tests"
+cargo test -p dlhub-obs --release --quiet
+
+echo "######## hotpath smoke (metrics export)"
+# Short window; HOTPATH_MIRROR=0 keeps the smoke run from clobbering
+# the committed full-length BENCH_hotpath.json at the workspace root.
+HOTPATH_MS=100 HOTPATH_MIRROR=0 \
+  cargo run --release -p dlhub-bench --bin hotpath >/dev/null
+# The artifact must embed a non-empty, well-formed metrics snapshot:
+# the echo servable's request counter and its latency histogram.
+python3 - <<'EOF'
+import json, sys
+doc = json.load(open("results/BENCH_hotpath.json"))
+metrics = doc.get("metrics")
+if not metrics:
+    sys.exit("ci: BENCH_hotpath.json has no metrics snapshot")
+servables = metrics.get("servables") or []
+echo = next((s for s in servables if s.get("servable") == "dlhub/echo"), None)
+if echo is None:
+    sys.exit("ci: metrics snapshot has no series for dlhub/echo")
+if not echo.get("requests", 0) > 0:
+    sys.exit("ci: echo series recorded zero requests")
+latency = echo.get("request_latency_ns")
+if not latency or not latency.get("count", 0) > 0:
+    sys.exit("ci: echo series has no request-latency histogram")
+print(
+    "ci: metrics snapshot OK ({} requests, p99 {} ns)".format(
+        echo["requests"], latency["p99"]
+    )
+)
+EOF
+
 echo "######## ci OK"

@@ -498,6 +498,82 @@ fn retrain_and_redeploy_lifecycle() {
 }
 
 #[test]
+fn pipeline_run_yields_one_trace_with_correctly_parented_spans() {
+    // Observability acceptance: a single pipeline run must produce a
+    // single trace whose spans cover all three measurement tiers
+    // (§V-A) — request (Management Service), invocation (Task
+    // Manager), inference (servable) — with consistent parent links
+    // and nested durations.
+    let hub = TestHub::builder().memo(false).build();
+    hub.service
+        .register_pipeline(
+            &hub.token,
+            Pipeline::new(
+                "enthalpy",
+                vec![
+                    "dlhub/matminer-util".into(),
+                    "dlhub/matminer-featurize".into(),
+                    "dlhub/matminer-model".into(),
+                ],
+            ),
+        )
+        .unwrap();
+    let (_, steps, trace) = hub
+        .service
+        .run_pipeline_traced(&hub.token, "enthalpy", Value::Str("KBr".into()))
+        .unwrap();
+    assert_eq!(steps.len(), 3);
+
+    let export = hub.service.trace_export(Some(trace));
+    // One trace: every exported span carries the id we were handed.
+    assert_eq!(export.trace_ids(), vec![trace]);
+
+    // One pipeline root, unparented.
+    let roots = export.named("pipeline");
+    assert_eq!(roots.len(), 1);
+    let root = roots[0];
+    assert_eq!(root.parent, 0);
+
+    // Three request spans, one per step, all children of the root.
+    let requests = export.named("request");
+    assert_eq!(requests.len(), 3);
+    for request in &requests {
+        assert_eq!(request.parent, root.span);
+        // Each request owns exactly one invocation span (the Task
+        // Manager tier), which in turn owns at least one inference
+        // span (the servable tier).
+        let invocations: Vec<_> = export
+            .children_of(request.span)
+            .into_iter()
+            .filter(|s| s.name == "invocation")
+            .collect();
+        assert_eq!(invocations.len(), 1, "request {:?}", request.attrs);
+        let invocation = invocations[0];
+        let inferences: Vec<_> = export
+            .children_of(invocation.span)
+            .into_iter()
+            .filter(|s| s.name == "inference")
+            .collect();
+        assert!(!inferences.is_empty(), "request {:?}", request.attrs);
+        // The paper's nesting invariant holds span-for-span.
+        for inference in &inferences {
+            assert!(inference.duration() <= invocation.duration());
+        }
+        assert!(invocation.duration() <= request.duration());
+    }
+    // The three steps appear in pipeline order.
+    let order: Vec<_> = requests.iter().filter_map(|r| r.attr("servable")).collect();
+    assert_eq!(
+        order,
+        vec![
+            "dlhub/matminer-util",
+            "dlhub/matminer-featurize",
+            "dlhub/matminer-model"
+        ]
+    );
+}
+
+#[test]
 fn batch_and_sequential_agree() {
     let hub = TestHub::builder().build();
     let formulas: Vec<Value> = ["NaCl", "SiO2", "BaTiO3", "Fe2O3"]
