@@ -39,7 +39,7 @@ fn status_for(e: &DlhubError) -> u16 {
         DlhubError::InvalidInput { .. } | DlhubError::Pipeline(_) | DlhubError::Publication(_) => {
             400
         }
-        DlhubError::Timeout => 504,
+        DlhubError::Timeout | DlhubError::Exhausted { .. } => 504,
         _ => 500,
     }
 }
@@ -218,9 +218,14 @@ impl RestApi {
                 "status": "completed",
                 "output": serde_json::to_value(&v).expect("value serializes"),
             })),
-            Ok(TaskStatus::Failed(msg)) => {
-                RestResponse::ok(json!({"status": "failed", "error": msg}))
-            }
+            Ok(TaskStatus::Failed {
+                attempts,
+                last_error,
+            }) => RestResponse::ok(json!({
+                "status": "failed",
+                "error": last_error,
+                "attempts": attempts,
+            })),
             Err(e) => RestResponse::error(status_for(&e), e),
         }
     }

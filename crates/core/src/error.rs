@@ -31,6 +31,16 @@ pub enum DlhubError {
     Transport(String),
     /// The request timed out waiting for a Task Manager.
     Timeout,
+    /// The request's retry budget (or deadline) ran out; every attempt
+    /// failed, the last one with `last_error`.
+    Exhausted {
+        /// Servable the request targeted.
+        servable: String,
+        /// Attempts made before giving up (>= 1).
+        attempts: u32,
+        /// The final attempt's failure.
+        last_error: String,
+    },
     /// No executor can run this servable type.
     NoExecutor(String),
     /// Async task id unknown — it was never registered with this
@@ -58,10 +68,30 @@ impl fmt::Display for DlhubError {
             }
             DlhubError::Transport(m) => write!(f, "transport: {m}"),
             DlhubError::Timeout => write!(f, "request timed out"),
+            DlhubError::Exhausted {
+                servable,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "request to {servable} exhausted after {attempts} attempts: {last_error}"
+            ),
             DlhubError::NoExecutor(t) => write!(f, "no executor for model type {t}"),
             DlhubError::UnknownTask(id) => write!(f, "unknown task: {id}"),
             DlhubError::ExpiredTask(id) => write!(f, "task expired: {id}"),
             DlhubError::Pipeline(m) => write!(f, "invalid pipeline: {m}"),
+        }
+    }
+}
+
+impl DlhubError {
+    /// How many dispatch attempts stand behind this error: the recorded
+    /// count for [`DlhubError::Exhausted`], 1 for everything else (an
+    /// error that was not retried).
+    pub fn attempts(&self) -> u32 {
+        match self {
+            DlhubError::Exhausted { attempts, .. } => *attempts,
+            _ => 1,
         }
     }
 }

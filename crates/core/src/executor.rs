@@ -10,11 +10,12 @@ use crate::servable::{ModelType, Servable};
 use crate::value::Value;
 use crossbeam::channel;
 use dlhub_container::{Cluster, Digest, PodSpec};
-use dlhub_obs::{Obs, SpanRecord, TraceContext};
+use dlhub_fault::{site, FaultHandle, FaultKind};
+use dlhub_obs::{Counter, Gauge, Obs, Registry, SpanRecord, TraceContext};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Executors run batches of inputs against one servable and report
@@ -97,6 +98,35 @@ struct Job {
     trace: Option<JobTrace>,
 }
 
+/// Replica health thresholds: a replica accumulating
+/// `quarantine_after` *consecutive* failures is quarantined — it stops
+/// pulling work for `quarantine_for`, then restarts with a clean
+/// record. Models pulling a crashing pod out of the load-balancer
+/// rotation and rescheduling it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Consecutive failures before a replica is quarantined.
+    pub quarantine_after: u32,
+    /// How long a quarantined replica sits out before restarting.
+    pub quarantine_for: Duration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            quarantine_after: 3,
+            quarantine_for: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Health gauges shared by every replica pool of one executor,
+/// installed by [`ParslExecutor::attach_obs`].
+struct HealthMetrics {
+    quarantined: Arc<Gauge>,
+    restarts: Arc<Counter>,
+}
+
 struct Pool {
     sender: channel::Sender<Job>,
     workers: Vec<std::thread::JoinHandle<()>>,
@@ -104,11 +134,19 @@ struct Pool {
 }
 
 impl Pool {
-    fn spawn(servable_id: &str, replicas: usize) -> Pool {
+    fn spawn(
+        servable_id: &str,
+        replicas: usize,
+        faults: FaultHandle,
+        health: Option<HealthPolicy>,
+        metrics: Arc<OnceLock<HealthMetrics>>,
+    ) -> Pool {
         let (sender, receiver) = channel::unbounded::<Job>();
         let workers = (0..replicas)
             .map(|i| {
                 let rx = receiver.clone();
+                let faults = faults.clone();
+                let metrics = Arc::clone(&metrics);
                 std::thread::Builder::new()
                     .name(format!("pod-{servable_id}-{i}"))
                     .spawn(move || {
@@ -119,12 +157,31 @@ impl Pool {
                         // real system's container would trap the crash
                         // and report it — so unwind is caught and
                         // surfaced as an execution error.
+                        let mut strikes = 0u32;
                         while let Ok(job) = rx.recv() {
                             let start = Instant::now();
                             let start_ns = dlhub_obs::now_ns();
+                            let injected = faults.decide(site::REPLICA);
                             let result =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    job.servable.run(&job.input)
+                                    match injected {
+                                        // Slow and Hang delay the real
+                                        // work; the others replace it.
+                                        Some(fault)
+                                            if matches!(
+                                                fault.kind,
+                                                FaultKind::Slow | FaultKind::Hang
+                                            ) =>
+                                        {
+                                            std::thread::sleep(fault.delay);
+                                            job.servable.run(&job.input)
+                                        }
+                                        Some(fault) if fault.kind == FaultKind::Panic => {
+                                            panic!("injected replica panic")
+                                        }
+                                        Some(_) => Err("injected replica fault".to_string()),
+                                        None => job.servable.run(&job.input),
+                                    }
                                 }))
                                 .unwrap_or_else(|panic| {
                                     let msg = panic
@@ -150,7 +207,29 @@ impl Pool {
                                     ],
                                 });
                             }
+                            let failed = result.is_err();
                             let _ = job.reply.send((job.index, result, inference));
+                            // Health state machine: healthy → suspect
+                            // (strikes accumulating) → quarantined →
+                            // restarted. Success wipes the record.
+                            if let Some(policy) = health {
+                                if !failed {
+                                    strikes = 0;
+                                } else {
+                                    strikes += 1;
+                                    if strikes >= policy.quarantine_after {
+                                        if let Some(m) = metrics.get() {
+                                            m.quarantined.add(1);
+                                        }
+                                        std::thread::sleep(policy.quarantine_for);
+                                        strikes = 0;
+                                        if let Some(m) = metrics.get() {
+                                            m.quarantined.add(-1);
+                                            m.restarts.inc();
+                                        }
+                                    }
+                                }
+                            }
                         }
                     })
                     .expect("spawn pod worker")
@@ -183,6 +262,13 @@ pub struct ParslExecutor {
     pools: RwLock<HashMap<String, Pool>>,
     default_replicas: usize,
     dispatched: AtomicU64,
+    faults: FaultHandle,
+    health: Option<HealthPolicy>,
+    /// How long a dispatch waits for all replica replies before
+    /// declaring the batch wedged (a hung replica must not wedge the
+    /// Task Manager consumer forever).
+    reply_timeout: Duration,
+    metrics: Arc<OnceLock<HealthMetrics>>,
 }
 
 impl ParslExecutor {
@@ -194,7 +280,42 @@ impl ParslExecutor {
             pools: RwLock::new(HashMap::new()),
             default_replicas: default_replicas.max(1),
             dispatched: AtomicU64::new(0),
+            faults: FaultHandle::default(),
+            health: Some(HealthPolicy::default()),
+            reply_timeout: Duration::from_secs(60),
+            metrics: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Inject faults at the [`dlhub_fault::site::REPLICA`] site of
+    /// every replica this executor spawns *afterwards*. Builder-style;
+    /// call before the first dispatch.
+    pub fn with_faults(mut self, faults: FaultHandle) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replace the replica health policy (`None` disables quarantine
+    /// entirely). Builder-style; call before the first dispatch.
+    pub fn with_health(mut self, health: Option<HealthPolicy>) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Bound how long one dispatch waits for its replica replies.
+    pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
+        self.reply_timeout = timeout;
+        self
+    }
+
+    /// Register this executor's health metrics (`replicas_quarantined`
+    /// gauge, `replica_restarts_total` counter) with a shared registry.
+    /// Idempotent; replicas report nothing until this is called.
+    pub fn attach_obs(&self, registry: &Registry) {
+        let _ = self.metrics.set(HealthMetrics {
+            quarantined: registry.gauge("replicas_quarantined"),
+            restarts: registry.counter("replica_restarts_total"),
+        });
     }
 
     /// Scale a servable's replica pool, mirroring the change into the
@@ -223,7 +344,16 @@ impl ParslExecutor {
             }
             pool.shutdown();
         }
-        pools.insert(servable_id.to_string(), Pool::spawn(servable_id, replicas));
+        pools.insert(
+            servable_id.to_string(),
+            Pool::spawn(
+                servable_id,
+                replicas,
+                self.faults.clone(),
+                self.health,
+                Arc::clone(&self.metrics),
+            ),
+        );
         replicas
     }
 
@@ -273,13 +403,33 @@ impl ParslExecutor {
         let mut outputs: Vec<Option<Value>> = vec![None; inputs.len()];
         let mut inference = vec![Duration::ZERO; inputs.len()];
         let mut first_error = None;
-        for (index, result, time) in reply_rx {
-            inference[index] = time;
-            match result {
-                Ok(v) => outputs[index] = Some(v),
-                Err(e) => {
-                    first_error.get_or_insert(e);
+        let mut received = 0usize;
+        // Deadline-bounded collection: a replica that hangs mid-job
+        // must not wedge this dispatch (and with it a Task Manager
+        // consumer thread) forever.
+        let deadline = Instant::now() + self.reply_timeout;
+        while received < inputs.len() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match reply_rx.recv_timeout(remaining) {
+                Ok((index, result, time)) => {
+                    received += 1;
+                    inference[index] = time;
+                    match result {
+                        Ok(v) => outputs[index] = Some(v),
+                        Err(e) => {
+                            first_error.get_or_insert(e);
+                        }
+                    }
                 }
+                Err(channel::RecvTimeoutError::Timeout) => {
+                    return Err(format!(
+                        "executor timed out after {:?} waiting for {} of {} replies",
+                        self.reply_timeout,
+                        inputs.len() - received,
+                        inputs.len()
+                    ));
+                }
+                Err(channel::RecvTimeoutError::Disconnected) => break,
             }
         }
         if let Some(e) = first_error {

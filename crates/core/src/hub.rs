@@ -6,7 +6,7 @@
 //! Parsl executor over a PetrelKube-shaped cluster, and the Management
 //! Service — exactly as Fig 2 wires them, but in one process.
 
-use crate::executor::{Executor, ParslExecutor};
+use crate::executor::{Executor, HealthPolicy, ParslExecutor};
 use crate::repository::{
     PublishVisibility, Repository, PUBLISH_SCOPE, RESOURCE_SERVER, SERVE_SCOPE,
 };
@@ -16,9 +16,11 @@ use crate::serving::{ManagementService, ServingConfig};
 use crate::task_manager::TaskManager;
 use dlhub_auth::{AuthService, Scope, Token};
 use dlhub_container::Cluster;
-use dlhub_queue::{Broker, BrokerConfig};
+use dlhub_fault::FaultHandle;
+use dlhub_queue::{Broker, BrokerConfig, TopicConfig};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Builder for [`TestHub`].
 pub struct TestHubBuilder {
@@ -30,6 +32,10 @@ pub struct TestHubBuilder {
     eval_servables: bool,
     extra_executors: Vec<Arc<dyn Executor>>,
     config: ServingConfig,
+    faults: FaultHandle,
+    task_topic_config: Option<TopicConfig>,
+    replica_health: Option<HealthPolicy>,
+    executor_reply_timeout: Option<Duration>,
 }
 
 impl TestHubBuilder {
@@ -85,6 +91,38 @@ impl TestHubBuilder {
         self
     }
 
+    /// Thread one fault-injection schedule through the whole
+    /// deployment: the broker's send/recv sites, every Task Manager's
+    /// crash site, every Parsl replica, and the Management Service's
+    /// memo and batch sites all consult `faults`.
+    pub fn faults(mut self, faults: FaultHandle) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Create the task topic with a specific configuration (lease
+    /// duration, delivery attempts, capacity) before the Task Managers
+    /// start; chaos tests shorten the lease so crashed-TM redelivery
+    /// happens within the test budget.
+    pub fn task_topic_config(mut self, config: TopicConfig) -> Self {
+        self.task_topic_config = Some(config);
+        self
+    }
+
+    /// Replica health policy for every Parsl executor in the hub
+    /// (`None` keeps the executor default).
+    pub fn replica_health(mut self, policy: HealthPolicy) -> Self {
+        self.replica_health = Some(policy);
+        self
+    }
+
+    /// Bound how long executors wait for replica replies (hung-replica
+    /// detection).
+    pub fn executor_reply_timeout(mut self, timeout: Duration) -> Self {
+        self.executor_reply_timeout = Some(timeout);
+        self
+    }
+
     /// Assemble the hub.
     pub fn build(self) -> TestHub {
         let auth = AuthService::new();
@@ -114,17 +152,40 @@ impl TestHubBuilder {
             }
         }
 
-        let broker = Broker::new(BrokerConfig::default());
+        let broker = Broker::new(BrokerConfig {
+            faults: self.faults.clone(),
+            ..BrokerConfig::default()
+        });
         let cluster = Cluster::petrelkube();
-        let parsl = Arc::new(ParslExecutor::new(cluster.clone(), self.replicas));
+        let make_parsl = |cluster: &Cluster| {
+            let mut parsl =
+                ParslExecutor::new(cluster.clone(), self.replicas).with_faults(self.faults.clone());
+            if let Some(policy) = self.replica_health {
+                parsl = parsl.with_health(Some(policy));
+            }
+            if let Some(timeout) = self.executor_reply_timeout {
+                parsl = parsl.with_reply_timeout(timeout);
+            }
+            Arc::new(parsl)
+        };
+        let parsl = make_parsl(&cluster);
         let mut config = self.config;
         config.memo_enabled = self.memo;
+        config.faults = self.faults.clone();
         // One observability layer for the whole deployment: the broker,
         // every Task Manager and the Management Service record into the
         // same tracer and registry, so one request yields one trace
         // tree spanning all tiers.
         let obs = dlhub_obs::Obs::new();
         broker.attach_obs(&obs.metrics);
+        parsl.attach_obs(&obs.metrics);
+        // The task topic must exist with its chaos-tuned lease before
+        // any Task Manager binds a consumer to it.
+        if let Some(topic_config) = self.task_topic_config {
+            broker
+                .create_topic_with(&config.task_topic, topic_config)
+                .expect("task topic created once");
+        }
         let mut task_managers = Vec::with_capacity(self.task_managers);
         for i in 0..self.task_managers {
             // The first TM shares the exposed Parsl executor so tests
@@ -135,10 +196,11 @@ impl TestHubBuilder {
             if i == 0 {
                 executors.push(Arc::clone(&parsl) as Arc<dyn Executor>);
             } else {
-                executors.push(Arc::new(ParslExecutor::new(cluster.clone(), self.replicas))
-                    as Arc<dyn Executor>);
+                let extra = make_parsl(&cluster);
+                extra.attach_obs(&obs.metrics);
+                executors.push(extra as Arc<dyn Executor>);
             }
-            task_managers.push(TaskManager::start_with_obs(
+            task_managers.push(TaskManager::start_with_faults(
                 &format!("cooley-tm-{i}"),
                 &broker,
                 &config.task_topic,
@@ -146,6 +208,7 @@ impl TestHubBuilder {
                 executors,
                 self.consumers,
                 obs.clone(),
+                self.faults.clone(),
             ));
         }
         let service = ManagementService::with_obs(Arc::clone(&repo), &broker, config, obs);
@@ -197,6 +260,10 @@ impl TestHub {
             eval_servables: true,
             extra_executors: Vec::new(),
             config: ServingConfig::default(),
+            faults: FaultHandle::default(),
+            task_topic_config: None,
+            replica_health: None,
+            executor_reply_timeout: None,
         }
     }
 

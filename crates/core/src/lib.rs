@@ -65,3 +65,7 @@ pub use dlhub_tensor as tensor;
 // exposes (`ManagementService::obs`, trace exports, metric snapshots)
 // is typed in terms of this crate.
 pub use dlhub_obs as obs;
+
+// Re-exported so integration and chaos tests configure fault plans
+// without a separate dependency on the fault crate.
+pub use dlhub_fault as fault;

@@ -206,6 +206,7 @@ pub struct MemoCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     obs: Option<ObsHooks>,
+    faults: dlhub_fault::FaultHandle,
 }
 
 impl MemoCache {
@@ -221,7 +222,18 @@ impl MemoCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             obs: None,
+            faults: dlhub_fault::FaultHandle::default(),
         }
+    }
+
+    /// Attach a fault-injection schedule. `Slow`/`Hang` faults at
+    /// [`dlhub_fault::site::MEMO_GET`] delay the lookup, any other kind
+    /// forces a miss; any fault at [`dlhub_fault::site::MEMO_PUT`]
+    /// silently skips the insert. The cache degrades — it never fails a
+    /// request.
+    pub fn attach_faults(mut self, faults: dlhub_fault::FaultHandle) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Mirror this cache's counters into an observability handle:
@@ -246,6 +258,23 @@ impl MemoCache {
 
     /// Look up a cached output.
     pub fn get(&self, key: &MemoKey) -> Option<Value> {
+        if let Some(fault) = self.faults.decide(dlhub_fault::site::MEMO_GET) {
+            match fault.kind {
+                dlhub_fault::FaultKind::Slow | dlhub_fault::FaultKind::Hang => {
+                    // A stalled lookup: the caller blocks here while
+                    // eviction and other lookups race on.
+                    std::thread::sleep(fault.delay);
+                }
+                _ => {
+                    // A failed lookup degrades to a miss.
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    if let Some(hooks) = &self.obs {
+                        hooks.misses.inc();
+                    }
+                    return None;
+                }
+            }
+        }
         let now = self.tick();
         let mut shard = self.shards[key.shard()].lock();
         match shard.index.get(key).copied() {
@@ -274,6 +303,10 @@ impl MemoCache {
     /// byte budget would be exceeded. Outputs larger than the whole
     /// budget are not cached.
     pub fn put(&self, key: MemoKey, output: Value) {
+        if self.faults.decide(dlhub_fault::site::MEMO_PUT).is_some() {
+            // A lost insert: the next identical request misses.
+            return;
+        }
         let size = output.approx_size();
         if size > self.capacity_bytes {
             return;
@@ -599,6 +632,78 @@ mod tests {
         );
         // The lock-free gauges must agree with the ground truth held
         // under the shard locks once the storm has quiesced.
+        let (real_entries, real_bytes) = c.shards.iter().fold((0, 0), |(n, b), s| {
+            let s = s.lock();
+            (
+                n + s.index.len(),
+                b + s.index.values().map(|&i| s.slots[i].size).sum::<usize>(),
+            )
+        });
+        assert_eq!(c.len(), real_entries);
+        assert_eq!(c.bytes(), real_bytes);
+    }
+
+    #[test]
+    fn eviction_races_slow_lookups_without_corruption() {
+        // Injected Slow faults stall readers inside `get` (before the
+        // shard lock) while writers drive an eviction storm and
+        // invalidations underneath them. A stalled lookup may miss, but
+        // any hit it returns must be the exact value stored for its
+        // key, and the cache bookkeeping must survive the race.
+        let faults = dlhub_fault::FaultPlan::seeded(42)
+            .inject(
+                dlhub_fault::site::MEMO_GET,
+                dlhub_fault::FaultSpec::new(dlhub_fault::FaultKind::Slow)
+                    .probability(0.3)
+                    .delay(std::time::Duration::from_millis(1)),
+            )
+            .build();
+        // Tiny byte budget: nearly every put evicts something.
+        let c = Arc::new(MemoCache::new(4 * 1024).attach_faults(faults.clone()));
+        let keyspace = 64i64;
+        let value_for = |i: i64| Value::Bytes(vec![(i % 251) as u8; 96]);
+        let writers: Vec<_> = (0..2)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..1_500i64 {
+                        let k = (i * 7 + t * 3) % keyspace;
+                        c.put(MemoKey::new("race", &Value::Int(k)), value_for(k));
+                        if i % 97 == 0 {
+                            c.invalidate_servable("race");
+                        }
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let mut hits = 0u64;
+                    for i in 0..1_500i64 {
+                        let k = (i * 5 + t) % keyspace;
+                        if let Some(out) = c.get(&MemoKey::new("race", &Value::Int(k))) {
+                            assert_eq!(out, value_for(k), "hit returned a foreign value");
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let hits: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(
+            faults.injected(dlhub_fault::site::MEMO_GET) > 0,
+            "no slow lookup was ever injected"
+        );
+        assert_eq!(c.stats().hits, hits, "hit accounting diverged");
+        assert!(c.stats().evictions > 0, "budget never forced an eviction");
+        assert!(c.bytes() <= 4 * 1024, "byte budget violated: {}", c.bytes());
+        // Gauges agree with the ground truth under the shard locks.
         let (real_entries, real_bytes) = c.shards.iter().fold((0, 0), |(n, b), s| {
             let s = s.lock();
             (

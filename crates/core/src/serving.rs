@@ -18,6 +18,7 @@ use crate::task::{next_task_id, TaskHandle, TaskRequest, TaskResponse, TaskStatu
 use crate::task_manager::{TmRegistration, REGISTRATION_TOPIC};
 use crate::value::Value;
 use dlhub_auth::{Scope, Token};
+use dlhub_fault::{site, FaultHandle};
 use dlhub_obs::{Gauge, MetricsSnapshot, Obs, TraceContext, TraceExport};
 use dlhub_queue::{Broker, RpcClient};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -31,8 +32,28 @@ use std::time::{Duration, Instant};
 pub struct ServingConfig {
     /// Broker topic tasks are dispatched on.
     pub task_topic: String,
-    /// How long to wait for a Task Manager before failing a request.
+    /// How long each dispatch *attempt* waits for a Task Manager reply
+    /// before the attempt is declared failed (and possibly retried).
     pub request_timeout: Duration,
+    /// Total wall-clock budget for a request across all retry attempts
+    /// and backoff pauses. Overridable per request via
+    /// [`RunOptions::deadline`].
+    pub request_deadline: Duration,
+    /// Retries after the first failed attempt (total attempts is
+    /// `max_retries + 1`). Only transient failures — timeouts and
+    /// transport errors, plus execution errors when
+    /// `retry_execution_errors` is set — consume the budget.
+    pub max_retries: u32,
+    /// Initial pause before the first retry; doubles per retry, capped
+    /// by the remaining deadline.
+    pub retry_backoff: Duration,
+    /// Whether servable execution errors are retried. Off by default:
+    /// a deterministic servable failure will fail again, but a chaos
+    /// configuration injecting random replica faults wants retries.
+    pub retry_execution_errors: bool,
+    /// Fault-injection schedule consulted at the Management Service's
+    /// sites (memo lookup/insert, batch flush). Disabled by default.
+    pub faults: FaultHandle,
     /// Memo-cache budget in bytes.
     pub memo_capacity: usize,
     /// Whether memoization starts enabled.
@@ -56,6 +77,11 @@ impl Default for ServingConfig {
         ServingConfig {
             task_topic: "dlhub.tasks".into(),
             request_timeout: Duration::from_secs(30),
+            request_deadline: Duration::from_secs(120),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(10),
+            retry_execution_errors: false,
+            faults: FaultHandle::default(),
             memo_capacity: 64 * 1024 * 1024,
             memo_enabled: true,
             batch_max: 32,
@@ -180,6 +206,9 @@ pub struct RunResult {
 pub struct RunOptions {
     /// Override the service-wide memoization switch for this request.
     pub memoize: Option<bool>,
+    /// Override [`ServingConfig::request_deadline`] for this request:
+    /// the total budget across every retry attempt and backoff pause.
+    pub deadline: Option<Duration>,
 }
 
 /// The Management Service. Share via `Arc` (async and batched
@@ -224,7 +253,9 @@ impl ManagementService {
         broker.ensure_topic(REGISTRATION_TOPIC);
         Arc::new(ManagementService {
             rpc: RpcClient::connect(broker, &config.task_topic),
-            memo: MemoCache::new(config.memo_capacity).attach_obs(&obs),
+            memo: MemoCache::new(config.memo_capacity)
+                .attach_obs(&obs)
+                .attach_faults(config.faults.clone()),
             memo_enabled: AtomicBool::new(config.memo_enabled),
             task_table: TaskTable::new(),
             pipelines: RwLock::new(HashMap::new()),
@@ -348,24 +379,95 @@ impl ManagementService {
         Ok(metadata)
     }
 
-    /// Dispatch `inputs` to a Task Manager and await the response.
-    /// `trace` rides inside the task envelope so the Task Manager can
-    /// parent its invocation span under the caller's request span.
+    /// Dispatch `inputs` to a Task Manager and await the response,
+    /// retrying transient failures with exponential backoff until the
+    /// retry budget or the request deadline runs out. `trace` rides
+    /// inside the task envelope so the Task Manager can parent its
+    /// invocation span under the caller's request span; each attempt
+    /// additionally gets its own `attempt` child span.
+    ///
+    /// Every attempt re-sends the *same* `task_id`: the broker is
+    /// at-least-once, so a timed-out attempt may still execute, and a
+    /// duplicated execution must be attributable to one logical task.
     fn execute_remote(
         &self,
         id: &str,
         inputs: Vec<Value>,
         trace: Option<TraceContext>,
+        deadline: Option<Duration>,
     ) -> Result<(Vec<Value>, Vec<Duration>, Duration), DlhubError> {
+        let deadline = Instant::now() + deadline.unwrap_or(self.config.request_deadline);
         let request = TaskRequest {
             task_id: next_task_id(),
             servable: id.to_string(),
             inputs,
             trace,
         };
-        let reply = self
-            .rpc
-            .call_wait(request.to_bytes(), self.config.request_timeout)?;
+        let payload = request.to_bytes();
+        let mut attempts = 0u32;
+        let mut backoff = self.config.retry_backoff;
+        loop {
+            attempts += 1;
+            let mut attempt_span = trace.map(|p| self.obs.tracer.start_child(p, "attempt"));
+            if let Some(s) = attempt_span.as_mut() {
+                s.attr("servable", id);
+                s.attr("attempt", attempts.to_string());
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let error = if remaining.is_zero() {
+                // Out of budget before this attempt even dispatched.
+                DlhubError::Timeout
+            } else {
+                let per_attempt = self.config.request_timeout.min(remaining);
+                match self.attempt_remote(id, &payload, per_attempt) {
+                    Ok(parts) => {
+                        if let Some(s) = attempt_span {
+                            self.obs.tracer.finish(s);
+                        }
+                        return Ok(parts);
+                    }
+                    Err(e) => e,
+                }
+            };
+            if let Some(mut s) = attempt_span {
+                s.attr("error", error.to_string());
+                self.obs.tracer.finish(s);
+            }
+            let retryable = match &error {
+                DlhubError::Timeout | DlhubError::Transport(_) => true,
+                DlhubError::Execution { .. } => self.config.retry_execution_errors,
+                _ => false,
+            };
+            if !retryable {
+                return Err(error);
+            }
+            if attempts > self.config.max_retries || Instant::now() >= deadline {
+                self.obs.metrics.counter("request_exhausted_total").inc();
+                return Err(DlhubError::Exhausted {
+                    servable: id.to_string(),
+                    attempts,
+                    last_error: error.to_string(),
+                });
+            }
+            self.obs.metrics.counter("request_retries_total").inc();
+            let pause = backoff.min(deadline.saturating_duration_since(Instant::now()));
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+            backoff = backoff.saturating_mul(2);
+        }
+    }
+
+    /// One dispatch attempt: post the serialized task, await one reply,
+    /// decode it, and feed the servable's rolling profile (adaptive
+    /// batching and the replica autoscaler consume those observations).
+    fn attempt_remote(
+        &self,
+        id: &str,
+        payload: &bytes::Bytes,
+        timeout: Duration,
+    ) -> Result<(Vec<Value>, Vec<Duration>, Duration), DlhubError> {
+        let reply = self.rpc.call_wait(payload.clone(), timeout)?;
         let response = TaskResponse::from_bytes(&reply).map_err(DlhubError::Transport)?;
         let outputs = response.outcome.map_err(|message| DlhubError::Execution {
             servable: id.to_string(),
@@ -377,8 +479,6 @@ impl ManagementService {
             .map(|n| Duration::from_nanos(*n))
             .collect();
         let invocation = Duration::from_nanos(response.invocation_nanos);
-        // Feed the servable's rolling profile: adaptive batching and
-        // the replica autoscaler consume these observations.
         self.profiles
             .record(id, inference.iter().sum(), invocation, outputs.len().max(1));
         Ok((outputs, inference, invocation))
@@ -492,7 +592,7 @@ impl ManagementService {
             }
         }
         let (mut outputs, inference, invocation) =
-            self.execute_remote(id, vec![input], Some(ctx))?;
+            self.execute_remote(id, vec![input], Some(ctx), options.deadline)?;
         let value = outputs
             .pop()
             .ok_or_else(|| DlhubError::Transport("task manager returned no output".into()))?;
@@ -530,7 +630,7 @@ impl ManagementService {
         let series = self.obs.metrics.series(id);
         series.requests.add(inputs.len() as u64);
         series.batch_sizes.record(inputs.len() as u64);
-        let outcome = self.execute_remote(id, inputs, Some(span.ctx()));
+        let outcome = self.execute_remote(id, inputs, Some(span.ctx()), None);
         let (outputs, inference, invocation) = match outcome {
             Ok(parts) => parts,
             Err(e) => {
@@ -600,9 +700,18 @@ impl ManagementService {
                             let series = service.obs.metrics.series(&servable);
                             series.requests.add(inputs.len() as u64);
                             series.batch_sizes.record(inputs.len() as u64);
-                            let result = service
-                                .execute_remote(&servable, inputs, Some(span.ctx()))
-                                .map(|(outputs, _, _)| outputs);
+                            let result = match service.config.faults.decide(site::BATCH_FLUSH) {
+                                Some(fault) => Err(DlhubError::Execution {
+                                    servable: servable.clone(),
+                                    message: format!(
+                                        "injected batch-flush fault ({:?})",
+                                        fault.kind
+                                    ),
+                                }),
+                                None => service
+                                    .execute_remote(&servable, inputs, Some(span.ctx()), None)
+                                    .map(|(outputs, _, _)| outputs),
+                            };
                             if let Err(e) = &result {
                                 series.errors.inc();
                                 span.attr("error", e.to_string());
@@ -647,23 +756,27 @@ impl ManagementService {
             let mut span = span;
             let series = service.obs.metrics.series(&servable);
             series.requests.inc();
-            let status = match service.execute_remote(&servable, vec![input], Some(span.ctx())) {
-                Ok((mut outputs, inference, invocation)) => {
-                    series.invocation_latency.record_duration(invocation);
-                    series
-                        .inference_latency
-                        .record_duration(inference.first().copied().unwrap_or_default());
-                    match outputs.pop() {
-                        Some(v) => TaskStatus::Completed(v),
-                        None => TaskStatus::Failed("no output".into()),
+            let status =
+                match service.execute_remote(&servable, vec![input], Some(span.ctx()), None) {
+                    Ok((mut outputs, inference, invocation)) => {
+                        series.invocation_latency.record_duration(invocation);
+                        series
+                            .inference_latency
+                            .record_duration(inference.first().copied().unwrap_or_default());
+                        match outputs.pop() {
+                            Some(v) => TaskStatus::Completed(v),
+                            None => TaskStatus::failed("no output"),
+                        }
                     }
-                }
-                Err(e) => {
-                    series.errors.inc();
-                    span.attr("error", e.to_string());
-                    TaskStatus::Failed(e.to_string())
-                }
-            };
+                    Err(e) => {
+                        series.errors.inc();
+                        span.attr("error", e.to_string());
+                        TaskStatus::Failed {
+                            attempts: e.attempts(),
+                            last_error: e.to_string(),
+                        }
+                    }
+                };
             series.request_latency.record_duration(started.elapsed());
             service.obs.tracer.finish(span);
             service.task_table.resolve(&task_id, status);
@@ -848,6 +961,7 @@ mod tests {
         // Per-request override wins over the global switch.
         let opts = RunOptions {
             memoize: Some(true),
+            ..RunOptions::default()
         };
         hub.service
             .run_with_options(&hub.token, "dlhub/matminer-util", input.clone(), &opts)
@@ -972,7 +1086,14 @@ mod tests {
             .run_async(&hub.token, "dlhub/boom", Value::Null)
             .unwrap();
         match handle.wait(Duration::from_secs(5)) {
-            TaskStatus::Failed(msg) => assert!(msg.contains("exploded")),
+            TaskStatus::Failed {
+                attempts,
+                last_error,
+            } => {
+                assert!(last_error.contains("exploded"));
+                // Execution errors are not retried by default.
+                assert_eq!(attempts, 1);
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -84,8 +84,25 @@ pub enum TaskStatus {
     Pending,
     /// Finished successfully.
     Completed(Value),
-    /// Finished with an error.
-    Failed(String),
+    /// Terminal failure: every dispatch attempt failed. `attempts`
+    /// counts them (1 for a non-retryable error) so a client can tell
+    /// "failed fast" from "retried to exhaustion".
+    Failed {
+        /// Dispatch attempts made before the task was declared failed.
+        attempts: u32,
+        /// The final attempt's error.
+        last_error: String,
+    },
+}
+
+impl TaskStatus {
+    /// Shorthand for a single-attempt failure.
+    pub fn failed(last_error: impl Into<String>) -> Self {
+        TaskStatus::Failed {
+            attempts: 1,
+            last_error: last_error.into(),
+        }
+    }
 }
 
 /// Tombstones kept for forgotten tasks, so `was_forgotten` can
@@ -193,14 +210,14 @@ impl TaskHandle {
     pub fn status(&self) -> TaskStatus {
         self.table
             .status(&self.id)
-            .unwrap_or_else(|| TaskStatus::Failed(format!("unknown task {}", self.id)))
+            .unwrap_or_else(|| TaskStatus::failed(format!("unknown task {}", self.id)))
     }
 
     /// Block until the task finishes or the timeout elapses.
     pub fn wait(&self, timeout: Duration) -> TaskStatus {
         self.table
             .wait(&self.id, timeout)
-            .unwrap_or_else(|| TaskStatus::Failed(format!("unknown task {}", self.id)))
+            .unwrap_or_else(|| TaskStatus::failed(format!("unknown task {}", self.id)))
     }
 }
 
@@ -323,6 +340,6 @@ mod tests {
     fn unknown_task_reports_failure() {
         let table = TaskTable::new();
         let handle = TaskHandle::new("ghost".into(), table);
-        assert!(matches!(handle.status(), TaskStatus::Failed(_)));
+        assert!(matches!(handle.status(), TaskStatus::Failed { .. }));
     }
 }

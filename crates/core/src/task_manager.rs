@@ -10,8 +10,9 @@
 use crate::executor::Executor;
 use crate::repository::Repository;
 use crate::task::{TaskRequest, TaskResponse};
+use dlhub_fault::{site, FaultHandle, FaultKind};
 use dlhub_obs::Obs;
-use dlhub_queue::{Broker, RpcServer};
+use dlhub_queue::{Broker, RpcServer, ServeOutcome};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -66,6 +67,28 @@ impl TaskManager {
         )
     }
 
+    /// [`TaskManager::start_with_obs`] with a fault-injection schedule:
+    /// when the [`dlhub_fault::site::TM_CRASH`] site fires, the consumer
+    /// abandons the leased task mid-flight without acking or replying —
+    /// exactly what a Task Manager process crash looks like to the rest
+    /// of the system. The broker's lease expiry then redelivers the
+    /// task to a surviving consumer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_faults(
+        name: &str,
+        broker: &Broker,
+        task_topic: &str,
+        repository: Arc<Repository>,
+        executors: Vec<Arc<dyn Executor>>,
+        consumers: usize,
+        obs: Obs,
+        faults: FaultHandle,
+    ) -> Self {
+        Self::start_inner(
+            name, broker, task_topic, repository, executors, consumers, obs, faults,
+        )
+    }
+
     /// [`TaskManager::start`] recording into a shared observability
     /// handle: the TM's consumer threads record `invocation` spans
     /// (parented under the requester's propagated context), executors
@@ -81,6 +104,29 @@ impl TaskManager {
         executors: Vec<Arc<dyn Executor>>,
         consumers: usize,
         obs: Obs,
+    ) -> Self {
+        Self::start_inner(
+            name,
+            broker,
+            task_topic,
+            repository,
+            executors,
+            consumers,
+            obs,
+            FaultHandle::default(),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_inner(
+        name: &str,
+        broker: &Broker,
+        task_topic: &str,
+        repository: Arc<Repository>,
+        executors: Vec<Arc<dyn Executor>>,
+        consumers: usize,
+        obs: Obs,
+        faults: FaultHandle,
     ) -> Self {
         assert!(!executors.is_empty(), "task manager needs an executor");
         // Register with the Management Service (§IV-B).
@@ -104,12 +150,28 @@ impl TaskManager {
                 let shutdown = Arc::clone(&shutdown);
                 let served = Arc::clone(&served);
                 let obs = obs.clone();
+                let faults = faults.clone();
                 std::thread::Builder::new()
                     .name(format!("tm-{name}-{i}"))
                     .spawn(move || {
                         while !shutdown.load(Ordering::Relaxed) {
-                            let handled = server.serve_one(Duration::from_millis(50), |req| {
-                                handle(&repository, &executors, req, &obs).to_bytes()
+                            let handled = server.serve_one_with(Duration::from_millis(50), |req| {
+                                // A simulated process crash: the leased
+                                // task is dropped unsettled — no ack, no
+                                // reply — and comes back via lease
+                                // expiry on a surviving consumer.
+                                if let Some(fault) = faults.decide(site::TM_CRASH) {
+                                    // Slow/Hang crashes die mid-task,
+                                    // holding the lease for a while.
+                                    if matches!(fault.kind, FaultKind::Slow | FaultKind::Hang) {
+                                        std::thread::sleep(fault.delay);
+                                    }
+                                    obs.metrics.counter("tm_crashes_injected_total").inc();
+                                    return ServeOutcome::Abandon;
+                                }
+                                ServeOutcome::Reply(
+                                    handle(&repository, &executors, req, &obs).to_bytes(),
+                                )
                             });
                             match handled {
                                 Ok(true) => {

@@ -8,6 +8,7 @@
 use crate::message::{Message, MessageId};
 use crate::stats::TopicStats;
 use bytes::Bytes;
+use dlhub_fault::{site, FaultHandle, FaultKind};
 use dlhub_obs::{Counter, Histogram, Registry};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
@@ -72,6 +73,10 @@ impl Default for TopicConfig {
 pub struct BrokerConfig {
     /// Defaults applied to topics created without an explicit config.
     pub topic_defaults: TopicConfig,
+    /// Fault-injection schedule consulted at [`site::BROKER_SEND`] and
+    /// [`site::BROKER_RECV`]. Disabled (one branch per operation) by
+    /// default.
+    pub faults: FaultHandle,
 }
 
 struct InFlight {
@@ -117,10 +122,12 @@ impl Topic {
     }
 
     /// Requeue any in-flight messages whose lease has expired. Returns
-    /// true if at least one message became ready. Must hold the lock.
-    fn reap_expired(state: &mut TopicState, max_attempts: u32, now: Instant) -> bool {
+    /// the number of messages requeued (so callers can mirror
+    /// redeliveries into an attached metrics registry). Must hold the
+    /// lock.
+    fn reap_expired(state: &mut TopicState, max_attempts: u32, now: Instant) -> usize {
         if state.in_flight.is_empty() {
-            return false;
+            return 0;
         }
         let expired: Vec<MessageId> = state
             .in_flight
@@ -128,7 +135,7 @@ impl Topic {
             .filter(|(_, f)| f.lease_expires <= now)
             .map(|(id, _)| *id)
             .collect();
-        let mut requeued = false;
+        let mut requeued = 0;
         for id in expired {
             let flight = state.in_flight.remove(&id).expect("expired id present");
             let m = flight.message;
@@ -138,7 +145,7 @@ impl Topic {
             } else {
                 state.stats.redelivered += 1;
                 state.ready.push_front(m);
-                requeued = true;
+                requeued += 1;
             }
         }
         requeued
@@ -207,6 +214,8 @@ struct BrokerObs {
     send: Arc<Counter>,
     recv: Arc<Counter>,
     queue_wait: Arc<Histogram>,
+    dropped: Arc<Counter>,
+    redelivered: Arc<Counter>,
 }
 
 struct BrokerInner {
@@ -233,13 +242,19 @@ impl Broker {
     /// Mirror this broker's traffic into a metrics registry:
     /// `broker_send_total` / `broker_recv_total` counters plus a
     /// `broker_queue_wait_ns` histogram of how long messages sat in the
-    /// queue before being leased. First attachment wins; later calls
-    /// are no-ops (the broker is shared by clones).
+    /// queue before being leased. `broker_dropped_total` counts sends
+    /// discarded by fault injection and `broker_redelivered_total`
+    /// counts lease-expiry requeues observed by the receive paths (nack
+    /// requeues land only in [`TopicStats::redelivered`]). First
+    /// attachment wins; later calls are no-ops (the broker is shared by
+    /// clones).
     pub fn attach_obs(&self, metrics: &Registry) {
         let _ = self.inner.obs.set(BrokerObs {
             send: metrics.counter("broker_send_total"),
             recv: metrics.counter("broker_recv_total"),
             queue_wait: metrics.histogram("broker_queue_wait_ns"),
+            dropped: metrics.counter("broker_dropped_total"),
+            redelivered: metrics.counter("broker_redelivered_total"),
         });
     }
 
@@ -330,6 +345,9 @@ impl Broker {
             }
         }
         let id = message.id;
+        if self.drop_send_injected(&mut st) {
+            return Ok(id);
+        }
         st.stats.enqueued += 1;
         st.ready.push_back(message);
         drop(st);
@@ -338,6 +356,22 @@ impl Broker {
         }
         topic.ready_cv.notify_one();
         Ok(id)
+    }
+
+    /// Consult the send fault site; on a `Drop` fault the message is
+    /// discarded after the caller saw a successful send — exactly the
+    /// lost-publish failure mode of a flaky transport.
+    fn drop_send_injected(&self, st: &mut TopicState) -> bool {
+        if let Some(fault) = self.inner.config.faults.decide(site::BROKER_SEND) {
+            if fault.kind == FaultKind::Drop {
+                st.stats.dropped += 1;
+                if let Some(obs) = self.inner.obs.get() {
+                    obs.dropped.inc();
+                }
+                return true;
+            }
+        }
+        false
     }
 
     /// Non-blocking send; fails with [`QueueError::Full`] when bounded
@@ -355,6 +389,9 @@ impl Broker {
         }
         let message = Message::new(payload);
         let id = message.id;
+        if self.drop_send_injected(&mut st) {
+            return Ok(id);
+        }
         st.stats.enqueued += 1;
         st.ready.push_back(message);
         drop(st);
@@ -380,7 +417,8 @@ impl Broker {
     pub fn try_recv(&self, name: &str) -> Result<Option<Delivery>, QueueError> {
         let topic = self.topic(name)?;
         let mut st = topic.state.lock();
-        Topic::reap_expired(&mut st, topic.config.max_attempts, Instant::now());
+        let reaped = Topic::reap_expired(&mut st, topic.config.max_attempts, Instant::now());
+        self.mirror_redelivered(reaped);
         match Self::lease_front(&topic, &mut st, self.inner.obs.get()) {
             Some(d) => {
                 // Like the blocking receive path: leasing frees a
@@ -388,6 +426,12 @@ impl Broker {
                 // must be woken.
                 drop(st);
                 topic.space_cv.notify_one();
+                if self.abandon_recv_injected() {
+                    // The lease stands but the consumer "crashed":
+                    // redelivery waits for the lease to expire.
+                    drop(d);
+                    return Ok(None);
+                }
                 Ok(Some(d))
             }
             None if st.closed => Err(QueueError::Closed(name.to_string())),
@@ -395,14 +439,40 @@ impl Broker {
         }
     }
 
+    fn mirror_redelivered(&self, reaped: usize) {
+        if reaped > 0 {
+            if let Some(obs) = self.inner.obs.get() {
+                obs.redelivered.add(reaped as u64);
+            }
+        }
+    }
+
+    /// Consult the recv fault site; a `Drop` fault abandons the lease
+    /// just granted, modelling a consumer that died with the message in
+    /// hand — the broker's lease expiry is what recovers it.
+    fn abandon_recv_injected(&self) -> bool {
+        matches!(
+            self.inner.config.faults.decide(site::BROKER_RECV),
+            Some(fault) if fault.kind == FaultKind::Drop
+        )
+    }
+
     fn recv_deadline(&self, name: &str, deadline: Option<Instant>) -> Result<Delivery, QueueError> {
         let topic = self.topic(name)?;
         let mut st = topic.state.lock();
         loop {
             let now = Instant::now();
-            Topic::reap_expired(&mut st, topic.config.max_attempts, now);
+            let reaped = Topic::reap_expired(&mut st, topic.config.max_attempts, now);
+            self.mirror_redelivered(reaped);
             if let Some(d) = Self::lease_front(&topic, &mut st, self.inner.obs.get()) {
                 topic.space_cv.notify_one();
+                if self.abandon_recv_injected() {
+                    // Abandon the lease and keep waiting: the message
+                    // comes back through `reap_expired` once the lease
+                    // runs out.
+                    drop(d);
+                    continue;
+                }
                 return Ok(d);
             }
             if st.closed {

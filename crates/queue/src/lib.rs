@@ -44,5 +44,9 @@ pub mod stats;
 
 pub use broker::{Broker, BrokerConfig, Delivery, QueueError, TopicConfig};
 pub use message::{Message, MessageId};
-pub use rpc::{ReplyHandle, RpcClient, RpcError, RpcServer};
+pub use rpc::{ReplyHandle, RpcClient, RpcError, RpcServer, ServeOutcome};
 pub use stats::TopicStats;
+
+// Re-export the fault-injection vocabulary so consumers configure the
+// broker's `BrokerConfig::faults` without a separate dependency.
+pub use dlhub_fault as fault;

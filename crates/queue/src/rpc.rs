@@ -208,6 +208,18 @@ impl ReplyHandle<'_> {
     }
 }
 
+/// What a server handler decided to do with a request.
+#[derive(Debug)]
+pub enum ServeOutcome {
+    /// Send this reply and acknowledge the delivery.
+    Reply(Bytes),
+    /// Walk away mid-request: no reply, no ack. The delivery's lease
+    /// expires naturally and the broker redelivers the request — the
+    /// crashed-consumer failure mode, used by fault injection to model
+    /// a Task Manager dying with a task in hand.
+    Abandon,
+}
+
 /// Server side of the request/reply pattern: pull one request, run the
 /// handler, route the reply back.
 pub struct RpcServer {
@@ -232,19 +244,37 @@ impl RpcServer {
     where
         F: FnOnce(&Bytes) -> Bytes,
     {
+        self.serve_one_with(timeout, |req| ServeOutcome::Reply(handler(req)))
+    }
+
+    /// Like [`RpcServer::serve_one`], but the handler can decide to
+    /// [`ServeOutcome::Abandon`] the request (no reply, no ack),
+    /// leaving the broker lease to expire and the request to be
+    /// redelivered to another server. Returns `Ok(true)` whenever a
+    /// request was pulled, abandoned or not.
+    pub fn serve_one_with<F>(&self, timeout: Duration, handler: F) -> Result<bool, RpcError>
+    where
+        F: FnOnce(&Bytes) -> ServeOutcome,
+    {
         let delivery = match self.broker.recv_timeout(&self.service_topic, timeout) {
             Ok(d) => d,
             Err(QueueError::Timeout) => return Ok(false),
             Err(e) => return Err(e.into()),
         };
-        let reply_payload = handler(&delivery.message.payload);
-        if let Some(reply_topic) = delivery.message.reply_to.clone() {
-            let reply = Message::reply_to(&delivery.message, reply_payload);
-            // The reply topic may already be gone if the client timed
-            // out and dropped; that is not a server error.
-            let _ = self.broker.send_message(&reply_topic, reply);
+        match handler(&delivery.message.payload) {
+            ServeOutcome::Reply(reply_payload) => {
+                if let Some(reply_topic) = delivery.message.reply_to.clone() {
+                    let reply = Message::reply_to(&delivery.message, reply_payload);
+                    // The reply topic may already be gone if the client
+                    // timed out and dropped; that is not a server error.
+                    let _ = self.broker.send_message(&reply_topic, reply);
+                }
+                delivery.ack();
+            }
+            // Dropping the delivery unsettled models the crash: the
+            // lease stays in flight until it expires.
+            ServeOutcome::Abandon => drop(delivery),
         }
-        delivery.ack();
         Ok(true)
     }
 

@@ -19,6 +19,9 @@ pub struct TopicStats {
     pub redelivered: u64,
     /// Messages moved to the dead-letter queue.
     pub dead_lettered: u64,
+    /// Sends discarded by fault injection: the sender saw success but
+    /// the message never reached the ready queue.
+    pub dropped: u64,
     total_wait_nanos: u128,
     wait_samples: u64,
 }
@@ -40,6 +43,8 @@ impl TopicStats {
 
     /// Messages currently unaccounted for (enqueued but neither acked
     /// nor dead-lettered). Useful as a liveness check in tests.
+    /// Injection-dropped messages never entered the queue, so they are
+    /// not outstanding.
     pub fn outstanding(&self) -> u64 {
         self.enqueued
             .saturating_sub(self.acked + self.dead_lettered)

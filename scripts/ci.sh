@@ -16,6 +16,15 @@ cargo build --workspace --release
 echo "######## test"
 cargo test --workspace --release --quiet
 
+echo "######## chaos (fixed seed matrix)"
+# The workspace test run above already exercises tests/chaos.rs on its
+# built-in matrix; this loop re-runs it one pinned seed at a time so a
+# failure names the seed that reproduces it (DESIGN.md §9).
+for seed in 7 1848 3141; do
+  echo "-- chaos seed ${seed}"
+  CHAOS_SEED="${seed}" cargo test --release --quiet -p dlhub-bench --test chaos
+done
+
 echo "######## obs unit tests"
 cargo test -p dlhub-obs --release --quiet
 
