@@ -149,6 +149,9 @@ fn main() {
     // Generous downstream capacity (replicas, consumers) so the
     // request path itself — locks, memo, dispatch — is what's being
     // measured rather than executor starvation.
+    // A (loose) SLO keeps the full analytics path hot during the
+    // bench: every request updates burn-rate windows and exemplar
+    // slots, so the committed numbers include that cost.
     let hub = TestHub::builder()
         .without_eval_servables()
         .memo(true)
@@ -158,6 +161,10 @@ fn main() {
             async_workers: 16,
             ..ServingConfig::default()
         })
+        .slo(dlhub_core::obs::SloSpec::new(
+            "dlhub/echo",
+            Duration::from_secs(1),
+        ))
         .build();
     hub.publish_simple(
         "echo",
@@ -239,6 +246,27 @@ fn main() {
             echo_series.requests
         ),
         echo_series.requests > 0 && echo_series.request_latency.is_some(),
+    );
+    let echo_slo = metrics
+        .slos
+        .iter()
+        .find(|s| s.servable == "dlhub/echo")
+        .expect("echo SLO tracked");
+    shape_check(
+        &format!(
+            "SLO engine observed the run without firing ({} observed)",
+            echo_slo.observed
+        ),
+        echo_slo.observed > 0 && !echo_slo.firing && echo_slo.alerts_fired == 0,
+    );
+    let exemplars: usize = echo_series
+        .request_latency_buckets
+        .iter()
+        .map(|b| b.exemplars.len())
+        .sum();
+    shape_check(
+        &format!("latency histogram retained trace exemplars ({exemplars})"),
+        exemplars > 0,
     );
 
     let doc = serde_json::json!({

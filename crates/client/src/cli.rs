@@ -84,7 +84,9 @@ impl Cli {
             ["ls"] => self.ls(workdir),
             ["stats", rest @ ..] => self.stats(rest),
             ["trace", rest @ ..] => self.trace(rest),
-            [] => Err("usage: dlhub <init|update|publish|run|ls|stats|trace>".into()),
+            ["analyze", rest @ ..] => self.analyze(rest),
+            ["slo"] => self.slo(),
+            [] => Err("usage: dlhub <init|update|publish|run|ls|stats|trace|analyze|slo>".into()),
             other => Err(format!("unknown command: {}", other.join(" "))),
         }
     }
@@ -128,6 +130,68 @@ impl Cli {
         } else {
             Ok(export.render_text())
         }
+    }
+
+    /// `analyze [<trace-id>] [--json]`: stage-level latency
+    /// attribution. With a trace id, decompose that request's wall
+    /// time into named serving stages; without one, analyze every
+    /// collected trace and print each plus an aggregate stage table.
+    fn analyze(&self, args: &[&str]) -> Result<String, CliError> {
+        let json = args.contains(&"--json");
+        let ids: Vec<&&str> = args.iter().filter(|a| **a != "--json").collect();
+        match ids.as_slice() {
+            [id] => {
+                let trace = parse_trace_id(id)?;
+                let analysis = self
+                    .service
+                    .analyze_trace(trace)
+                    .ok_or_else(|| format!("no spans collected for trace {trace:#x}"))?;
+                if json {
+                    Ok(serde_json::to_string_pretty(&analysis.to_json())
+                        .expect("analysis serializes"))
+                } else {
+                    Ok(analysis.render_text())
+                }
+            }
+            [] => {
+                let export = self.service.trace_export(None);
+                let analyses = dlhub_core::obs::analyze_all(&export);
+                if analyses.is_empty() {
+                    return Err("no traces collected yet; run something first".into());
+                }
+                if json {
+                    let docs: Vec<_> = analyses.iter().map(|a| a.to_json()).collect();
+                    return Ok(serde_json::to_string_pretty(&docs).expect("analyses serialize"));
+                }
+                let mut out = String::new();
+                for analysis in &analyses {
+                    out.push_str(&analysis.render_text());
+                }
+                let total: u64 = analyses.iter().map(|a| a.total_ns).sum();
+                let stages = dlhub_core::obs::aggregate_stages(&analyses);
+                out.push_str(&format!(
+                    "aggregate over {} traces  total {:.2}ms\n",
+                    analyses.len(),
+                    total as f64 / 1e6
+                ));
+                dlhub_core::obs::render_stages(&stages, total, &mut out);
+                Ok(out)
+            }
+            other => Err(format!(
+                "usage: dlhub analyze [<trace-id>] [--json] (got: {})",
+                other
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )),
+        }
+    }
+
+    /// `slo`: per-servable objective status — burn rates over the fast
+    /// and slow windows and the current alert state.
+    fn slo(&self) -> Result<String, CliError> {
+        Ok(self.service.metrics_snapshot().render_slos())
     }
 
     /// `init <name> [--kind k]`: create `.dlhub/dlhub.json`.
@@ -396,6 +460,39 @@ mod tests {
         let json = cli.execute(&dir.0, &["trace", id, "--json"]).unwrap();
         assert!(json.contains("\"spans\""), "{json}");
         assert!(cli.execute(&dir.0, &["trace", "not-a-number"]).is_err());
+    }
+
+    #[test]
+    fn analyze_and_slo_commands_attribute_latency() {
+        let hub = TestHub::builder()
+            .without_eval_servables()
+            .slo(dlhub_core::obs::SloSpec::new(
+                "dlhub/echo",
+                std::time::Duration::from_secs(5),
+            ))
+            .build();
+        let cli = cli(&hub);
+        let dir = TempDir::new("analyze");
+        cli.execute(&dir.0, &["init", "echo"]).unwrap();
+        cli.execute(&dir.0, &["publish"]).unwrap();
+        let out = cli.execute(&dir.0, &["run", "\"hi\""]).unwrap();
+        let id = out
+            .split("trace ")
+            .nth(1)
+            .and_then(|rest| rest.strip_suffix(')'))
+            .unwrap();
+        let text = cli.execute(&dir.0, &["analyze", id]).unwrap();
+        assert!(text.contains("trace 0x"), "{text}");
+        assert!(text.contains("execute"), "{text}");
+        let json = cli.execute(&dir.0, &["analyze", id, "--json"]).unwrap();
+        assert!(json.contains("\"stages\""), "{json}");
+        let all = cli.execute(&dir.0, &["analyze"]).unwrap();
+        assert!(all.contains("aggregate over"), "{all}");
+        let slo = cli.execute(&dir.0, &["slo"]).unwrap();
+        assert!(slo.contains("slo dlhub/echo"), "{slo}");
+        assert!(slo.contains("state ok"), "{slo}");
+        assert!(cli.execute(&dir.0, &["analyze", "0xdeadbeef"]).is_err());
+        assert!(cli.execute(&dir.0, &["analyze", "nope"]).is_err());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::profile::ProfileRegistry;
 use crate::value::Value;
 use crossbeam::channel;
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -103,6 +103,20 @@ impl Batcher {
     /// Create a batcher with an explicit sizing policy (fixed or
     /// profile-adaptive).
     pub fn with_sizing(sizing: BatchSizing, max_delay: Duration, dispatch: BatchDispatch) -> Self {
+        Self::with_wait_sink(sizing, max_delay, dispatch, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Like [`Batcher::with_sizing`], but before each dispatch the
+    /// flusher stores how long the flushed batch's oldest item waited
+    /// (nanoseconds) into `wait_sink`. The dispatch callback reads the
+    /// sink to attribute batch-wait time on its own flush — the store
+    /// happens-before the dispatch call on the same flusher thread.
+    pub fn with_wait_sink(
+        sizing: BatchSizing,
+        max_delay: Duration,
+        dispatch: BatchDispatch,
+        wait_sink: Arc<AtomicU64>,
+    ) -> Self {
         let state = Arc::new(Mutex::new(State {
             pending: Vec::new(),
             oldest: None,
@@ -117,7 +131,7 @@ impl Batcher {
             std::thread::Builder::new()
                 .name("dlhub-batcher".into())
                 .spawn(move || loop {
-                    let batch: Vec<Pending> = {
+                    let (batch, waited): (Vec<Pending>, Duration) = {
                         let mut st = state.lock();
                         loop {
                             if shutdown.load(Ordering::Relaxed) && st.pending.is_empty() {
@@ -132,8 +146,10 @@ impl Batcher {
                                 None => false,
                             };
                             if due {
+                                let waited =
+                                    st.oldest.map(|t| t.elapsed()).unwrap_or(Duration::ZERO);
                                 st.oldest = None;
-                                break std::mem::take(&mut st.pending);
+                                break (std::mem::take(&mut st.pending), waited);
                             }
                             match st.oldest {
                                 Some(t) => {
@@ -146,6 +162,7 @@ impl Batcher {
                             }
                         }
                     };
+                    wait_sink.store(waited.as_nanos() as u64, Ordering::Relaxed);
                     let inputs: Vec<Value> = batch.iter().map(|p| p.input.clone()).collect();
                     match (dispatch)(inputs) {
                         Ok(outputs) if outputs.len() == batch.len() => {
@@ -408,6 +425,21 @@ mod tests {
             sizes.len() < 9,
             "burst should coalesce once profiled: {sizes:?}"
         );
+    }
+
+    #[test]
+    fn wait_sink_reports_the_oldest_items_wait() {
+        let sink = Arc::new(AtomicU64::new(0));
+        let b = Batcher::with_wait_sink(
+            BatchSizing::Fixed(100),
+            Duration::from_millis(10),
+            Arc::new(Ok),
+            Arc::clone(&sink),
+        );
+        b.submit(Value::Int(1)).unwrap();
+        // The lone item sat the full max_delay before flushing.
+        let waited = sink.load(Ordering::SeqCst);
+        assert!(waited >= 9_000_000, "waited {waited}ns");
     }
 
     #[test]

@@ -96,6 +96,9 @@ struct Job {
     reply: channel::Sender<(usize, Result<Value, String>, Duration)>,
     index: usize,
     trace: Option<JobTrace>,
+    /// Obs-clock stamp taken when the job entered the pool queue, so
+    /// the replica can report its queue wait on the inference span.
+    queued_ns: u64,
 }
 
 /// Replica health thresholds: a replica accumulating
@@ -204,6 +207,7 @@ impl Pool {
                                         ("servable", trace.servable_id),
                                         ("replica", i.to_string()),
                                         ("executor", "parsl".to_string()),
+                                        ("queued_ns", job.queued_ns.to_string()),
                                     ],
                                 });
                             }
@@ -395,6 +399,7 @@ impl ParslExecutor {
                             parent,
                             servable_id: servable_id.to_string(),
                         }),
+                        queued_ns: dlhub_obs::now_ns(),
                     })
                     .map_err(|_| "executor pool shut down".to_string())?;
             }

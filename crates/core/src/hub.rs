@@ -91,6 +91,13 @@ impl TestHubBuilder {
         self
     }
 
+    /// Register a service-level objective on the deployment (appends
+    /// to [`ServingConfig::slos`]).
+    pub fn slo(mut self, spec: dlhub_obs::SloSpec) -> Self {
+        self.config.slos.push(spec);
+        self
+    }
+
     /// Thread one fault-injection schedule through the whole
     /// deployment: the broker's send/recv sites, every Task Manager's
     /// crash site, every Parsl replica, and the Management Service's

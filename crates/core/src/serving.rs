@@ -19,11 +19,11 @@ use crate::task_manager::{TmRegistration, REGISTRATION_TOPIC};
 use crate::value::Value;
 use dlhub_auth::{Scope, Token};
 use dlhub_fault::{site, FaultHandle};
-use dlhub_obs::{Gauge, MetricsSnapshot, Obs, TraceContext, TraceExport};
+use dlhub_obs::{Gauge, MetricsSnapshot, Obs, SloSpec, TraceAnalysis, TraceContext, TraceExport};
 use dlhub_queue::{Broker, RpcClient};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -70,6 +70,11 @@ pub struct ServingConfig {
     /// [`ManagementService::run_async`] dispatches. The pool bounds
     /// concurrent async work; 0 is treated as 1.
     pub async_workers: usize,
+    /// Service-level objectives registered at construction. Each spec
+    /// names a servable and a latency threshold; burn rates and alert
+    /// state surface in [`MetricsSnapshot`] (`slos`), the Prometheus
+    /// exposition, and `slo_alert` trace events.
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for ServingConfig {
@@ -88,6 +93,7 @@ impl Default for ServingConfig {
             batch_delay: Duration::from_millis(5),
             adaptive_batching: false,
             async_workers: 4,
+            slos: Vec::new(),
         }
     }
 }
@@ -251,6 +257,9 @@ impl ManagementService {
     ) -> Arc<Self> {
         broker.ensure_topic(&config.task_topic);
         broker.ensure_topic(REGISTRATION_TOPIC);
+        for spec in &config.slos {
+            obs.register_slo(spec.clone());
+        }
         Arc::new(ManagementService {
             rpc: RpcClient::connect(broker, &config.task_topic),
             memo: MemoCache::new(config.memo_capacity)
@@ -279,9 +288,10 @@ impl ManagementService {
         &self.obs
     }
 
-    /// Point-in-time snapshot of every metric the deployment recorded.
+    /// Point-in-time snapshot of every metric the deployment recorded,
+    /// including SLO burn rates and the tracer's dropped-span count.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.obs.metrics.snapshot()
+        self.obs.snapshot()
     }
 
     /// Prometheus text exposition of the current metrics snapshot.
@@ -293,6 +303,14 @@ impl ManagementService {
     /// (as returned in [`RunResult::trace`]).
     pub fn trace_export(&self, trace: Option<u64>) -> TraceExport {
         self.obs.tracer.export(trace)
+    }
+
+    /// Reconstruct one trace's span tree and decompose its wall time
+    /// into named serving stages (management overhead, broker wait,
+    /// dispatch, replica queue-wait, execute, …). `None` when the trace
+    /// id is unknown or its spans were evicted.
+    pub fn analyze_trace(&self, trace: u64) -> Option<TraceAnalysis> {
+        dlhub_obs::analyze(&self.obs.tracer.export(Some(trace)), trace)
     }
 
     /// The backing repository.
@@ -534,7 +552,9 @@ impl ManagementService {
                     "cache_hit",
                     if timings.cache_hit { "true" } else { "false" },
                 );
-                series.request_latency.record_duration(timings.request);
+                series
+                    .request_latency
+                    .record_duration_with_exemplar(timings.request, trace);
                 series
                     .invocation_latency
                     .record_duration(timings.invocation);
@@ -543,6 +563,7 @@ impl ManagementService {
                 } else {
                     series.inference_latency.record_duration(timings.inference);
                 }
+                self.obs.observe_slo(id, timings.request, true);
                 self.obs.tracer.finish(span);
                 Ok(RunResult {
                     value,
@@ -553,6 +574,7 @@ impl ManagementService {
             Err(e) => {
                 series.errors.inc();
                 span.attr("error", e.to_string());
+                self.obs.observe_slo(id, started.elapsed(), false);
                 self.obs.tracer.finish(span);
                 Err(e)
             }
@@ -577,7 +599,12 @@ impl ManagementService {
         let key = MemoKey::new(id, &input);
         if memoize {
             let lookup_started = Instant::now();
-            if let Some(cached) = self.memo.get(&key) {
+            let mut lookup_span = self.obs.tracer.start_child(ctx, "memo_lookup");
+            lookup_span.attr("servable", id);
+            let cached = self.memo.get(&key);
+            lookup_span.attr("hit", if cached.is_some() { "true" } else { "false" });
+            self.obs.tracer.finish(lookup_span);
+            if let Some(cached) = cached {
                 // A hit never reaches the Task Manager: invocation
                 // collapses to the cache lookup (§V-B5).
                 return Ok((
@@ -627,6 +654,7 @@ impl ManagementService {
         let mut span = self.obs.tracer.start_root("request");
         span.attr("servable", id);
         span.attr("batch_size", inputs.len().to_string());
+        let trace = span.trace();
         let series = self.obs.metrics.series(id);
         series.requests.add(inputs.len() as u64);
         series.batch_sizes.record(inputs.len() as u64);
@@ -636,6 +664,7 @@ impl ManagementService {
             Err(e) => {
                 series.errors.inc();
                 span.attr("error", e.to_string());
+                self.obs.observe_slo(id, started.elapsed(), false);
                 self.obs.tracer.finish(span);
                 return Err(e);
             }
@@ -646,11 +675,14 @@ impl ManagementService {
             request: started.elapsed(),
             cache_hit: false,
         };
-        series.request_latency.record_duration(timings.request);
+        series
+            .request_latency
+            .record_duration_with_exemplar(timings.request, trace);
         series
             .invocation_latency
             .record_duration(timings.invocation);
         series.inference_latency.record_duration(timings.inference);
+        self.obs.observe_slo(id, timings.request, true);
         self.obs.tracer.finish(span);
         Ok((outputs, timings))
     }
@@ -688,7 +720,12 @@ impl ManagementService {
                     } else {
                         crate::batch::BatchSizing::Fixed(self.config.batch_max)
                     };
-                    let batcher = Arc::new(Batcher::with_sizing(
+                    // The flusher stores the oldest item's wait into
+                    // the sink right before calling dispatch, so the
+                    // flush span can attribute coalescing delay.
+                    let wait_sink = Arc::new(AtomicU64::new(0));
+                    let wait_source = Arc::clone(&wait_sink);
+                    let batcher = Arc::new(Batcher::with_wait_sink(
                         sizing,
                         self.config.batch_delay,
                         Arc::new(move |inputs: Vec<Value>| {
@@ -697,6 +734,10 @@ impl ManagementService {
                             let mut span = service.obs.tracer.start_root("batch_flush");
                             span.attr("servable", servable.clone());
                             span.attr("batch_size", inputs.len().to_string());
+                            span.attr(
+                                "batch_wait_ns",
+                                wait_source.load(Ordering::Relaxed).to_string(),
+                            );
                             let series = service.obs.metrics.series(&servable);
                             series.requests.add(inputs.len() as u64);
                             series.batch_sizes.record(inputs.len() as u64);
@@ -719,6 +760,7 @@ impl ManagementService {
                             service.obs.tracer.finish(span);
                             result
                         }),
+                        wait_sink,
                     ));
                     batchers.insert(id.to_string(), Arc::clone(&batcher));
                     batcher
@@ -777,7 +819,15 @@ impl ManagementService {
                         }
                     }
                 };
-            series.request_latency.record_duration(started.elapsed());
+            let latency = started.elapsed();
+            series
+                .request_latency
+                .record_duration_with_exemplar(latency, span.trace());
+            service.obs.observe_slo(
+                &servable,
+                latency,
+                matches!(status, TaskStatus::Completed(_)),
+            );
             service.obs.tracer.finish(span);
             service.task_table.resolve(&task_id, status);
         }));
@@ -1496,6 +1546,65 @@ mod tests {
         let requests = export.named("request");
         assert_eq!(requests.len(), 3);
         assert!(requests.iter().all(|r| r.parent == roots[0].span));
+    }
+
+    #[test]
+    fn memo_lookups_are_traced_as_their_own_stage() {
+        let hub = TestHub::builder().memo(true).build();
+        let input = Value::Str("NaCl".into());
+        let miss = hub
+            .service
+            .run(&hub.token, "dlhub/matminer-util", input.clone())
+            .unwrap();
+        let hit = hub
+            .service
+            .run(&hub.token, "dlhub/matminer-util", input)
+            .unwrap();
+        let lookups = hub.service.trace_export(Some(miss.trace));
+        let lookups = lookups.named("memo_lookup");
+        assert_eq!(lookups.len(), 1);
+        assert_eq!(lookups[0].attr("hit"), Some("false"));
+        let export = hub.service.trace_export(Some(hit.trace));
+        let lookups = export.named("memo_lookup");
+        assert_eq!(lookups.len(), 1);
+        assert_eq!(lookups[0].attr("hit"), Some("true"));
+    }
+
+    #[test]
+    fn configured_slos_surface_in_snapshot_and_prometheus() {
+        let hub = TestHub::builder()
+            .memo(false)
+            .slo(dlhub_obs::SloSpec::new(
+                "dlhub/noop",
+                Duration::from_secs(5),
+            ))
+            .build();
+        hub.service
+            .run(&hub.token, "dlhub/noop", Value::Null)
+            .unwrap();
+        let snap = hub.service.metrics_snapshot();
+        assert_eq!(snap.slos.len(), 1);
+        let slo = &snap.slos[0];
+        assert_eq!(slo.servable, "dlhub/noop");
+        assert_eq!(slo.observed, 1);
+        assert!(!slo.firing);
+        let prom = hub.service.render_prometheus();
+        assert!(prom.contains("dlhub_slo_firing{servable=\"dlhub/noop\"} 0"));
+        assert!(prom.contains("dlhub_slo_burn_rate{servable=\"dlhub/noop\""));
+    }
+
+    #[test]
+    fn analyze_trace_partitions_a_real_request_exactly() {
+        let hub = TestHub::builder().memo(false).build();
+        let result = hub
+            .service
+            .run(&hub.token, "dlhub/noop", Value::Null)
+            .unwrap();
+        let analysis = hub.service.analyze_trace(result.trace).expect("analysis");
+        assert!(analysis.complete);
+        assert_eq!(analysis.kind, "request");
+        assert_eq!(analysis.stage_sum(), analysis.total_ns);
+        assert!(hub.service.analyze_trace(0xdead_beef).is_none());
     }
 
     #[test]

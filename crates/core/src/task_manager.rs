@@ -155,24 +155,28 @@ impl TaskManager {
                     .name(format!("tm-{name}-{i}"))
                     .spawn(move || {
                         while !shutdown.load(Ordering::Relaxed) {
-                            let handled = server.serve_one_with(Duration::from_millis(50), |req| {
-                                // A simulated process crash: the leased
-                                // task is dropped unsettled — no ack, no
-                                // reply — and comes back via lease
-                                // expiry on a surviving consumer.
-                                if let Some(fault) = faults.decide(site::TM_CRASH) {
-                                    // Slow/Hang crashes die mid-task,
-                                    // holding the lease for a while.
-                                    if matches!(fault.kind, FaultKind::Slow | FaultKind::Hang) {
-                                        std::thread::sleep(fault.delay);
+                            let handled = server.serve_one_with_meta(
+                                Duration::from_millis(50),
+                                |req, info| {
+                                    // A simulated process crash: the leased
+                                    // task is dropped unsettled — no ack, no
+                                    // reply — and comes back via lease
+                                    // expiry on a surviving consumer.
+                                    if let Some(fault) = faults.decide(site::TM_CRASH) {
+                                        // Slow/Hang crashes die mid-task,
+                                        // holding the lease for a while.
+                                        if matches!(fault.kind, FaultKind::Slow | FaultKind::Hang) {
+                                            std::thread::sleep(fault.delay);
+                                        }
+                                        obs.metrics.counter("tm_crashes_injected_total").inc();
+                                        return ServeOutcome::Abandon;
                                     }
-                                    obs.metrics.counter("tm_crashes_injected_total").inc();
-                                    return ServeOutcome::Abandon;
-                                }
-                                ServeOutcome::Reply(
-                                    handle(&repository, &executors, req, &obs).to_bytes(),
-                                )
-                            });
+                                    ServeOutcome::Reply(
+                                        handle(&repository, &executors, req, &obs, Some(info))
+                                            .to_bytes(),
+                                    )
+                                },
+                            );
                             match handled {
                                 Ok(true) => {
                                     served.fetch_add(1, Ordering::Relaxed);
@@ -232,6 +236,7 @@ fn handle(
     executors: &[Arc<dyn Executor>],
     raw: &bytes::Bytes,
     obs: &Obs,
+    info: Option<&dlhub_queue::RequestInfo>,
 ) -> TaskResponse {
     let request = match TaskRequest::from_bytes(raw) {
         Ok(r) => r,
@@ -250,6 +255,12 @@ fn handle(
     if let Some(s) = span.as_mut() {
         s.attr("servable", request.servable.clone());
         s.attr("batch", request.inputs.len().to_string());
+        // Broker-side queue accounting, so critical-path analysis can
+        // report how long the task sat in the queue before this hop.
+        if let Some(info) = info {
+            s.attr("queue_wait_ns", info.queue_wait.as_nanos().to_string());
+            s.attr("delivery_attempts", info.attempts.to_string());
+        }
     }
     let ctx = span.as_ref().map(|s| s.ctx());
     let response = handle_request(repository, executors, request, obs, ctx);

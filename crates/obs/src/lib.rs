@@ -22,14 +22,22 @@
 
 mod ring;
 
+pub mod analyze;
 pub mod metrics;
+pub mod slo;
 pub mod trace;
 
-pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry, ServableSeries,
-    ServableSnapshot,
+pub use analyze::{
+    aggregate_stages, analyze, analyze_all, render_stages, RequestBreakdown, Stage, TraceAnalysis,
 };
+pub use metrics::{
+    escape_label, BucketSnapshot, Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot,
+    Registry, ServableSeries, ServableSnapshot,
+};
+pub use slo::{SloRegistry, SloSnapshot, SloSpec, SloTracker};
 pub use trace::{now_ns, SpanHandle, SpanRecord, TraceContext, TraceExport, Tracer};
+
+use std::time::Duration;
 
 /// One deployment's observability handle: a tracer plus a metrics
 /// registry. Cheap to clone; clones share state, so the Management
@@ -41,12 +49,42 @@ pub struct Obs {
     pub tracer: Tracer,
     /// Counter/gauge/histogram registry.
     pub metrics: Registry,
+    /// Per-servable SLO burn-rate trackers.
+    pub slo: SloRegistry,
 }
 
 impl Obs {
     /// Fresh handle with empty tracer and registry.
     pub fn new() -> Self {
         Obs::default()
+    }
+
+    /// Install an SLO for a servable, wiring its alert transitions into
+    /// this handle's tracer and registry (`slo_alerts_fired_total`,
+    /// `slo_alerts_active`).
+    pub fn register_slo(&self, spec: SloSpec) {
+        self.slo.register(
+            spec,
+            self.tracer.clone(),
+            self.metrics.counter("slo_alerts_fired_total"),
+            self.metrics.gauge("slo_alerts_active"),
+        );
+    }
+
+    /// Record one request outcome against the servable's SLO, if one
+    /// is registered. A miss is a single read-locked map lookup.
+    pub fn observe_slo(&self, servable: &str, latency: Duration, ok: bool) {
+        self.slo.observe(servable, latency, ok);
+    }
+
+    /// Full snapshot: the metrics registry plus cross-cutting obs
+    /// state — spans dropped by the tracer (ring overflow / store
+    /// eviction) and every SLO tracker's burn rates and alert state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        snap.spans_dropped = self.tracer.dropped();
+        snap.slos = self.slo.snapshot();
+        snap
     }
 }
 
@@ -63,5 +101,44 @@ mod tests {
         let span = clone.tracer.start_root("request");
         clone.tracer.finish(span);
         assert_eq!(obs.tracer.export(None).spans.len(), 1);
+    }
+
+    #[test]
+    fn obs_snapshot_carries_slos_and_dropped_spans() {
+        let obs = Obs::new();
+        obs.register_slo(
+            SloSpec::new("dlhub/echo", Duration::from_millis(1))
+                .latency_objective(0.9)
+                .windows(Duration::from_millis(200), Duration::from_secs(2)),
+        );
+        for _ in 0..20 {
+            obs.observe_slo("dlhub/echo", Duration::from_millis(50), true);
+        }
+        obs.observe_slo("dlhub/not-registered", Duration::from_secs(1), false);
+        let snap = obs.snapshot();
+        assert_eq!(snap.slos.len(), 1);
+        assert!(snap.slos[0].firing, "{:?}", snap.slos[0]);
+        assert_eq!(obs.metrics.counter("slo_alerts_fired_total").get(), 1);
+        assert_eq!(obs.metrics.gauge("slo_alerts_active").get(), 1);
+        assert_eq!(obs.tracer.export(None).named("slo_alert").len(), 1);
+        assert_eq!(snap.spans_dropped, 0);
+    }
+
+    #[test]
+    fn ring_overflow_is_counted_in_the_snapshot() {
+        let obs = Obs::new();
+        // A single thread's SPSC ring holds 256 spans between drains;
+        // recording more without draining must overflow and be counted.
+        for _ in 0..400 {
+            obs.tracer.finish(obs.tracer.start_root("request"));
+        }
+        let snap = obs.snapshot();
+        assert!(
+            snap.spans_dropped >= 144,
+            "expected overflow, got {}",
+            snap.spans_dropped
+        );
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("dlhub_spans_dropped_total"), "{prom}");
     }
 }

@@ -72,6 +72,13 @@ impl Gauge {
 /// bucket absorbs everything above `2^62`.
 pub const HISTOGRAM_BUCKETS: usize = 64;
 
+/// Recent trace ids retained per bucket ([exemplars]). Slots rotate
+/// with the bucket's own counter, so a bucket remembers its last few
+/// contributing traces without any extra synchronisation.
+///
+/// [exemplars]: Histogram::record_with_exemplar
+pub const EXEMPLAR_SLOTS: usize = 4;
+
 fn bucket_index(v: u64) -> usize {
     ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
 }
@@ -94,6 +101,7 @@ fn bucket_bound(idx: usize) -> u64 {
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    exemplars: [[AtomicU64; EXEMPLAR_SLOTS]; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
 }
@@ -109,6 +117,7 @@ impl Histogram {
     pub fn new() -> Self {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
         }
@@ -116,14 +125,31 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&self, value: u64) {
-        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.record_with_exemplar(value, 0);
+    }
+
+    /// Record one sample and remember `trace` (when nonzero) as an
+    /// exemplar for the sample's bucket. The bucket's pre-increment
+    /// count picks the slot, so concurrent writers rotate through the
+    /// [`EXEMPLAR_SLOTS`] slots instead of fighting over one.
+    pub fn record_with_exemplar(&self, value: u64, trace: u64) {
+        let idx = bucket_index(value);
+        let seen = self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        if trace != 0 {
+            self.exemplars[idx][seen as usize % EXEMPLAR_SLOTS].store(trace, Ordering::Relaxed);
+        }
     }
 
     /// Record a duration in nanoseconds.
     pub fn record_duration(&self, d: Duration) {
         self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record a duration in nanoseconds with a trace exemplar.
+    pub fn record_duration_with_exemplar(&self, d: Duration, trace: u64) {
+        self.record_with_exemplar(d.as_nanos().min(u64::MAX as u128) as u64, trace);
     }
 
     /// Samples recorded so far.
@@ -182,6 +208,50 @@ impl Histogram {
                 (n > 0).then_some((bucket_bound(idx), n))
             })
             .collect()
+    }
+
+    /// Non-empty buckets with their retained exemplar trace ids.
+    pub fn bucket_snapshots(&self) -> Vec<BucketSnapshot> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| BucketSnapshot {
+                    bound: bucket_bound(idx),
+                    count: n,
+                    exemplars: self.exemplars[idx]
+                        .iter()
+                        .map(|slot| slot.load(Ordering::Relaxed))
+                        .filter(|t| *t != 0)
+                        .collect(),
+                })
+            })
+            .collect()
+    }
+}
+
+/// One non-empty histogram bucket with the traces that recently
+/// landed in it. Units match the recorded samples (nanoseconds for
+/// latency histograms).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BucketSnapshot {
+    /// Inclusive upper bound of the bucket.
+    pub bound: u64,
+    /// Samples recorded into the bucket.
+    pub count: u64,
+    /// Up to [`EXEMPLAR_SLOTS`] recent trace ids from this bucket.
+    pub exemplars: Vec<u64>,
+}
+
+impl BucketSnapshot {
+    /// JSON form used in snapshot exports.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "le_ns": self.bound,
+            "count": self.count,
+            "exemplars": self.exemplars,
+        })
     }
 }
 
@@ -325,6 +395,7 @@ impl Registry {
                         cache_hits: v.cache_hits.get(),
                         errors: v.errors.get(),
                         request_latency: v.request_latency.summary(),
+                        request_latency_buckets: v.request_latency.bucket_snapshots(),
                         invocation_latency: v.invocation_latency.summary(),
                         inference_latency: v.inference_latency.summary(),
                         batch_sizes: v.batch_sizes.summary(),
@@ -337,6 +408,8 @@ impl Registry {
             gauges,
             histograms,
             servables,
+            spans_dropped: 0,
+            slos: Vec::new(),
         }
     }
 }
@@ -352,6 +425,9 @@ pub struct ServableSnapshot {
     pub errors: u64,
     /// Request-latency digest (ns), if any samples.
     pub request_latency: Option<HistogramSummary>,
+    /// Request-latency buckets with exemplar trace ids, so a tail
+    /// bucket links to concrete slow traces.
+    pub request_latency_buckets: Vec<BucketSnapshot>,
     /// Invocation-latency digest (ns), if any samples.
     pub invocation_latency: Option<HistogramSummary>,
     /// Inference-latency digest (ns), if any samples.
@@ -371,6 +447,29 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<(String, HistogramSummary)>,
     /// Name-sorted per-servable series.
     pub servables: Vec<(String, ServableSnapshot)>,
+    /// Spans lost to ring overflow or store eviction (filled by
+    /// [`crate::Obs::snapshot`]; a bare [`Registry::snapshot`] reports
+    /// zero). Nonzero means trace analytics may see incomplete trees.
+    pub spans_dropped: u64,
+    /// Per-servable SLO state (filled by [`crate::Obs::snapshot`]).
+    pub slos: Vec<crate::slo::SloSnapshot>,
+}
+
+/// Escape a label value for the Prometheus text exposition format:
+/// backslashes, double quotes and newlines must be escaped, everything
+/// else passes through. Servable names are user-controlled, so every
+/// interpolation into `{label="..."}` goes through here.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 fn secs(ns: u64) -> f64 {
@@ -436,17 +535,25 @@ impl MetricsSnapshot {
                     "cache_hits": s.cache_hits,
                     "errors": s.errors,
                     "request_latency_ns": opt(&s.request_latency),
+                    "request_latency_buckets": s
+                        .request_latency_buckets
+                        .iter()
+                        .map(BucketSnapshot::to_json)
+                        .collect::<Vec<Value>>(),
                     "invocation_latency_ns": opt(&s.invocation_latency),
                     "inference_latency_ns": opt(&s.inference_latency),
                     "batch_sizes": opt(&s.batch_sizes),
                 })
             })
             .collect();
+        let slos: Vec<Value> = self.slos.iter().map(|s| s.to_json()).collect();
         json!({
             "counters": Value::Array(counters),
             "gauges": Value::Array(gauges),
             "histograms": Value::Array(histograms),
             "servables": Value::Array(servables),
+            "spans_dropped": self.spans_dropped,
+            "slos": Value::Array(slos),
         })
     }
 
@@ -470,7 +577,13 @@ impl MetricsSnapshot {
             out.push_str(&format!("dlhub_{name}_sum {}\n", s.sum));
             out.push_str(&format!("dlhub_{name}_count {}\n", s.count));
         }
+        out.push_str("# TYPE dlhub_spans_dropped_total counter\n");
+        out.push_str(&format!(
+            "dlhub_spans_dropped_total {}\n",
+            self.spans_dropped
+        ));
         for (servable, s) in &self.servables {
+            let servable = escape_label(servable);
             let label = format!("{{servable=\"{servable}\"}}");
             out.push_str(&format!(
                 "dlhub_servable_requests_total{label} {}\n",
@@ -506,6 +619,27 @@ impl MetricsSnapshot {
                     ));
                 }
             }
+            // Cumulative request-latency buckets with OpenMetrics
+            // exemplars: a tail bucket links straight to recent traces
+            // that landed in it.
+            let mut cumulative = 0u64;
+            for bucket in &s.request_latency_buckets {
+                cumulative += bucket.count;
+                let le = if bucket.bound == u64::MAX {
+                    "+Inf".to_string()
+                } else {
+                    format!("{:.9}", secs(bucket.bound))
+                };
+                let exemplar = match bucket.exemplars.last() {
+                    Some(trace) => {
+                        format!(" # {{trace_id=\"{trace:#x}\"}} {:.9}", secs(bucket.bound))
+                    }
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "dlhub_servable_request_latency_seconds_bucket{{servable=\"{servable}\",le=\"{le}\"}} {cumulative}{exemplar}\n",
+                ));
+            }
             if let Some(batch) = &s.batch_sizes {
                 out.push_str(&format!(
                     "dlhub_servable_batch_size{{servable=\"{servable}\",quantile=\"0.5\"}} {}\n",
@@ -516,6 +650,31 @@ impl MetricsSnapshot {
                     batch.count
                 ));
             }
+        }
+        for slo in &self.slos {
+            let servable = escape_label(&slo.servable);
+            for (objective, fast, slow) in [
+                ("latency", slo.latency_burn_fast, slo.latency_burn_slow),
+                (
+                    "availability",
+                    slo.availability_burn_fast,
+                    slo.availability_burn_slow,
+                ),
+            ] {
+                for (window, burn) in [("fast", fast), ("slow", slow)] {
+                    out.push_str(&format!(
+                        "dlhub_slo_burn_rate{{servable=\"{servable}\",objective=\"{objective}\",window=\"{window}\"}} {burn:.6}\n",
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "dlhub_slo_firing{{servable=\"{servable}\"}} {}\n",
+                u64::from(slo.firing)
+            ));
+            out.push_str(&format!(
+                "dlhub_slo_alerts_fired_total{{servable=\"{servable}\"}} {}\n",
+                slo.alerts_fired
+            ));
         }
         out
     }
@@ -559,8 +718,29 @@ impl MetricsSnapshot {
                 s.p50, s.p95, s.p99, s.count
             ));
         }
+        if self.spans_dropped > 0 {
+            out.push_str(&format!(
+                "spans dropped {} (trace analytics may be incomplete)\n",
+                self.spans_dropped
+            ));
+        }
+        if !self.slos.is_empty() {
+            out.push_str(&self.render_slos());
+        }
         if out.is_empty() {
             out.push_str("no metrics recorded\n");
+        }
+        out
+    }
+
+    /// Per-servable SLO table for the CLI (`dlhub slo`).
+    pub fn render_slos(&self) -> String {
+        if self.slos.is_empty() {
+            return "no SLOs configured\n".to_string();
+        }
+        let mut out = String::new();
+        for slo in &self.slos {
+            out.push_str(&slo.render_text());
         }
         out
     }
@@ -648,6 +828,69 @@ mod tests {
         let snap = Registry::new().snapshot();
         assert!(snap.is_empty());
         assert_eq!(snap.render_dashboard(), "no metrics recorded\n");
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_prometheus_output() {
+        assert_eq!(escape_label("dlhub/echo"), "dlhub/echo");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+        let reg = Registry::new();
+        reg.series("evil\"name\\with\nnewline").requests.inc();
+        let prom = reg.snapshot().render_prometheus();
+        assert!(
+            prom.contains("{servable=\"evil\\\"name\\\\with\\nnewline\"} 1"),
+            "{prom}"
+        );
+        // Every emitted line is a single physical line: the raw
+        // newline never leaks into the exposition.
+        assert!(prom
+            .lines()
+            .all(|l| l.contains("evil") || !l.contains("newline")));
+    }
+
+    #[test]
+    fn exemplars_rotate_per_bucket_and_surface_everywhere() {
+        let h = Histogram::new();
+        // Five samples into one bucket with traces 1..=5: the oldest
+        // rotates out, the rest stay (slot = pre-increment count mod 4).
+        for trace in 1..=5u64 {
+            h.record_with_exemplar(100, trace);
+        }
+        h.record_with_exemplar(1 << 40, 99); // tail bucket
+        h.record(7); // no exemplar
+        let buckets = h.bucket_snapshots();
+        let b100 = buckets.iter().find(|b| b.count == 5).unwrap();
+        assert_eq!(b100.exemplars.len(), 4);
+        assert!(b100.exemplars.contains(&5));
+        assert!(!b100.exemplars.contains(&1));
+        let tail = buckets.iter().find(|b| b.exemplars == vec![99]).unwrap();
+        assert_eq!(tail.count, 1);
+        let b7 = buckets
+            .iter()
+            .find(|b| b.count == 1 && b.exemplars.is_empty());
+        assert!(b7.is_some(), "{buckets:?}");
+
+        let reg = Registry::new();
+        reg.series("dlhub/echo")
+            .request_latency
+            .record_with_exemplar(1000, 0x2a);
+        let snap = reg.snapshot();
+        let (_, s) = &snap.servables[0];
+        assert_eq!(s.request_latency_buckets[0].exemplars, vec![0x2a]);
+        let prom = snap.render_prometheus();
+        assert!(
+            prom.contains(
+                "_bucket{servable=\"dlhub/echo\",le=\"0.000001023\"} 1 # {trace_id=\"0x2a\"}"
+            ),
+            "{prom}"
+        );
+        assert!(prom.contains("dlhub_spans_dropped_total 0"), "{prom}");
+        let j = serde_json::to_string(&snap.to_json()).unwrap();
+        assert!(j.contains("\"request_latency_buckets\""), "{j}");
+        assert!(j.contains("\"exemplars\":[42]"), "{j}");
+        assert!(j.contains("\"spans_dropped\":0"), "{j}");
     }
 
     #[test]

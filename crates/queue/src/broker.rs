@@ -159,6 +159,9 @@ impl Topic {
 pub struct Delivery {
     /// The leased message.
     pub message: Message,
+    /// How long the message sat in the ready queue before this lease
+    /// (per delivery: a redelivery reports its own wait).
+    pub queue_wait: Duration,
     topic: Arc<Topic>,
     settled: bool,
 }
@@ -525,6 +528,7 @@ impl Broker {
         );
         Some(Delivery {
             message,
+            queue_wait,
             topic: Arc::clone(topic),
             settled: false,
         })

@@ -44,7 +44,7 @@ pub mod stats;
 
 pub use broker::{Broker, BrokerConfig, Delivery, QueueError, TopicConfig};
 pub use message::{Message, MessageId};
-pub use rpc::{ReplyHandle, RpcClient, RpcError, RpcServer, ServeOutcome};
+pub use rpc::{ReplyHandle, RequestInfo, RpcClient, RpcError, RpcServer, ServeOutcome};
 pub use stats::TopicStats;
 
 // Re-export the fault-injection vocabulary so consumers configure the

@@ -208,6 +208,16 @@ impl ReplyHandle<'_> {
     }
 }
 
+/// Broker-side metadata about one delivered request, handed to
+/// [`RpcServer::serve_one_with_meta`] handlers.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestInfo {
+    /// Time the message sat in the ready queue before this delivery.
+    pub queue_wait: Duration,
+    /// Delivery attempt number (1 for first delivery).
+    pub attempts: u32,
+}
+
 /// What a server handler decided to do with a request.
 #[derive(Debug)]
 pub enum ServeOutcome {
@@ -256,12 +266,27 @@ impl RpcServer {
     where
         F: FnOnce(&Bytes) -> ServeOutcome,
     {
+        self.serve_one_with_meta(timeout, |payload, _| handler(payload))
+    }
+
+    /// Like [`RpcServer::serve_one_with`], but the handler also
+    /// receives per-delivery [`RequestInfo`] (broker queue wait,
+    /// delivery attempt count) so servers can attribute latency to the
+    /// queue hop instead of re-measuring it.
+    pub fn serve_one_with_meta<F>(&self, timeout: Duration, handler: F) -> Result<bool, RpcError>
+    where
+        F: FnOnce(&Bytes, &RequestInfo) -> ServeOutcome,
+    {
         let delivery = match self.broker.recv_timeout(&self.service_topic, timeout) {
             Ok(d) => d,
             Err(QueueError::Timeout) => return Ok(false),
             Err(e) => return Err(e.into()),
         };
-        match handler(&delivery.message.payload) {
+        let info = RequestInfo {
+            queue_wait: delivery.queue_wait,
+            attempts: delivery.message.attempts,
+        };
+        match handler(&delivery.message.payload, &info) {
             ServeOutcome::Reply(reply_payload) => {
                 if let Some(reply_topic) = delivery.message.reply_to.clone() {
                     let reply = Message::reply_to(&delivery.message, reply_payload);
@@ -313,6 +338,25 @@ mod tests {
                 Bytes::from(out)
             });
         })
+    }
+
+    #[test]
+    fn serve_one_with_meta_reports_queue_wait_and_attempts() {
+        let broker = Broker::new(BrokerConfig::default());
+        let client = RpcClient::connect(&broker, "svc-meta");
+        let server = RpcServer::bind(&broker, "svc-meta");
+        let _pending = client.call(Bytes::from_static(b"x")).unwrap();
+        thread::sleep(Duration::from_millis(5));
+        let mut seen = None;
+        server
+            .serve_one_with_meta(Duration::from_secs(1), |payload, info| {
+                seen = Some(*info);
+                ServeOutcome::Reply(payload.clone())
+            })
+            .unwrap();
+        let info = seen.expect("handler ran");
+        assert_eq!(info.attempts, 1);
+        assert!(info.queue_wait >= Duration::from_millis(5), "{info:?}");
     }
 
     #[test]

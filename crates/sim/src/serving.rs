@@ -343,6 +343,18 @@ pub fn record_samples(metrics: &dlhub_obs::Registry, servable: &str, samples: &[
     }
 }
 
+/// Fraction of samples whose request latency meets `threshold` — the
+/// virtual-time counterpart of the serving stack's SLO burn tracking
+/// (which runs on wall-clock windows and so can't be driven by the
+/// simulator). 1.0 for an empty sample set: no traffic burns no budget.
+pub fn slo_attainment(samples: &[RequestSample], threshold: SimTime) -> f64 {
+    if samples.is_empty() {
+        return 1.0;
+    }
+    let good = samples.iter().filter(|s| s.request <= threshold).count();
+    good as f64 / samples.len() as f64
+}
+
 /// Median, 5th and 95th percentile of a timing series, in the order
 /// `(p5, median, p95)`.
 pub fn percentiles(values: &[SimTime]) -> (SimTime, SimTime, SimTime) {
@@ -374,6 +386,27 @@ mod tests {
 
     fn servable() -> ServableModel {
         ServableModel::new("m", SimTime::from_millis(40.0), 100.0, 1.0)
+    }
+
+    #[test]
+    fn slo_attainment_counts_good_requests() {
+        let mk = |ms: f64| RequestSample {
+            inference: SimTime::from_millis(1.0),
+            invocation: SimTime::from_millis(2.0),
+            request: SimTime::from_millis(ms),
+            cache_hit: false,
+        };
+        let samples = vec![mk(10.0), mk(20.0), mk(30.0), mk(40.0)];
+        assert_eq!(slo_attainment(&samples, SimTime::from_millis(25.0)), 0.5);
+        assert_eq!(slo_attainment(&samples, SimTime::from_millis(40.0)), 1.0);
+        assert_eq!(slo_attainment(&[], SimTime::from_millis(1.0)), 1.0);
+        // Warm memoized repeat traffic attains a threshold that cold
+        // traffic misses on every request but the cache warmup.
+        let p = profile(Some(CacheLocation::TaskManager));
+        let cold = p.run_sequential(&servable(), 5, false, true, 0);
+        let warm = p.run_sequential(&servable(), 5, true, true, 0);
+        let tight = SimTime::from_millis(30.0);
+        assert!(slo_attainment(&warm, tight) > slo_attainment(&cold, tight));
     }
 
     #[test]

@@ -11,7 +11,15 @@ use dlhub_core::hub::TestHub;
 use std::sync::Arc;
 
 fn main() {
-    let hub = TestHub::builder().without_eval_servables().build();
+    // A loose latency objective on the servable this session publishes:
+    // `dlhub slo` below shows its burn rates and (quiet) alert state.
+    let hub = TestHub::builder()
+        .without_eval_servables()
+        .slo(dlhub_core::obs::SloSpec::new(
+            "dlhub/composition-parser",
+            std::time::Duration::from_secs(5),
+        ))
+        .build();
     let cli = Cli::new(Arc::clone(&hub.service), hub.token.clone());
 
     // A scratch working directory standing in for the user's model
@@ -49,7 +57,8 @@ fn main() {
     }
 
     // Observability rides along with every session: the serving
-    // dashboard and the collected request traces.
+    // dashboard, the collected request traces, stage-level latency
+    // attribution, and the SLO table.
     let run_out = cli
         .execute(&workdir, &["run", "Mg3(PO4)2"])
         .expect("run for trace");
@@ -64,6 +73,9 @@ fn main() {
         vec!["stats"],
         vec!["stats", "--prometheus"],
         vec!["trace", trace_id.as_str()],
+        vec!["analyze", trace_id.as_str()],
+        vec!["analyze"],
+        vec!["slo"],
     ] {
         println!("$ dlhub {}", args.join(" "));
         match cli.execute(&workdir, &args) {
@@ -78,6 +90,7 @@ fn main() {
         vec!["init", "again"],
         vec!["frobnicate"],
         vec!["trace", "not-a-trace-id"],
+        vec!["analyze", "0xdeadbeef"],
     ] {
         println!("$ dlhub {}", args.join(" "));
         match cli.execute(&workdir, &args) {

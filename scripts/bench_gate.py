@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Hotpath bench regression gate.
+
+Compares the latest smoke run (results/BENCH_hotpath.json) against the
+committed full-length numbers at the workspace root. Windows and
+machines differ, so the gate is deliberately coarse: single-thread
+hit-path throughput must stay within a generous factor of the committed
+baseline, and the 1-to-8-thread scaling shape must survive (the
+analytics layer must not serialize the hot path).
+
+Environment:
+  BENCH_GATE_RATIO    throughput floor as a fraction of the committed
+                      baseline (default 0.25; <=0 disables the gate)
+  BENCH_GATE_SPEEDUP  minimum 1-to-8-thread speedup (default 1.5)
+"""
+
+import json
+import os
+import sys
+
+
+def rate(doc, threads):
+    cells = doc["modes"]["hit100"]
+    return next(c["req_per_s"] for c in cells if c["threads"] == threads)
+
+
+def main():
+    ratio = float(os.environ.get("BENCH_GATE_RATIO", "0.25"))
+    if ratio <= 0:
+        print("bench gate: disabled (BENCH_GATE_RATIO<=0)")
+        return 0
+    try:
+        baseline = json.load(open("BENCH_hotpath.json"))
+    except FileNotFoundError:
+        print("bench gate: no committed BENCH_hotpath.json; skipping")
+        return 0
+    current = json.load(open("results/BENCH_hotpath.json"))
+
+    base, cur = rate(baseline, 1), rate(current, 1)
+    floor = base * ratio
+    if cur < floor:
+        sys.exit(
+            "bench gate: hotpath regression — hit100 1-thread {:.0f} req/s "
+            "vs committed {:.0f} (floor {:.0f}, ratio {})".format(
+                cur, base, floor, ratio
+            )
+        )
+    speedup = current.get("hit100_speedup_8t_over_1t", 0.0)
+    speedup_floor = float(os.environ.get("BENCH_GATE_SPEEDUP", "1.5"))
+    if speedup < speedup_floor:
+        sys.exit(
+            "bench gate: 1→8 thread speedup {:.2f}x < {}x "
+            "(analytics layer may have serialized the hot path)".format(
+                speedup, speedup_floor
+            )
+        )
+    print(
+        "bench gate: hotpath within noise ({:.0f} req/s vs committed {:.0f}, "
+        "speedup {:.2f}x)".format(cur, base, speedup)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

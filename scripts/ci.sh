@@ -16,13 +16,16 @@ cargo build --workspace --release
 echo "######## test"
 cargo test --workspace --release --quiet
 
-echo "######## chaos (fixed seed matrix)"
-# The workspace test run above already exercises tests/chaos.rs on its
-# built-in matrix; this loop re-runs it one pinned seed at a time so a
-# failure names the seed that reproduces it (DESIGN.md §9).
+echo "######## chaos + analytics (fixed seed matrix)"
+# The workspace test run above already exercises tests/chaos.rs and
+# tests/analytics.rs on their built-in matrix; this loop re-runs them
+# one pinned seed at a time so a failure names the seed that
+# reproduces it (DESIGN.md §9). The analytics suite proves SLO alerts
+# fire under replica slow/hang faults and stay quiet on clean runs.
 for seed in 7 1848 3141; do
   echo "-- chaos seed ${seed}"
   CHAOS_SEED="${seed}" cargo test --release --quiet -p dlhub-bench --test chaos
+  CHAOS_SEED="${seed}" cargo test --release --quiet -p dlhub-bench --test analytics
 done
 
 echo "######## obs unit tests"
@@ -50,11 +53,35 @@ if not echo.get("requests", 0) > 0:
 latency = echo.get("request_latency_ns")
 if not latency or not latency.get("count", 0) > 0:
     sys.exit("ci: echo series has no request-latency histogram")
+# The analytics layer's additions must ride along in the snapshot:
+# per-bucket exemplars, the dropped-span counter, and the SLO table.
+if "spans_dropped" not in metrics:
+    sys.exit("ci: metrics snapshot has no spans_dropped counter")
+buckets = echo.get("request_latency_buckets") or []
+if not any(b.get("count", 0) > 0 for b in buckets):
+    sys.exit("ci: echo series has no populated latency buckets")
+if not any(b.get("exemplars") for b in buckets):
+    sys.exit("ci: echo latency buckets retained no trace exemplars")
+slos = metrics.get("slos") or []
+slo = next((s for s in slos if s.get("servable") == "dlhub/echo"), None)
+if slo is None:
+    sys.exit("ci: snapshot has no SLO entry for dlhub/echo")
+if not slo.get("observed", 0) > 0:
+    sys.exit("ci: echo SLO observed no traffic")
+if slo.get("alerts_fired", 0) != 0:
+    sys.exit("ci: loose bench SLO fired an alert on a clean run")
 print(
-    "ci: metrics snapshot OK ({} requests, p99 {} ns)".format(
-        echo["requests"], latency["p99"]
+    "ci: metrics snapshot OK ({} requests, p99 {} ns, {} SLO(s), "
+    "{} spans dropped)".format(
+        echo["requests"], latency["p99"], len(slos), metrics["spans_dropped"]
     )
 )
 EOF
+
+echo "######## hotpath regression gate"
+# Compares the smoke run against the committed BENCH_hotpath.json with
+# a generous noise floor (BENCH_GATE_RATIO / BENCH_GATE_SPEEDUP tune,
+# BENCH_GATE_RATIO=0 disables).
+python3 scripts/bench_gate.py
 
 echo "######## ci OK"
