@@ -79,6 +79,22 @@ pub trait Executor: Send + Sync {
         }
         result
     }
+
+    /// Zero-copy variant of [`Executor::execute_traced`]: the caller
+    /// hands over shared ownership of the decoded inputs, so pooled
+    /// executors can fan jobs out to replica threads without cloning
+    /// `Value` trees. The default delegates to `execute_traced` (inline
+    /// executors read the values in place and never needed the copy).
+    fn execute_shared(
+        &self,
+        servable_id: &str,
+        servable: &Arc<dyn Servable>,
+        inputs: Arc<Vec<Value>>,
+        obs: Option<&Obs>,
+        parent: Option<TraceContext>,
+    ) -> Result<(Vec<Value>, Vec<Duration>), String> {
+        self.execute_traced(servable_id, servable, &inputs, obs, parent)
+    }
 }
 
 /// Trace baggage attached to a pooled job so the replica thread can
@@ -92,13 +108,22 @@ struct JobTrace {
 
 struct Job {
     servable: Arc<dyn Servable>,
-    input: Value,
+    /// The whole batch, shared by reference across every job; each job
+    /// reads its own `inputs[index]` in place. Dispatching a batch of
+    /// `n` inputs is `n` refcount bumps, not `n` deep `Value` clones.
+    inputs: Arc<Vec<Value>>,
     reply: channel::Sender<(usize, Result<Value, String>, Duration)>,
     index: usize,
     trace: Option<JobTrace>,
     /// Obs-clock stamp taken when the job entered the pool queue, so
     /// the replica can report its queue wait on the inference span.
     queued_ns: u64,
+}
+
+impl Job {
+    fn input(&self) -> &Value {
+        &self.inputs[self.index]
+    }
 }
 
 /// Replica health thresholds: a replica accumulating
@@ -177,13 +202,13 @@ impl Pool {
                                             ) =>
                                         {
                                             std::thread::sleep(fault.delay);
-                                            job.servable.run(&job.input)
+                                            job.servable.run(job.input())
                                         }
                                         Some(fault) if fault.kind == FaultKind::Panic => {
                                             panic!("injected replica panic")
                                         }
                                         Some(_) => Err("injected replica fault".to_string()),
-                                        None => job.servable.run(&job.input),
+                                        None => job.servable.run(job.input()),
                                     }
                                 }))
                                 .unwrap_or_else(|panic| {
@@ -376,22 +401,23 @@ impl ParslExecutor {
         &self,
         servable_id: &str,
         servable: &Arc<dyn Servable>,
-        inputs: &[Value],
+        inputs: Arc<Vec<Value>>,
         trace: Option<(&Obs, TraceContext)>,
     ) -> Result<(Vec<Value>, Vec<Duration>), String> {
         self.ensure_pool(servable_id);
+        let count = inputs.len();
         let (reply_tx, reply_rx) = channel::unbounded();
         {
             // Shared lock: many batches dispatch concurrently; the
             // per-replica channels do the fan-out.
             let pools = self.pools.read();
             let pool = pools.get(servable_id).expect("pool ensured above");
-            for (index, input) in inputs.iter().enumerate() {
+            for index in 0..count {
                 self.dispatched.fetch_add(1, Ordering::Relaxed);
                 pool.sender
                     .send(Job {
                         servable: Arc::clone(servable),
-                        input: input.clone(),
+                        inputs: Arc::clone(&inputs),
                         reply: reply_tx.clone(),
                         index,
                         trace: trace.map(|(obs, parent)| JobTrace {
@@ -405,8 +431,8 @@ impl ParslExecutor {
             }
         }
         drop(reply_tx);
-        let mut outputs: Vec<Option<Value>> = vec![None; inputs.len()];
-        let mut inference = vec![Duration::ZERO; inputs.len()];
+        let mut outputs: Vec<Option<Value>> = vec![None; count];
+        let mut inference = vec![Duration::ZERO; count];
         let mut first_error = None;
         let mut received = 0usize;
         // Deadline-bounded collection: a replica that hangs mid-job
@@ -463,7 +489,7 @@ impl Executor for ParslExecutor {
         servable: &Arc<dyn Servable>,
         inputs: &[Value],
     ) -> Result<(Vec<Value>, Vec<Duration>), String> {
-        self.execute_inner(servable_id, servable, inputs, None)
+        self.execute_inner(servable_id, servable, Arc::new(inputs.to_vec()), None)
     }
 
     fn dispatched(&self) -> u64 {
@@ -480,6 +506,24 @@ impl Executor for ParslExecutor {
     ) -> Result<(Vec<Value>, Vec<Duration>), String> {
         // Record spans on the replica threads themselves so each span
         // carries the replica that ran it and exact start/end stamps.
+        let trace = match (obs, parent) {
+            (Some(obs), Some(parent)) if obs.tracer.enabled() => Some((obs, parent)),
+            _ => None,
+        };
+        self.execute_inner(servable_id, servable, Arc::new(inputs.to_vec()), trace)
+    }
+
+    fn execute_shared(
+        &self,
+        servable_id: &str,
+        servable: &Arc<dyn Servable>,
+        inputs: Arc<Vec<Value>>,
+        obs: Option<&Obs>,
+        parent: Option<TraceContext>,
+    ) -> Result<(Vec<Value>, Vec<Duration>), String> {
+        // The serving path lands here: the decoded request batch is
+        // shared with every replica job as-is — no `Value` deep clones
+        // anywhere between the wire and `Servable::run`.
         let trace = match (obs, parent) {
             (Some(obs), Some(parent)) if obs.tracer.enabled() => Some((obs, parent)),
             _ => None,

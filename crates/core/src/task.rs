@@ -5,7 +5,7 @@
 //! that can be used subsequently to monitor the status of the task and
 //! retrieve its result" (§IV-A).
 
-use crate::value::Value;
+use crate::value::{self, Value};
 use bytes::Bytes;
 use dlhub_obs::TraceContext;
 use parking_lot::{Condvar, Mutex};
@@ -47,27 +47,161 @@ pub struct TaskResponse {
     pub invocation_nanos: u64,
 }
 
+/// First byte of the binary wire format. Distinct from `{` (0x7B), the
+/// first byte of every JSON envelope, so [`TaskRequest::from_bytes`]
+/// can sniff the format and keep accepting JSON from older senders.
+const WIRE_MAGIC: u8 = 0xD1;
+/// Wire format version.
+const WIRE_VERSION: u8 = 2;
+/// Message-type tags following the magic/version header.
+const WIRE_REQUEST: u8 = 1;
+const WIRE_RESPONSE: u8 = 2;
+
+fn encode_str(out: &mut Vec<u8>, s: &str) {
+    value::encode_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode_str(cur: &mut &[u8]) -> Result<String, String> {
+    let len = value::decode_len(cur)?;
+    std::str::from_utf8(value::take(cur, len)?)
+        .map(str::to_string)
+        .map_err(|e| format!("invalid utf-8: {e}"))
+}
+
+/// Check the 3-byte header and return the remaining body, or `None`
+/// when the payload is not binary wire format (JSON fallback).
+fn strip_header(bytes: &[u8], msg_type: u8) -> Result<Option<&[u8]>, String> {
+    match bytes {
+        [WIRE_MAGIC, version, tag, body @ ..] => {
+            if *version != WIRE_VERSION {
+                return Err(format!("unsupported wire version {version}"));
+            }
+            if *tag != msg_type {
+                return Err(format!("unexpected message type {tag}"));
+            }
+            Ok(Some(body))
+        }
+        _ => Ok(None),
+    }
+}
+
 impl TaskRequest {
-    /// Serialize for the broker.
+    /// Serialize for the broker: compact binary format, written once
+    /// into a refcounted [`Bytes`] slab that every later hop (broker
+    /// queue, lease record, RPC retry) shares by reference.
     pub fn to_bytes(&self) -> Bytes {
-        Bytes::from(serde_json::to_vec(self).expect("task request serializes"))
+        let mut out =
+            Vec::with_capacity(64 + self.inputs.iter().map(Value::approx_size).sum::<usize>());
+        out.extend_from_slice(&[WIRE_MAGIC, WIRE_VERSION, WIRE_REQUEST]);
+        encode_str(&mut out, &self.task_id);
+        encode_str(&mut out, &self.servable);
+        match &self.trace {
+            Some(t) => {
+                out.push(1);
+                out.extend_from_slice(&t.trace.to_le_bytes());
+                out.extend_from_slice(&t.span.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        value::encode_len(&mut out, self.inputs.len());
+        for input in &self.inputs {
+            input.encode_into(&mut out);
+        }
+        Bytes::from(out)
     }
 
-    /// Deserialize from the broker.
+    /// Deserialize from the broker. Accepts the binary format and, for
+    /// compatibility with older senders, JSON envelopes.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
-        serde_json::from_slice(bytes).map_err(|e| format!("malformed task request: {e}"))
+        let err = |e| format!("malformed task request: {e}");
+        let Some(mut body) = strip_header(bytes, WIRE_REQUEST).map_err(err)? else {
+            return serde_json::from_slice(bytes).map_err(|e| err(e.to_string()));
+        };
+        let cur = &mut body;
+        let task_id = decode_str(cur).map_err(err)?;
+        let servable = decode_str(cur).map_err(err)?;
+        let trace = match value::take(cur, 1).map_err(err)?[0] {
+            0 => None,
+            _ => Some(TraceContext {
+                trace: u64::from_le_bytes(value::take_array(cur).map_err(err)?),
+                span: u64::from_le_bytes(value::take_array(cur).map_err(err)?),
+            }),
+        };
+        let count = value::decode_len(cur).map_err(err)?;
+        let mut inputs = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            inputs.push(Value::decode_from(cur).map_err(err)?);
+        }
+        Ok(TaskRequest {
+            task_id,
+            servable,
+            inputs,
+            trace,
+        })
     }
 }
 
 impl TaskResponse {
-    /// Serialize for the broker.
+    /// Serialize for the broker (binary wire format, see
+    /// [`TaskRequest::to_bytes`]).
     pub fn to_bytes(&self) -> Bytes {
-        Bytes::from(serde_json::to_vec(self).expect("task response serializes"))
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&[WIRE_MAGIC, WIRE_VERSION, WIRE_RESPONSE]);
+        encode_str(&mut out, &self.task_id);
+        match &self.outcome {
+            Ok(values) => {
+                out.push(0);
+                value::encode_len(&mut out, values.len());
+                for v in values {
+                    v.encode_into(&mut out);
+                }
+            }
+            Err(e) => {
+                out.push(1);
+                encode_str(&mut out, e);
+            }
+        }
+        value::encode_len(&mut out, self.inference_nanos.len());
+        for n in &self.inference_nanos {
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        out.extend_from_slice(&self.invocation_nanos.to_le_bytes());
+        Bytes::from(out)
     }
 
-    /// Deserialize from the broker.
+    /// Deserialize from the broker. Accepts the binary format and, for
+    /// compatibility with older senders, JSON envelopes.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
-        serde_json::from_slice(bytes).map_err(|e| format!("malformed task response: {e}"))
+        let err = |e| format!("malformed task response: {e}");
+        let Some(mut body) = strip_header(bytes, WIRE_RESPONSE).map_err(err)? else {
+            return serde_json::from_slice(bytes).map_err(|e| err(e.to_string()));
+        };
+        let cur = &mut body;
+        let task_id = decode_str(cur).map_err(err)?;
+        let outcome = match value::take(cur, 1).map_err(err)?[0] {
+            0 => {
+                let count = value::decode_len(cur).map_err(err)?;
+                let mut values = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    values.push(Value::decode_from(cur).map_err(err)?);
+                }
+                Ok(values)
+            }
+            _ => Err(decode_str(cur).map_err(err)?),
+        };
+        let count = value::decode_len(cur).map_err(err)?;
+        let mut inference_nanos = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            inference_nanos.push(u64::from_le_bytes(value::take_array(cur).map_err(err)?));
+        }
+        let invocation_nanos = u64::from_le_bytes(value::take_array(cur).map_err(err)?);
+        Ok(TaskResponse {
+            task_id,
+            outcome,
+            inference_nanos,
+            invocation_nanos,
+        })
     }
 }
 
@@ -249,6 +383,33 @@ mod tests {
         let req = TaskRequest::from_bytes(wire).unwrap();
         assert_eq!(req.trace, None);
         assert_eq!(req.servable, "a/b");
+    }
+
+    #[test]
+    fn wire_format_is_binary_with_json_fallback() {
+        let req = TaskRequest {
+            task_id: "t-wire".into(),
+            servable: "a/b".into(),
+            inputs: vec![Value::Tensor {
+                shape: vec![3],
+                data: vec![1.0, 2.0, 3.0],
+            }],
+            trace: None,
+        };
+        let wire = req.to_bytes();
+        assert_eq!(
+            wire[0],
+            super::WIRE_MAGIC,
+            "binary envelopes lead with the magic byte"
+        );
+        assert_eq!(TaskRequest::from_bytes(&wire).unwrap(), req);
+        // A JSON envelope of the same request still decodes.
+        let json = serde_json::to_vec(&req).unwrap();
+        assert_eq!(json[0], b'{');
+        assert_eq!(TaskRequest::from_bytes(&json).unwrap(), req);
+        // Truncated binary payloads fail with the typed prefix.
+        let err = TaskRequest::from_bytes(&wire[..wire.len() - 3]).unwrap_err();
+        assert!(err.starts_with("malformed task request"), "{err}");
     }
 
     #[test]

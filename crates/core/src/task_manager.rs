@@ -304,10 +304,13 @@ fn handle_request(
             invocation_nanos: started.elapsed().as_nanos() as u64,
         };
     };
-    let outcome = executor.execute_traced(
+    // Hand the decoded batch to the executor by shared ownership: the
+    // inputs were materialized once by `TaskRequest::from_bytes` and
+    // replica pools fan them out by refcount, never by deep clone.
+    let outcome = executor.execute_shared(
         &request.servable,
         &servable,
-        &request.inputs,
+        Arc::new(request.inputs),
         Some(obs),
         ctx,
     );

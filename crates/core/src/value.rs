@@ -96,6 +96,118 @@ impl Value {
         }
     }
 
+    /// Append this value to `out` in the compact binary wire format
+    /// (tag byte, then little-endian fixed-width scalars and
+    /// length-prefixed variable data). Used by the task wire codec so
+    /// tensors and byte blobs cross the broker without the base64 and
+    /// digit-formatting cost of JSON.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Bool(b) => {
+                out.push(1);
+                out.push(*b as u8);
+            }
+            Value::Int(i) => {
+                out.push(2);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(3);
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(4);
+                encode_len(out, s.len());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                out.push(5);
+                encode_len(out, b.len());
+                out.extend_from_slice(b);
+            }
+            Value::Tensor { shape, data } => {
+                out.push(6);
+                encode_len(out, shape.len());
+                for d in shape {
+                    out.extend_from_slice(&(*d as u64).to_le_bytes());
+                }
+                encode_len(out, data.len());
+                for v in data {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            Value::List(items) => {
+                out.push(7);
+                encode_len(out, items.len());
+                for item in items {
+                    item.encode_into(out);
+                }
+            }
+            Value::Json(j) => {
+                out.push(8);
+                let s = j.to_string();
+                encode_len(out, s.len());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    /// Decode one value from the front of `cur`, advancing it past the
+    /// consumed bytes. Inverse of [`Value::encode_into`].
+    pub(crate) fn decode_from(cur: &mut &[u8]) -> Result<Value, String> {
+        let tag = take(cur, 1)?[0];
+        Ok(match tag {
+            0 => Value::Null,
+            1 => Value::Bool(take(cur, 1)?[0] != 0),
+            2 => Value::Int(i64::from_le_bytes(take_array(cur)?)),
+            3 => Value::Float(f64::from_bits(u64::from_le_bytes(take_array(cur)?))),
+            4 => {
+                let len = decode_len(cur)?;
+                let bytes = take(cur, len)?;
+                Value::Str(
+                    std::str::from_utf8(bytes)
+                        .map_err(|e| format!("invalid utf-8 in string value: {e}"))?
+                        .to_string(),
+                )
+            }
+            5 => {
+                let len = decode_len(cur)?;
+                Value::Bytes(take(cur, len)?.to_vec())
+            }
+            6 => {
+                let dims = decode_len(cur)?;
+                let mut shape = Vec::with_capacity(dims.min(64));
+                for _ in 0..dims {
+                    shape.push(u64::from_le_bytes(take_array(cur)?) as usize);
+                }
+                let count = decode_len(cur)?;
+                let raw = take(cur, count.checked_mul(4).ok_or("tensor length overflow")?)?;
+                let data = raw
+                    .chunks_exact(4)
+                    .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+                    .collect();
+                Value::Tensor { shape, data }
+            }
+            7 => {
+                let count = decode_len(cur)?;
+                let mut items = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    items.push(Value::decode_from(cur)?);
+                }
+                Value::List(items)
+            }
+            8 => {
+                let len = decode_len(cur)?;
+                let bytes = take(cur, len)?;
+                let j = serde_json::from_slice(bytes)
+                    .map_err(|e| format!("invalid embedded json value: {e}"))?;
+                Value::Json(j)
+            }
+            other => return Err(format!("unknown value tag {other}")),
+        })
+    }
+
     /// Canonical 128-bit content hash, used as the memoization key
     /// (§V-B2: "caching the inputs and outputs for each request").
     pub fn content_hash(&self) -> (u64, u64) {
@@ -149,6 +261,37 @@ impl Value {
             }
         }
     }
+}
+
+/// Length prefix: u32 little-endian, which bounds any single field at
+/// 4 GiB — far beyond DLHub payloads.
+pub(crate) fn encode_len(out: &mut Vec<u8>, len: usize) {
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+}
+
+/// Read a u32 length prefix.
+pub(crate) fn decode_len(cur: &mut &[u8]) -> Result<usize, String> {
+    Ok(u32::from_le_bytes(take_array(cur)?) as usize)
+}
+
+/// Split `n` bytes off the front of the cursor.
+pub(crate) fn take<'a>(cur: &mut &'a [u8], n: usize) -> Result<&'a [u8], String> {
+    if cur.len() < n {
+        return Err(format!(
+            "truncated payload: needed {n} bytes, had {}",
+            cur.len()
+        ));
+    }
+    let (head, tail) = cur.split_at(n);
+    *cur = tail;
+    Ok(head)
+}
+
+/// Split a fixed-size array off the front of the cursor.
+pub(crate) fn take_array<const N: usize>(cur: &mut &[u8]) -> Result<[u8; N], String> {
+    let mut buf = [0u8; N];
+    buf.copy_from_slice(take(cur, N)?);
+    Ok(buf)
 }
 
 /// Render JSON with sorted object keys so semantically equal documents
@@ -310,7 +453,55 @@ mod tests {
         assert_eq!(Value::Null.as_str(), None);
     }
 
+    #[test]
+    fn binary_codec_round_trips_every_variant() {
+        let v = Value::List(vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(0.1 + 0.2), // not representable in short decimal
+            Value::Str("composition: Fe2O3".into()),
+            Value::Bytes(vec![0, 255, 128]),
+            Value::Tensor {
+                shape: vec![2, 2],
+                data: vec![1.5, -2.5, 0.0, f32::MIN_POSITIVE],
+            },
+            Value::List(vec![Value::Int(1), Value::Str("nested".into())]),
+            Value::Json(json!({"k": [1, 2], "s": "v"})),
+        ]);
+        let mut buf = Vec::new();
+        v.encode_into(&mut buf);
+        let mut cur = &buf[..];
+        let back = Value::decode_from(&mut cur).unwrap();
+        assert_eq!(back, v);
+        assert!(
+            cur.is_empty(),
+            "decoder must consume exactly what was encoded"
+        );
+    }
+
+    #[test]
+    fn binary_codec_rejects_garbage() {
+        let mut cur: &[u8] = &[250, 1, 2];
+        assert!(Value::decode_from(&mut cur).is_err());
+        let mut truncated: &[u8] = &[4, 10, 0, 0, 0, b'a'];
+        assert!(Value::decode_from(&mut truncated).is_err());
+    }
+
     proptest! {
+        #[test]
+        fn binary_codec_round_trips_floats_exactly(f in any::<f64>()) {
+            // Bit-exact including NaN payloads and infinities — the
+            // binary format carries raw f64 bits, unlike JSON.
+            let mut buf = Vec::new();
+            Value::Float(f).encode_into(&mut buf);
+            let mut cur = &buf[..];
+            match Value::decode_from(&mut cur).unwrap() {
+                Value::Float(back) => prop_assert_eq!(back.to_bits(), f.to_bits()),
+                other => prop_assert!(false, "wrong variant: {other}"),
+            }
+        }
+
         #[test]
         fn equal_values_hash_equal(s in "\\PC{0,32}", i in any::<i64>()) {
             let v1 = Value::List(vec![Value::Str(s.clone()), Value::Int(i)]);

@@ -4,15 +4,25 @@
 //! Management Service posts tasks, Task Managers pull them, and a task
 //! that is pulled but never acknowledged (a crashed Task Manager) is
 //! redelivered to another consumer.
+//!
+//! Topic storage is a [`ShardedRing`]: producers and consumers hit
+//! independently locked ring segments instead of serializing on one
+//! `Mutex<TopicState>`, lease tracking lives in a hash-sharded
+//! in-flight map keyed by message id, and all statistics are relaxed
+//! atomics so `Broker::stats` never takes a lock. The earliest lease
+//! expiry is cached in a single atomic so the receive hot path pays one
+//! load — not an in-flight scan — to decide whether reaping is due.
 
 use crate::message::{Message, MessageId};
-use crate::stats::TopicStats;
+use crate::shard::{CachePadded, ShardedRing};
+use crate::stats::{AtomicTopicStats, TopicStats};
 use bytes::Bytes;
 use dlhub_fault::{site, FaultHandle, FaultKind};
 use dlhub_obs::{Counter, Histogram, Registry};
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -79,76 +89,98 @@ pub struct BrokerConfig {
     pub faults: FaultHandle,
 }
 
+/// Number of in-flight map shards per topic. Power of two; message ids
+/// are a process-wide counter so `id & mask` spreads leases uniformly.
+const FLIGHT_SHARDS: usize = 8;
+
+/// `next_expiry` sentinel: no lease outstanding.
+const NO_EXPIRY: u64 = u64::MAX;
+
 struct InFlight {
+    /// Shares the delivered message's refcounted payload and reply
+    /// topic — retaining a lease never copies bytes.
     message: Message,
     lease_expires: Instant,
+    /// Ring segment the message was claimed from; redelivery returns
+    /// it to the front of the same segment.
+    ring_shard: usize,
 }
 
-struct TopicState {
-    ready: VecDeque<Message>,
-    in_flight: HashMap<MessageId, InFlight>,
-    dead: Vec<Message>,
-    closed: bool,
-    stats: TopicStats,
-}
+type FlightMap = Mutex<HashMap<MessageId, InFlight>>;
 
 struct Topic {
     config: TopicConfig,
-    state: Mutex<TopicState>,
-    /// Signalled when a message becomes ready or the topic closes.
-    /// Steady-state publishes wake exactly one consumer
-    /// (`notify_one`); only shutdown paths (close/delete) broadcast,
-    /// avoiding thundering-herd wake-ups on busy topics.
-    ready_cv: Condvar,
-    /// Signalled when space frees up in a bounded topic. Same
-    /// discipline: one freed slot wakes one blocked sender.
+    /// Ready messages, sharded across independently locked segments.
+    ring: ShardedRing<Message>,
+    /// Leased-but-unsettled messages, sharded by message id.
+    in_flight: Box<[CachePadded<FlightMap>]>,
+    dead: Mutex<Vec<Message>>,
+    closed: AtomicBool,
+    /// Earliest outstanding lease expiry, as nanoseconds since `epoch`
+    /// ([`NO_EXPIRY`] when none). Leasing `fetch_min`s its expiry in;
+    /// the receive paths compare one load against "now" to decide
+    /// whether any reaping is due, instead of scanning in-flight maps.
+    next_expiry: AtomicU64,
+    epoch: Instant,
+    stats: AtomicTopicStats,
+    /// Senders parked on a full bounded topic. Same registration
+    /// discipline as the ring's consumer parking: a sender registers
+    /// and re-tries its reservation under `space_mutex` before
+    /// waiting, and anyone freeing a slot only takes the mutex when
+    /// `space_waiters > 0`.
+    space_waiters: AtomicUsize,
+    space_mutex: Mutex<()>,
     space_cv: Condvar,
 }
 
 impl Topic {
     fn new(config: TopicConfig) -> Self {
+        let in_flight = (0..FLIGHT_SHARDS)
+            .map(|_| CachePadded(Mutex::new(HashMap::new())))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         Topic {
             config,
-            state: Mutex::new(TopicState {
-                ready: VecDeque::new(),
-                in_flight: HashMap::new(),
-                dead: Vec::new(),
-                closed: false,
-                stats: TopicStats::default(),
-            }),
-            ready_cv: Condvar::new(),
+            ring: ShardedRing::new(),
+            in_flight,
+            dead: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+            next_expiry: AtomicU64::new(NO_EXPIRY),
+            epoch: Instant::now(),
+            stats: AtomicTopicStats::default(),
+            space_waiters: AtomicUsize::new(0),
+            space_mutex: Mutex::new(()),
             space_cv: Condvar::new(),
         }
     }
 
-    /// Requeue any in-flight messages whose lease has expired. Returns
-    /// the number of messages requeued (so callers can mirror
-    /// redeliveries into an attached metrics registry). Must hold the
-    /// lock.
-    fn reap_expired(state: &mut TopicState, max_attempts: u32, now: Instant) -> usize {
-        if state.in_flight.is_empty() {
-            return 0;
-        }
-        let expired: Vec<MessageId> = state
-            .in_flight
-            .iter()
-            .filter(|(_, f)| f.lease_expires <= now)
-            .map(|(id, _)| *id)
-            .collect();
-        let mut requeued = 0;
-        for id in expired {
-            let flight = state.in_flight.remove(&id).expect("expired id present");
-            let m = flight.message;
-            if m.attempts >= max_attempts.max(1) {
-                state.stats.dead_lettered += 1;
-                state.dead.push(m);
-            } else {
-                state.stats.redelivered += 1;
-                state.ready.push_front(m);
-                requeued += 1;
-            }
-        }
-        requeued
+    fn flight_shard(&self, id: MessageId) -> &FlightMap {
+        &self.in_flight[(id.0 as usize) & (FLIGHT_SHARDS - 1)].0
+    }
+
+    /// Register a lease expiry so receive paths know when reaping is
+    /// next due.
+    fn note_expiry(&self, at: Instant) {
+        let nanos = at.saturating_duration_since(self.epoch).as_nanos() as u64;
+        self.next_expiry
+            .fetch_min(nanos.min(NO_EXPIRY - 1), Ordering::SeqCst);
+    }
+
+    fn next_expiry_instant(&self) -> Option<Instant> {
+        let nanos = self.next_expiry.load(Ordering::SeqCst);
+        (nanos != NO_EXPIRY).then(|| self.epoch + Duration::from_nanos(nanos))
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Close and wake everything parked on this topic.
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.ring.wake_all();
+        drop(self.space_mutex.lock());
+        self.space_cv.notify_all();
     }
 }
 
@@ -169,9 +201,14 @@ pub struct Delivery {
 impl Delivery {
     /// Acknowledge successful processing; the message is removed.
     pub fn ack(mut self) {
-        let mut st = self.topic.state.lock();
-        if st.in_flight.remove(&self.message.id).is_some() {
-            st.stats.acked += 1;
+        let removed = self
+            .topic
+            .flight_shard(self.message.id)
+            .lock()
+            .remove(&self.message.id)
+            .is_some();
+        if removed {
+            self.topic.stats.acked.fetch_add(1, Ordering::Relaxed);
         }
         self.settled = true;
     }
@@ -179,17 +216,24 @@ impl Delivery {
     /// Negatively acknowledge: requeue now (or dead-letter if the
     /// attempt budget is exhausted).
     pub fn nack(mut self) {
-        let max_attempts = self.topic.config.max_attempts;
-        let mut st = self.topic.state.lock();
-        if let Some(flight) = st.in_flight.remove(&self.message.id) {
-            let m = flight.message;
-            if m.attempts >= max_attempts.max(1) {
-                st.stats.dead_lettered += 1;
-                st.dead.push(m);
+        let max_attempts = self.topic.config.max_attempts.max(1);
+        let flight = self
+            .topic
+            .flight_shard(self.message.id)
+            .lock()
+            .remove(&self.message.id);
+        if let Some(f) = flight {
+            if f.message.attempts >= max_attempts {
+                self.topic
+                    .stats
+                    .dead_lettered
+                    .fetch_add(1, Ordering::Relaxed);
+                self.topic.dead.lock().push(f.message);
             } else {
-                st.stats.redelivered += 1;
-                st.ready.push_front(m);
-                self.topic.ready_cv.notify_one();
+                self.topic.stats.redelivered.fetch_add(1, Ordering::Relaxed);
+                // The in-flight record already shares the payload —
+                // requeueing moves the handle, no bytes are copied.
+                self.topic.ring.push_front(f.ring_shard, f.message);
             }
         }
         self.settled = true;
@@ -300,21 +344,14 @@ impl Broker {
                 .remove(name)
                 .ok_or_else(|| QueueError::NoSuchTopic(name.to_string()))?
         };
-        let mut st = topic.state.lock();
-        st.closed = true;
-        drop(st);
-        topic.ready_cv.notify_all();
-        topic.space_cv.notify_all();
+        topic.close();
         Ok(())
     }
 
     /// Close a topic: queued messages may still be drained, but new
     /// sends fail and receivers see [`QueueError::Closed`] once empty.
     pub fn close_topic(&self, name: &str) -> Result<(), QueueError> {
-        let topic = self.topic(name)?;
-        topic.state.lock().closed = true;
-        topic.ready_cv.notify_all();
-        topic.space_cv.notify_all();
+        self.topic(name)?.close();
         Ok(())
     }
 
@@ -337,37 +374,83 @@ impl Broker {
     /// reply-to/correlation metadata). Blocks while full.
     pub fn send_message(&self, name: &str, message: Message) -> Result<MessageId, QueueError> {
         let topic = self.topic(name)?;
-        let mut st = topic.state.lock();
+        self.acquire_slot(&topic, name)?;
+        self.enqueue(&topic, message)
+    }
+
+    /// Non-blocking send; fails with [`QueueError::Full`] when bounded
+    /// capacity is exhausted.
+    pub fn try_send(&self, name: &str, payload: Bytes) -> Result<MessageId, QueueError> {
+        let topic = self.topic(name)?;
+        if topic.is_closed() {
+            return Err(QueueError::Closed(name.to_string()));
+        }
+        match topic.config.capacity {
+            Some(cap) if !topic.ring.reserve(cap) => {
+                return Err(QueueError::Full(name.to_string()))
+            }
+            Some(_) => {}
+            None => topic.ring.force_reserve(),
+        }
+        self.enqueue(&topic, Message::new(payload))
+    }
+
+    /// Reserve a ready-queue slot, parking while a bounded topic is
+    /// full. On return the caller owns one slot.
+    fn acquire_slot(&self, topic: &Topic, name: &str) -> Result<(), QueueError> {
         loop {
-            if st.closed {
+            if topic.is_closed() {
                 return Err(QueueError::Closed(name.to_string()));
             }
-            match topic.config.capacity {
-                Some(cap) if st.ready.len() >= cap => topic.space_cv.wait(&mut st),
-                _ => break,
+            let Some(cap) = topic.config.capacity else {
+                topic.ring.force_reserve();
+                return Ok(());
+            };
+            if topic.ring.reserve(cap) {
+                return Ok(());
+            }
+            // Register, then re-try the reservation under the space
+            // mutex before waiting; `wake_space` frees the slot before
+            // checking `space_waiters`, so either we see the slot here
+            // or the waker sees us and notifies.
+            let mut guard = topic.space_mutex.lock();
+            topic.space_waiters.fetch_add(1, Ordering::SeqCst);
+            let got = topic.ring.reserve(cap);
+            if !got && !topic.is_closed() {
+                topic.space_cv.wait(&mut guard);
+            }
+            topic.space_waiters.fetch_sub(1, Ordering::SeqCst);
+            drop(guard);
+            if got {
+                return Ok(());
             }
         }
+    }
+
+    /// Publish into an already-reserved slot, honouring the send fault
+    /// site.
+    fn enqueue(&self, topic: &Topic, message: Message) -> Result<MessageId, QueueError> {
         let id = message.id;
-        if self.drop_send_injected(&mut st) {
+        if self.drop_send_injected(topic) {
+            topic.ring.release();
+            self.wake_space(topic);
             return Ok(id);
         }
-        st.stats.enqueued += 1;
-        st.ready.push_back(message);
-        drop(st);
+        topic.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+        topic.ring.push_back(message);
         if let Some(obs) = self.inner.obs.get() {
             obs.send.inc();
         }
-        topic.ready_cv.notify_one();
         Ok(id)
     }
 
     /// Consult the send fault site; on a `Drop` fault the message is
     /// discarded after the caller saw a successful send — exactly the
     /// lost-publish failure mode of a flaky transport.
-    fn drop_send_injected(&self, st: &mut TopicState) -> bool {
+    fn drop_send_injected(&self, topic: &Topic) -> bool {
         if let Some(fault) = self.inner.config.faults.decide(site::BROKER_SEND) {
             if fault.kind == FaultKind::Drop {
-                st.stats.dropped += 1;
+                topic.stats.dropped.fetch_add(1, Ordering::Relaxed);
                 if let Some(obs) = self.inner.obs.get() {
                     obs.dropped.inc();
                 }
@@ -377,32 +460,12 @@ impl Broker {
         false
     }
 
-    /// Non-blocking send; fails with [`QueueError::Full`] when bounded
-    /// capacity is exhausted.
-    pub fn try_send(&self, name: &str, payload: Bytes) -> Result<MessageId, QueueError> {
-        let topic = self.topic(name)?;
-        let mut st = topic.state.lock();
-        if st.closed {
-            return Err(QueueError::Closed(name.to_string()));
+    /// Wake one sender parked on a full bounded topic.
+    fn wake_space(&self, topic: &Topic) {
+        if topic.config.capacity.is_some() && topic.space_waiters.load(Ordering::SeqCst) > 0 {
+            drop(topic.space_mutex.lock());
+            topic.space_cv.notify_one();
         }
-        if let Some(cap) = topic.config.capacity {
-            if st.ready.len() >= cap {
-                return Err(QueueError::Full(name.to_string()));
-            }
-        }
-        let message = Message::new(payload);
-        let id = message.id;
-        if self.drop_send_injected(&mut st) {
-            return Ok(id);
-        }
-        st.stats.enqueued += 1;
-        st.ready.push_back(message);
-        drop(st);
-        if let Some(obs) = self.inner.obs.get() {
-            obs.send.inc();
-        }
-        topic.ready_cv.notify_one();
-        Ok(id)
     }
 
     /// Blocking receive: waits until a message is available, leases it
@@ -419,16 +482,13 @@ impl Broker {
     /// Non-blocking receive.
     pub fn try_recv(&self, name: &str) -> Result<Option<Delivery>, QueueError> {
         let topic = self.topic(name)?;
-        let mut st = topic.state.lock();
-        let reaped = Topic::reap_expired(&mut st, topic.config.max_attempts, Instant::now());
-        self.mirror_redelivered(reaped);
-        match Self::lease_front(&topic, &mut st, self.inner.obs.get()) {
-            Some(d) => {
-                // Like the blocking receive path: leasing frees a
-                // ready slot, so a sender blocked on a bounded topic
-                // must be woken.
-                drop(st);
-                topic.space_cv.notify_one();
+        self.reap_if_due(&topic);
+        match topic.ring.try_claim() {
+            Some((ring_shard, message)) => {
+                let d = self.lease(&topic, ring_shard, message);
+                // Leasing freed a ready slot, so a sender blocked on a
+                // bounded topic must be woken.
+                self.wake_space(&topic);
                 if self.abandon_recv_injected() {
                     // The lease stands but the consumer "crashed":
                     // redelivery waits for the lease to expire.
@@ -437,7 +497,7 @@ impl Broker {
                 }
                 Ok(Some(d))
             }
-            None if st.closed => Err(QueueError::Closed(name.to_string())),
+            None if topic.is_closed() => Err(QueueError::Closed(name.to_string())),
             None => Ok(None),
         }
     }
@@ -462,96 +522,140 @@ impl Broker {
 
     fn recv_deadline(&self, name: &str, deadline: Option<Instant>) -> Result<Delivery, QueueError> {
         let topic = self.topic(name)?;
-        let mut st = topic.state.lock();
         loop {
-            let now = Instant::now();
-            let reaped = Topic::reap_expired(&mut st, topic.config.max_attempts, now);
-            self.mirror_redelivered(reaped);
-            if let Some(d) = Self::lease_front(&topic, &mut st, self.inner.obs.get()) {
-                topic.space_cv.notify_one();
+            self.reap_if_due(&topic);
+            if let Some((ring_shard, message)) = topic.ring.try_claim() {
+                let d = self.lease(&topic, ring_shard, message);
+                self.wake_space(&topic);
                 if self.abandon_recv_injected() {
                     // Abandon the lease and keep waiting: the message
-                    // comes back through `reap_expired` once the lease
+                    // comes back through the reaper once the lease
                     // runs out.
                     drop(d);
                     continue;
                 }
                 return Ok(d);
             }
-            if st.closed {
+            if topic.is_closed() {
                 return Err(QueueError::Closed(name.to_string()));
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(QueueError::Timeout);
+                }
             }
             // Wake up early enough to reap the next lease expiry even
             // if no new message arrives.
-            let next_expiry = st.in_flight.values().map(|f| f.lease_expires).min();
-            let wait_until = match (deadline, next_expiry) {
+            let until = match (deadline, topic.next_expiry_instant()) {
                 (Some(d), Some(e)) => Some(d.min(e)),
                 (Some(d), None) => Some(d),
-                (None, Some(e)) => Some(e),
-                (None, None) => None,
+                (None, e) => e,
             };
-            match wait_until {
-                Some(until) => {
-                    if topic.ready_cv.wait_until(&mut st, until).timed_out() {
-                        if let Some(d) = deadline {
-                            if Instant::now() >= d {
-                                return Err(QueueError::Timeout);
-                            }
-                        }
-                    }
-                }
-                None => topic.ready_cv.wait(&mut st),
-            }
+            topic.ring.park(until, || topic.is_closed());
         }
     }
 
-    fn lease_front(
-        topic: &Arc<Topic>,
-        st: &mut TopicState,
-        obs: Option<&BrokerObs>,
-    ) -> Option<Delivery> {
-        let mut message = st.ready.pop_front()?;
+    /// Requeue in-flight messages whose lease has expired, if the
+    /// cached earliest expiry says any could have. One atomic load on
+    /// the common (nothing due) path.
+    fn reap_if_due(&self, topic: &Topic) {
+        let due = topic.next_expiry.load(Ordering::SeqCst);
+        if due == NO_EXPIRY {
+            return;
+        }
+        let now = Instant::now();
+        if (now.saturating_duration_since(topic.epoch).as_nanos() as u64) < due {
+            return;
+        }
+        // Claim this reap: exactly one caller per observed expiry value
+        // proceeds. A failed exchange means a concurrent reaper took it
+        // (or a sooner expiry just landed, which re-triggers us).
+        if topic
+            .next_expiry
+            .compare_exchange(due, NO_EXPIRY, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        let max_attempts = topic.config.max_attempts.max(1);
+        let mut requeued = 0usize;
+        for shard in topic.in_flight.iter() {
+            let mut map = shard.0.lock();
+            let expired: Vec<MessageId> = map
+                .iter()
+                .filter(|(_, f)| f.lease_expires <= now)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in expired {
+                let f = map.remove(&id).expect("expired id present");
+                if f.message.attempts >= max_attempts {
+                    topic.stats.dead_lettered.fetch_add(1, Ordering::Relaxed);
+                    topic.dead.lock().push(f.message);
+                } else {
+                    topic.stats.redelivered.fetch_add(1, Ordering::Relaxed);
+                    topic.ring.push_front(f.ring_shard, f.message);
+                    requeued += 1;
+                }
+            }
+            // Re-register the survivors so the next expiry stays
+            // visible. Leases inserted concurrently either appeared in
+            // this scan or `fetch_min` their expiry in after our reset.
+            if let Some(min) = map.values().map(|f| f.lease_expires).min() {
+                topic.note_expiry(min);
+            }
+        }
+        self.mirror_redelivered(requeued);
+    }
+
+    fn lease(&self, topic: &Arc<Topic>, ring_shard: usize, mut message: Message) -> Delivery {
         message.attempts += 1;
-        st.stats.delivered += 1;
         let queue_wait = message.enqueued_at.elapsed();
-        st.stats.record_wait(queue_wait);
-        if let Some(obs) = obs {
+        topic.stats.delivered.fetch_add(1, Ordering::Relaxed);
+        topic.stats.record_wait(queue_wait);
+        if let Some(obs) = self.inner.obs.get() {
             obs.recv.inc();
             obs.queue_wait.record_duration(queue_wait);
         }
-        st.in_flight.insert(
+        let lease_expires = Instant::now() + topic.config.lease;
+        // Shallow clone: the in-flight record shares the delivered
+        // message's refcounted payload and reply topic.
+        topic.flight_shard(message.id).lock().insert(
             message.id,
             InFlight {
                 message: message.clone(),
-                lease_expires: Instant::now() + topic.config.lease,
+                lease_expires,
+                ring_shard,
             },
         );
-        Some(Delivery {
+        topic.note_expiry(lease_expires);
+        Delivery {
             message,
             queue_wait,
             topic: Arc::clone(topic),
             settled: false,
-        })
+        }
     }
 
     /// Number of ready (not in-flight) messages on a topic.
     pub fn depth(&self, name: &str) -> Result<usize, QueueError> {
-        Ok(self.topic(name)?.state.lock().ready.len())
+        Ok(self.topic(name)?.ring.len())
     }
 
     /// Number of leased-but-unsettled messages.
     pub fn in_flight(&self, name: &str) -> Result<usize, QueueError> {
-        Ok(self.topic(name)?.state.lock().in_flight.len())
+        let topic = self.topic(name)?;
+        Ok(topic.in_flight.iter().map(|s| s.0.lock().len()).sum())
     }
 
     /// Drain the dead-letter queue for a topic.
     pub fn take_dead_letters(&self, name: &str) -> Result<Vec<Message>, QueueError> {
-        Ok(std::mem::take(&mut self.topic(name)?.state.lock().dead))
+        Ok(std::mem::take(&mut self.topic(name)?.dead.lock()))
     }
 
-    /// Snapshot the delivery statistics of a topic.
+    /// Snapshot the delivery statistics of a topic. Lock-free: the
+    /// counters are relaxed atomics maintained on the hot paths.
     pub fn stats(&self, name: &str) -> Result<TopicStats, QueueError> {
-        Ok(self.topic(name)?.state.lock().stats.clone())
+        Ok(self.topic(name)?.stats.snapshot())
     }
 }
 
@@ -843,5 +947,30 @@ mod tests {
         broker.recv("t").unwrap().ack();
         let stats = broker.stats("t").unwrap();
         assert!(stats.mean_wait() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn redelivery_shares_the_payload_allocation() {
+        let broker = b();
+        broker
+            .send("t", Bytes::copy_from_slice(b"zero-copy"))
+            .unwrap();
+        let d = broker.recv("t").unwrap();
+        let before = d.message.payload.as_ptr();
+        d.nack();
+        let d2 = broker.recv("t").unwrap();
+        // Redelivery hands back the same refcounted buffer.
+        assert_eq!(d2.message.payload.as_ptr(), before);
+        d2.ack();
+    }
+
+    #[test]
+    fn closed_topic_wakes_parked_receiver() {
+        let broker = b();
+        let b2 = broker.clone();
+        let h = thread::spawn(move || b2.recv("t"));
+        thread::sleep(Duration::from_millis(20));
+        broker.close_topic("t").unwrap();
+        assert!(matches!(h.join().unwrap(), Err(QueueError::Closed(_))));
     }
 }

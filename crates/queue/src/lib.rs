@@ -21,8 +21,10 @@
 //! * **Backpressure** — topics may be bounded; `send` blocks (or fails,
 //!   with `try_send`) when a topic is full.
 //!
-//! Everything is thread-safe and lock-based (parking_lot) with condvar
-//! wakeups; there is no global registry, a [`Broker`] is an ordinary
+//! Everything is thread-safe; topic storage is a hash-sharded MPMC
+//! ring ([`shard::ShardedRing`]) so producers and consumers hit
+//! independent segment locks, with condvar parking only on the idle
+//! paths. There is no global registry, a [`Broker`] is an ordinary
 //! value shared via `Arc`.
 //!
 //! ```
@@ -40,6 +42,7 @@
 pub mod broker;
 pub mod message;
 pub mod rpc;
+pub mod shard;
 pub mod stats;
 
 pub use broker::{Broker, BrokerConfig, Delivery, QueueError, TopicConfig};

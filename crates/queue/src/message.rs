@@ -3,6 +3,7 @@
 use bytes::Bytes;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Globally unique (per-process) message identifier.
@@ -36,7 +37,9 @@ pub struct Message {
     /// this field; the broker never inspects it.
     pub payload: Bytes,
     /// Name of the reply topic for request/reply flows, if any.
-    pub reply_to: Option<String>,
+    /// Refcounted so cloning a message (lease tracking, redelivery)
+    /// never reallocates the topic name.
+    pub reply_to: Option<Arc<str>>,
     /// Correlates a reply with its request (the request's id).
     pub correlation_id: Option<MessageId>,
     /// How many times this message has been handed to a consumer.
@@ -59,7 +62,7 @@ impl Message {
     }
 
     /// Create a request message expecting a reply on `reply_to`.
-    pub fn request(payload: Bytes, reply_to: impl Into<String>) -> Self {
+    pub fn request(payload: Bytes, reply_to: impl Into<Arc<str>>) -> Self {
         let mut m = Message::new(payload);
         m.reply_to = Some(reply_to.into());
         m

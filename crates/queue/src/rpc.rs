@@ -45,9 +45,38 @@ impl From<QueueError> for RpcError {
     }
 }
 
-struct PendingTable {
+/// Number of reply-table shards. Power of two; message ids come from a
+/// process-wide counter, so `id & mask` spreads correlation slots
+/// uniformly.
+const REPLY_SHARDS: usize = 8;
+
+struct ReplyShard {
     replies: Mutex<HashMap<MessageId, Option<Bytes>>>,
     cv: Condvar,
+}
+
+/// Reply correlation table, sharded by request id so concurrent
+/// callers (and the pump) stop serializing on one mutex.
+struct PendingTable {
+    shards: Box<[ReplyShard]>,
+}
+
+impl PendingTable {
+    fn new() -> Self {
+        PendingTable {
+            shards: (0..REPLY_SHARDS)
+                .map(|_| ReplyShard {
+                    replies: Mutex::new(HashMap::new()),
+                    cv: Condvar::new(),
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    fn shard(&self, id: MessageId) -> &ReplyShard {
+        &self.shards[(id.0 as usize) & (REPLY_SHARDS - 1)]
+    }
 }
 
 /// Client side of the request/reply pattern.
@@ -58,7 +87,7 @@ struct PendingTable {
 pub struct RpcClient {
     broker: Broker,
     service_topic: String,
-    reply_topic: String,
+    reply_topic: Arc<str>,
     pending: Arc<PendingTable>,
     pump: Option<std::thread::JoinHandle<()>>,
 }
@@ -70,18 +99,16 @@ impl RpcClient {
     /// needed.
     pub fn connect(broker: &Broker, service_topic: &str) -> Self {
         broker.ensure_topic(service_topic);
-        let reply_topic = format!(
+        let reply_topic: Arc<str> = format!(
             "{service_topic}.reply.{}",
             CLIENT_SEQ.fetch_add(1, Ordering::Relaxed)
-        );
+        )
+        .into();
         broker.ensure_topic(&reply_topic);
-        let pending = Arc::new(PendingTable {
-            replies: Mutex::new(HashMap::new()),
-            cv: Condvar::new(),
-        });
+        let pending = Arc::new(PendingTable::new());
         let pump = {
             let broker = broker.clone();
-            let reply_topic = reply_topic.clone();
+            let reply_topic = Arc::clone(&reply_topic);
             let pending = Arc::clone(&pending);
             std::thread::Builder::new()
                 .name(format!("rpc-pump-{reply_topic}"))
@@ -92,12 +119,13 @@ impl RpcClient {
                         let payload = delivery.message.payload.clone();
                         delivery.ack();
                         if let Some(corr) = corr {
-                            let mut replies = pending.replies.lock();
+                            let shard = pending.shard(corr);
+                            let mut replies = shard.replies.lock();
                             // Only store replies someone is waiting for;
                             // late replies after timeout are dropped.
                             if let Some(slot) = replies.get_mut(&corr) {
                                 *slot = Some(payload);
-                                pending.cv.notify_all();
+                                shard.cv.notify_all();
                             }
                         }
                     }
@@ -115,11 +143,11 @@ impl RpcClient {
 
     /// Fire a request and return a handle to await the reply.
     pub fn call(&self, payload: Bytes) -> Result<ReplyHandle<'_>, RpcError> {
-        let msg = Message::request(payload, self.reply_topic.clone());
+        let msg = Message::request(payload, Arc::clone(&self.reply_topic));
         let id = msg.id;
-        self.pending.replies.lock().insert(id, None);
+        self.pending.shard(id).replies.lock().insert(id, None);
         if let Err(e) = self.broker.send_message(&self.service_topic, msg) {
-            self.pending.replies.lock().remove(&id);
+            self.pending.shard(id).replies.lock().remove(&id);
             return Err(e.into());
         }
         Ok(ReplyHandle { client: self, id })
@@ -131,7 +159,8 @@ impl RpcClient {
     }
 
     fn wait(&self, id: MessageId, deadline: Option<Instant>) -> Result<Bytes, RpcError> {
-        let mut replies = self.pending.replies.lock();
+        let shard = self.pending.shard(id);
+        let mut replies = shard.replies.lock();
         loop {
             match replies.get(&id) {
                 Some(Some(_)) => {
@@ -143,12 +172,12 @@ impl RpcClient {
             }
             match deadline {
                 Some(d) => {
-                    if self.pending.cv.wait_until(&mut replies, d).timed_out() {
+                    if shard.cv.wait_until(&mut replies, d).timed_out() {
                         replies.remove(&id);
                         return Err(RpcError::Timeout);
                     }
                 }
-                None => self.pending.cv.wait(&mut replies),
+                None => shard.cv.wait(&mut replies),
             }
         }
     }
@@ -199,7 +228,7 @@ impl ReplyHandle<'_> {
 
     /// Poll without blocking; `None` while the reply is pending.
     pub fn try_take(&self) -> Result<Option<Bytes>, RpcError> {
-        let mut replies = self.client.pending.replies.lock();
+        let mut replies = self.client.pending.shard(self.id).replies.lock();
         match replies.get(&self.id) {
             Some(Some(_)) => Ok(replies.remove(&self.id).flatten()),
             Some(None) => Ok(None),

@@ -1,42 +1,80 @@
 #!/usr/bin/env python3
-"""Hotpath bench regression gate.
+"""Bench regression gates.
 
-Compares the latest smoke run (results/BENCH_hotpath.json) against the
-committed full-length numbers at the workspace root. Windows and
-machines differ, so the gate is deliberately coarse: single-thread
-hit-path throughput must stay within a generous factor of the committed
-baseline, and the 1-to-8-thread scaling shape must survive (the
-analytics layer must not serialize the hot path).
+Compares the latest smoke runs under results/ against the committed
+full-length artifacts at the workspace root. Windows and machines
+differ, so the regression floors are deliberately coarse; the absolute
+acceptance thresholds (the broker rework's 2x single-thread / 6x
+scaling contract) are enforced on the *committed* artifacts, which were
+produced by full-length runs and do not change between CI runs.
+
+Checks:
+  hotpath   single-thread hit-path throughput within a generous factor
+            of the committed baseline, and the 1-to-8-thread scaling
+            shape survives (the analytics layer must not serialize the
+            hot path).
+  broker    committed contract: memo-bypass single-thread req/s at
+            least BROKER_GATE_MIN_X times the committed hot-path
+            baseline, and the RTT series scales at least
+            BROKER_GATE_MIN_SCALING from 1 to 8 clients. Fresh smoke
+            runs are then held to noise-floored fractions of the
+            committed numbers (raw ring throughput, memo-bypass
+            single-thread, scaling shape).
+
+Usage: bench_gate.py [--check hotpath|broker|all]   (default: all)
 
 Environment:
-  BENCH_GATE_RATIO    throughput floor as a fraction of the committed
-                      baseline (default 0.25; <=0 disables the gate)
-  BENCH_GATE_SPEEDUP  minimum 1-to-8-thread speedup (default 1.5)
+  BENCH_GATE_RATIO          throughput floor as a fraction of the
+                            committed baseline (default 0.25; <=0
+                            disables every gate)
+  BENCH_GATE_SPEEDUP        minimum fresh 1-to-8-thread hotpath speedup
+                            (default 1.5)
+  BROKER_GATE_MIN_X         committed broker single-thread multiple of
+                            the committed hotpath baseline (default 2.0)
+  BROKER_GATE_MIN_SCALING   committed broker 1-to-8-client scaling
+                            (default 6.0)
+  BROKER_GATE_SPEEDUP       minimum fresh 1-to-8-client broker scaling,
+                            noise floor for shared runners (default 2.0)
 """
 
+import argparse
 import json
 import os
 import sys
 
 
-def rate(doc, threads):
-    cells = doc["modes"]["hit100"]
-    return next(c["req_per_s"] for c in cells if c["threads"] == threads)
-
-
-def main():
-    ratio = float(os.environ.get("BENCH_GATE_RATIO", "0.25"))
-    if ratio <= 0:
-        print("bench gate: disabled (BENCH_GATE_RATIO<=0)")
-        return 0
+def load(path):
     try:
-        baseline = json.load(open("BENCH_hotpath.json"))
+        with open(path) as f:
+            return json.load(f)
     except FileNotFoundError:
-        print("bench gate: no committed BENCH_hotpath.json; skipping")
-        return 0
-    current = json.load(open("results/BENCH_hotpath.json"))
+        return None
 
-    base, cur = rate(baseline, 1), rate(current, 1)
+
+def series_rate(doc, mode, threads, key):
+    cells = doc["modes"][mode]
+    return next(c[key] for c in cells if c["threads"] == threads)
+
+
+def rtt_mode(doc):
+    """The simulated-RTT serve series, whatever RTT it was run with."""
+    names = [m for m in doc["modes"] if m.startswith("serve_rtt") and m != "serve_rtt0"]
+    if not names:
+        sys.exit("bench gate: broker artifact has no serve_rtt series")
+    return names[0]
+
+
+def check_hotpath(ratio):
+    baseline = load("BENCH_hotpath.json")
+    if baseline is None:
+        print("bench gate: no committed BENCH_hotpath.json; skipping")
+        return
+    current = load("results/BENCH_hotpath.json")
+    if current is None:
+        sys.exit("bench gate: no results/BENCH_hotpath.json smoke run")
+
+    base = series_rate(baseline, "hit100", 1, "req_per_s")
+    cur = series_rate(current, "hit100", 1, "req_per_s")
     floor = base * ratio
     if cur < floor:
         sys.exit(
@@ -58,6 +96,90 @@ def main():
         "bench gate: hotpath within noise ({:.0f} req/s vs committed {:.0f}, "
         "speedup {:.2f}x)".format(cur, base, speedup)
     )
+
+
+def check_broker(ratio):
+    committed = load("BENCH_broker.json")
+    if committed is None:
+        print("bench gate: no committed BENCH_broker.json; skipping")
+        return
+
+    # Absolute contract, enforced on the committed full-length run: the
+    # memo-bypass broker path must beat the committed hot-path baseline
+    # by the rework's factor, and the RTT series must scale.
+    min_x = float(os.environ.get("BROKER_GATE_MIN_X", "2.0"))
+    min_scaling = float(os.environ.get("BROKER_GATE_MIN_SCALING", "6.0"))
+    hotpath = load("BENCH_hotpath.json")
+    single = series_rate(committed, "serve_rtt0", 1, "per_s")
+    if hotpath is not None:
+        baseline = series_rate(hotpath, "hit100", 1, "req_per_s")
+        if single < baseline * min_x:
+            sys.exit(
+                "bench gate: committed broker single-thread {:.0f} req/s "
+                "< {}x the committed hot-path baseline {:.0f}".format(
+                    single, min_x, baseline
+                )
+            )
+    committed_scaling = committed.get("serve_rtt_speedup_8t_over_1t", 0.0)
+    if committed_scaling < min_scaling:
+        sys.exit(
+            "bench gate: committed broker 1→8 client scaling {:.2f}x "
+            "< {}x".format(committed_scaling, min_scaling)
+        )
+
+    current = load("results/BENCH_broker.json")
+    if current is None:
+        sys.exit("bench gate: no results/BENCH_broker.json smoke run")
+
+    # Noise-floored regression checks on the fresh smoke run.
+    for label, mode, threads in [
+        ("raw ring", "raw", 1),
+        ("memo-bypass single-thread", "serve_rtt0", 1),
+    ]:
+        base = series_rate(committed, mode, threads, "per_s")
+        cur = series_rate(current, mode, threads, "per_s")
+        if cur < base * ratio:
+            sys.exit(
+                "bench gate: broker regression — {} {:.0f} ops/s vs "
+                "committed {:.0f} (floor {:.0f}, ratio {})".format(
+                    label, cur, base, base * ratio, ratio
+                )
+            )
+    fresh_scaling = current.get("serve_rtt_speedup_8t_over_1t", 0.0)
+    scaling_floor = float(os.environ.get("BROKER_GATE_SPEEDUP", "2.0"))
+    if fresh_scaling < scaling_floor:
+        sys.exit(
+            "bench gate: broker 1→8 client scaling {:.2f}x < {}x "
+            "(sharded rings may have serialized)".format(
+                fresh_scaling, scaling_floor
+            )
+        )
+    print(
+        "bench gate: broker within noise (committed {:.0f} req/s @1t "
+        "{:.2f}x scaling; fresh {:.0f} req/s, {:.2f}x — raw ring "
+        "{:.0f} ops/s vs committed {:.0f})".format(
+            single,
+            committed_scaling,
+            series_rate(current, "serve_rtt0", 1, "per_s"),
+            fresh_scaling,
+            series_rate(current, "raw", 1, "per_s"),
+            series_rate(committed, "raw", 1, "per_s"),
+        )
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--check", choices=["hotpath", "broker", "all"], default="all")
+    opts = parser.parse_args()
+    ratio = float(os.environ.get("BENCH_GATE_RATIO", "0.25"))
+    if ratio <= 0:
+        print("bench gate: disabled (BENCH_GATE_RATIO<=0)")
+        return 0
+    if opts.check in ("hotpath", "all"):
+        check_hotpath(ratio)
+    if opts.check in ("broker", "all"):
+        check_broker(ratio)
     return 0
 
 

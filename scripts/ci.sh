@@ -78,10 +78,19 @@ print(
 )
 EOF
 
-echo "######## hotpath regression gate"
-# Compares the smoke run against the committed BENCH_hotpath.json with
-# a generous noise floor (BENCH_GATE_RATIO / BENCH_GATE_SPEEDUP tune,
-# BENCH_GATE_RATIO=0 disables).
+echo "######## broker smoke (sharded rings + zero-copy path)"
+# Short windows; BROKER_MIRROR=0 keeps the smoke run from clobbering
+# the committed full-length BENCH_broker.json at the workspace root.
+BROKER_MS=100 BROKER_MIRROR=0 \
+  cargo run --release -p dlhub-bench --bin broker >/dev/null
+
+echo "######## bench regression gates"
+# Compares the smoke runs against the committed BENCH_hotpath.json and
+# BENCH_broker.json with generous noise floors (BENCH_GATE_RATIO /
+# BENCH_GATE_SPEEDUP / BROKER_GATE_* tune, BENCH_GATE_RATIO=0
+# disables). The broker gate also re-asserts the committed artifact's
+# absolute contract: ≥2x the hot-path single-thread baseline on the
+# memo-bypass path and ≥6x 1→8-client scaling on the RTT series.
 python3 scripts/bench_gate.py
 
 echo "######## ci OK"
