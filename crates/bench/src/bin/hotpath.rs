@@ -269,6 +269,81 @@ fn main() {
         exemplars > 0,
     );
 
+    // Profiler overhead A/B: the same 100%-hit cell on the default
+    // (profiler disabled) hub versus a second deployment with the
+    // continuous profiler sampling and the flight recorder armed. The
+    // disabled side is the zero-cost contract — every frame mark is
+    // one relaxed atomic load — and the enabled side must stay within
+    // noise of it. `scripts/bench_gate.py --check overhead` enforces
+    // the committed ratio in CI.
+    const OVERHEAD_THREADS: usize = 4;
+    const OVERHEAD_HZ: u32 = 99;
+    let ab_window = window.min(Duration::from_millis(1000));
+    shape_check(
+        "default config leaves the profiler statically disabled",
+        hub.service.profile_report().is_none(),
+    );
+    let disabled_cell = drive(&hub, OVERHEAD_THREADS, ab_window, rtt, true);
+    let profiled = TestHub::builder()
+        .without_eval_servables()
+        .memo(true)
+        .replicas(16)
+        .consumers(16)
+        .config(ServingConfig {
+            async_workers: 16,
+            profile_hz: OVERHEAD_HZ,
+            recorder_capacity: 8,
+            ..ServingConfig::default()
+        })
+        .slo(dlhub_core::obs::SloSpec::new(
+            "dlhub/echo",
+            Duration::from_secs(1),
+        ))
+        .build();
+    profiled.publish_simple(
+        "echo",
+        ModelType::PythonFunction,
+        servable_fn(|v| Ok(v.clone())),
+    );
+    for i in 0..HOT_KEYS {
+        profiled
+            .service
+            .run(&profiled.token, "dlhub/echo", Value::Int(i))
+            .expect("warm request");
+    }
+    let enabled_cell = drive(&profiled, OVERHEAD_THREADS, ab_window, rtt, true);
+    let profile = profiled
+        .service
+        .profile_report()
+        .expect("profiler enabled for the A/B hub");
+    shape_check(
+        &format!(
+            "enabled profiler observed the run ({} samples @ {} Hz)",
+            profile.total_samples, profile.hz
+        ),
+        profile.total_samples > 0,
+    );
+    let per_thread: u64 = profile.threads.iter().map(|t| t.samples).sum();
+    shape_check(
+        &format!(
+            "per-thread sample counts partition the total ({per_thread} == {})",
+            profile.total_samples
+        ),
+        per_thread == profile.total_samples,
+    );
+    let overhead_ratio = enabled_cell.req_per_s() / disabled_cell.req_per_s().max(1.0);
+    // Local sanity floor only; the CI contract (default 0.95, env
+    // tunable) lives in bench_gate.py against the committed artifact.
+    shape_check(
+        &format!(
+            "profiler-enabled throughput within noise of disabled ({:.0} → {:.0} req/s, ratio {:.3})",
+            disabled_cell.req_per_s(),
+            enabled_cell.req_per_s(),
+            overhead_ratio
+        ),
+        overhead_ratio >= 0.85,
+    );
+
     let doc = serde_json::json!({
         "bench": "hotpath",
         "window_ms": window.as_millis() as u64,
@@ -276,6 +351,15 @@ fn main() {
         "thread_counts": THREADS.to_vec(),
         "modes": serde_json::Value::Object(json_modes),
         "hit100_speedup_8t_over_1t": speedup,
+        "overhead": {
+            "threads": OVERHEAD_THREADS,
+            "window_ms": ab_window.as_millis() as u64,
+            "profile_hz": OVERHEAD_HZ,
+            "disabled_req_per_s": disabled_cell.req_per_s(),
+            "enabled_req_per_s": enabled_cell.req_per_s(),
+            "enabled_over_disabled": overhead_ratio,
+            "profiler_samples": profile.total_samples,
+        },
         "metrics": metrics.to_json(),
     });
     let path = write_json("BENCH_hotpath.json", &doc);

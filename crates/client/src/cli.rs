@@ -86,20 +86,103 @@ impl Cli {
             ["trace", rest @ ..] => self.trace(rest),
             ["analyze", rest @ ..] => self.analyze(rest),
             ["slo"] => self.slo(),
-            [] => Err("usage: dlhub <init|update|publish|run|ls|stats|trace|analyze|slo>".into()),
+            ["profile", rest @ ..] => self.profile(rest),
+            ["contention"] => self.contention(),
+            ["bundle", rest @ ..] => self.bundle(rest),
+            [] => Err(
+                "usage: dlhub <init|update|publish|run|ls|stats|trace|analyze|slo|profile|contention|bundle>"
+                    .into(),
+            ),
             other => Err(format!("unknown command: {}", other.join(" "))),
         }
     }
 
-    /// `stats [--prometheus]`: the service's per-servable serving
-    /// dashboard, or the raw Prometheus text exposition.
+    /// `stats [--prometheus|--delta]`: the service's per-servable
+    /// serving dashboard, the raw Prometheus text exposition, or —
+    /// with `--delta` — only what changed since the previous `--delta`
+    /// call (an `iostat`-style window over the same dashboard).
     fn stats(&self, args: &[&str]) -> Result<String, CliError> {
         match args {
             [] => Ok(self.service.metrics_snapshot().render_dashboard()),
             ["--prometheus"] => Ok(self.service.render_prometheus()),
+            ["--delta"] => Ok(self.service.metrics_delta().render_dashboard()),
             other => Err(format!(
-                "usage: dlhub stats [--prometheus] (got: {})",
+                "usage: dlhub stats [--prometheus|--delta] (got: {})",
                 other.join(" ")
+            )),
+        }
+    }
+
+    /// `profile [--json]`: the continuous profiler's collapsed-stack
+    /// aggregates (`thread;frame;frame count` lines — pipe the text
+    /// form straight into `flamegraph.pl`). Errors while the profiler
+    /// is disabled.
+    fn profile(&self, args: &[&str]) -> Result<String, CliError> {
+        let report = self
+            .service
+            .profile_report()
+            .ok_or("profiler is disabled; set ServingConfig::profile_hz")?;
+        match args {
+            [] => Ok(report.render_collapsed()),
+            ["--json"] => {
+                Ok(serde_json::to_string_pretty(&report.to_json()).expect("profile serializes"))
+            }
+            other => Err(format!(
+                "usage: dlhub profile [--json] (got: {})",
+                other.join(" ")
+            )),
+        }
+    }
+
+    /// `contention`: lock/park wait sites ranked by total wait time.
+    fn contention(&self) -> Result<String, CliError> {
+        Ok(dlhub_core::obs::render_contention(
+            &self.service.contention_snapshot(),
+        ))
+    }
+
+    /// `bundle [<id>] [--json]`: flight-recorder diagnostics. Without
+    /// an id, list every frozen bundle; with one, render that bundle's
+    /// full diagnostic (trigger, profile slice, contention table,
+    /// recent traces, metrics delta).
+    fn bundle(&self, args: &[&str]) -> Result<String, CliError> {
+        let json = args.contains(&"--json");
+        let ids: Vec<&&str> = args.iter().filter(|a| **a != "--json").collect();
+        match ids.as_slice() {
+            [] => {
+                let bundles = self.service.flight_bundles();
+                if bundles.is_empty() {
+                    return Ok("no flight-recorder bundles frozen\n".into());
+                }
+                if json {
+                    let docs: Vec<_> = bundles.iter().map(|b| b.to_json()).collect();
+                    return Ok(serde_json::to_string_pretty(&docs).expect("bundles serialize"));
+                }
+                let mut out = String::new();
+                for b in &bundles {
+                    out.push_str(&format!("bundle {}  {}\n", b.id, b.trigger.summary()));
+                }
+                Ok(out)
+            }
+            [id] => {
+                let id: u64 = id.parse().map_err(|_| format!("not a bundle id: {id}"))?;
+                let bundle = self
+                    .service
+                    .flight_bundle(id)
+                    .ok_or_else(|| format!("no bundle {id}"))?;
+                if json {
+                    Ok(serde_json::to_string_pretty(&bundle.to_json()).expect("bundle serializes"))
+                } else {
+                    Ok(bundle.render_text())
+                }
+            }
+            other => Err(format!(
+                "usage: dlhub bundle [<id>] [--json] (got: {})",
+                other
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
             )),
         }
     }
@@ -493,6 +576,77 @@ mod tests {
         assert!(slo.contains("state ok"), "{slo}");
         assert!(cli.execute(&dir.0, &["analyze", "0xdeadbeef"]).is_err());
         assert!(cli.execute(&dir.0, &["analyze", "nope"]).is_err());
+    }
+
+    #[test]
+    fn profile_contention_and_bundle_commands() {
+        let hub = TestHub::builder()
+            .without_eval_servables()
+            .config(dlhub_core::serving::ServingConfig {
+                profile_hz: 199,
+                recorder_capacity: 4,
+                ..Default::default()
+            })
+            .build();
+        let cli = cli(&hub);
+        let dir = TempDir::new("flight");
+        cli.execute(&dir.0, &["init", "echo"]).unwrap();
+        cli.execute(&dir.0, &["publish"]).unwrap();
+        for _ in 0..10 {
+            cli.execute(&dir.0, &["run", "\"hi\""]).unwrap();
+        }
+        // Give the background sampler a few periods to observe.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let prof = cli.execute(&dir.0, &["profile"]).unwrap();
+        assert!(prof.contains(';'), "no collapsed stacks:\n{prof}");
+        let prof_json = cli.execute(&dir.0, &["profile", "--json"]).unwrap();
+        assert!(prof_json.contains("\"stacks\""), "{prof_json}");
+        assert!(cli.execute(&dir.0, &["profile", "--bogus"]).is_err());
+        // The contention table renders whether or not anything waited.
+        let contention = cli.execute(&dir.0, &["contention"]).unwrap();
+        assert!(contention.contains("site"), "{contention}");
+        // No failure yet: nothing frozen.
+        let empty = cli.execute(&dir.0, &["bundle"]).unwrap();
+        assert!(empty.contains("no flight-recorder bundles"), "{empty}");
+        // A terminal async failure freezes a bundle the CLI can fetch.
+        hub.publish_simple(
+            "boom",
+            dlhub_core::servable::ModelType::PythonFunction,
+            dlhub_core::servable::servable_fn(|_| Err("exploded".into())),
+        );
+        let handle = hub
+            .service
+            .run_async(&hub.token, "dlhub/boom", Value::Null)
+            .unwrap();
+        handle.wait(std::time::Duration::from_secs(5));
+        let list = cli.execute(&dir.0, &["bundle"]).unwrap();
+        assert!(list.contains("dlhub/boom"), "{list}");
+        let id = list
+            .split_whitespace()
+            .nth(1)
+            .expect("bundle id in listing");
+        let text = cli.execute(&dir.0, &["bundle", id]).unwrap();
+        assert!(text.contains("task_failed"), "{text}");
+        let json = cli.execute(&dir.0, &["bundle", id, "--json"]).unwrap();
+        assert!(json.contains("\"trigger\""), "{json}");
+        assert!(cli.execute(&dir.0, &["bundle", "999999"]).is_err());
+        assert!(cli.execute(&dir.0, &["bundle", "nope"]).is_err());
+    }
+
+    #[test]
+    fn stats_delta_shows_only_the_new_window() {
+        let hub = TestHub::builder().without_eval_servables().build();
+        let cli = cli(&hub);
+        let dir = TempDir::new("delta");
+        cli.execute(&dir.0, &["init", "echo"]).unwrap();
+        cli.execute(&dir.0, &["publish"]).unwrap();
+        cli.execute(&dir.0, &["run", "\"hi\""]).unwrap();
+        let first = cli.execute(&dir.0, &["stats", "--delta"]).unwrap();
+        assert!(first.contains("requests 1"), "{first}");
+        // Quiet window: the previous request must not be re-reported.
+        let quiet = cli.execute(&dir.0, &["stats", "--delta"]).unwrap();
+        assert!(!quiet.contains("requests 1"), "{quiet}");
+        assert!(cli.execute(&dir.0, &["stats", "--nope"]).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::value::Value;
 use crossbeam::channel;
 use dlhub_container::{Cluster, Digest, PodSpec};
 use dlhub_fault::{site, FaultHandle, FaultKind};
-use dlhub_obs::{Counter, Gauge, Obs, Registry, SpanRecord, TraceContext};
+use dlhub_obs::{Counter, Gauge, Obs, ProfilerHandle, SpanRecord, TraceContext};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -153,6 +153,9 @@ impl Default for HealthPolicy {
 struct HealthMetrics {
     quarantined: Arc<Gauge>,
     restarts: Arc<Counter>,
+    /// Replica threads mark `replica.execute` frames while running
+    /// user code, so profiler samples attribute worker CPU.
+    profiler: ProfilerHandle,
 }
 
 struct Pool {
@@ -187,6 +190,7 @@ impl Pool {
                         // surfaced as an execution error.
                         let mut strikes = 0u32;
                         while let Ok(job) = rx.recv() {
+                            let _frame = metrics.get().map(|m| m.profiler.frame("replica.execute"));
                             let start = Instant::now();
                             let start_ns = dlhub_obs::now_ns();
                             let injected = faults.decide(site::REPLICA);
@@ -338,12 +342,15 @@ impl ParslExecutor {
     }
 
     /// Register this executor's health metrics (`replicas_quarantined`
-    /// gauge, `replica_restarts_total` counter) with a shared registry.
-    /// Idempotent; replicas report nothing until this is called.
-    pub fn attach_obs(&self, registry: &Registry) {
+    /// gauge, `replica_restarts_total` counter) with a shared
+    /// observability handle, and mark replica work with profiler
+    /// frames. Idempotent; replicas report nothing until this is
+    /// called.
+    pub fn attach_obs(&self, obs: &Obs) {
         let _ = self.metrics.set(HealthMetrics {
-            quarantined: registry.gauge("replicas_quarantined"),
-            restarts: registry.counter("replica_restarts_total"),
+            quarantined: obs.metrics.gauge("replicas_quarantined"),
+            restarts: obs.metrics.counter("replica_restarts_total"),
+            profiler: obs.profile.clone(),
         });
     }
 

@@ -184,8 +184,8 @@ impl TestHubBuilder {
         // same tracer and registry, so one request yields one trace
         // tree spanning all tiers.
         let obs = dlhub_obs::Obs::new();
-        broker.attach_obs(&obs.metrics);
-        parsl.attach_obs(&obs.metrics);
+        broker.attach_obs(&obs);
+        parsl.attach_obs(&obs);
         // The task topic must exist with its chaos-tuned lease before
         // any Task Manager binds a consumer to it.
         if let Some(topic_config) = self.task_topic_config {
@@ -204,7 +204,7 @@ impl TestHubBuilder {
                 executors.push(Arc::clone(&parsl) as Arc<dyn Executor>);
             } else {
                 let extra = make_parsl(&cluster);
-                extra.attach_obs(&obs.metrics);
+                extra.attach_obs(&obs);
                 executors.push(extra as Arc<dyn Executor>);
             }
             task_managers.push(TaskManager::start_with_faults(

@@ -19,7 +19,10 @@ use crate::task_manager::{TmRegistration, REGISTRATION_TOPIC};
 use crate::value::Value;
 use dlhub_auth::{Scope, Token};
 use dlhub_fault::{site, FaultHandle};
-use dlhub_obs::{Gauge, MetricsSnapshot, Obs, SloSpec, TraceAnalysis, TraceContext, TraceExport};
+use dlhub_obs::{
+    Bundle, ContentionSnapshot, Gauge, MetricsSnapshot, Obs, ProfileReport, SloSpec, TraceAnalysis,
+    TraceContext, TraceExport,
+};
 use dlhub_queue::{Broker, RpcClient};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -75,6 +78,16 @@ pub struct ServingConfig {
     /// state surface in [`MetricsSnapshot`] (`slos`), the Prometheus
     /// exposition, and `slo_alert` trace events.
     pub slos: Vec<SloSpec>,
+    /// Continuous-profiler sampling rate in Hz. 0 (the default) leaves
+    /// the profiler disabled: hot-path frame marks stay a single
+    /// relaxed atomic load and no sampler thread is spawned.
+    pub profile_hz: u32,
+    /// Flight-recorder bundle capacity. 0 (the default) leaves the
+    /// recorder disabled; otherwise an SLO firing transition or a
+    /// terminal task failure freezes a diagnostic bundle (profile
+    /// slice, contention table, recent traces, metrics delta) into a
+    /// ring of this many bundles.
+    pub recorder_capacity: usize,
 }
 
 impl Default for ServingConfig {
@@ -94,6 +107,8 @@ impl Default for ServingConfig {
             adaptive_batching: false,
             async_workers: 4,
             slos: Vec::new(),
+            profile_hz: 0,
+            recorder_capacity: 0,
         }
     }
 }
@@ -236,6 +251,10 @@ pub struct ManagementService {
     broker: Broker,
     config: ServingConfig,
     obs: Obs,
+    /// Baseline for [`Self::metrics_delta`]: the snapshot taken at the
+    /// previous delta call (or construction), so consecutive deltas
+    /// exactly partition the metric history.
+    delta_baseline: Mutex<MetricsSnapshot>,
 }
 
 impl ManagementService {
@@ -257,11 +276,23 @@ impl ManagementService {
     ) -> Arc<Self> {
         broker.ensure_topic(&config.task_topic);
         broker.ensure_topic(REGISTRATION_TOPIC);
+        // Enable the observability extras before the SLO trackers and
+        // RPC client are built, so the recorder sees every firing and
+        // the client's contention site exists from the first dispatch.
+        if config.profile_hz > 0 {
+            obs.enable_profiler(config.profile_hz);
+        }
+        if config.recorder_capacity > 0 {
+            obs.enable_recorder(config.recorder_capacity);
+        }
         for spec in &config.slos {
             obs.register_slo(spec.clone());
         }
+        let rpc = RpcClient::connect(broker, &config.task_topic);
+        rpc.attach_obs(&obs);
+        broker.attach_obs(&obs);
         Arc::new(ManagementService {
-            rpc: RpcClient::connect(broker, &config.task_topic),
+            rpc,
             memo: MemoCache::new(config.memo_capacity)
                 .attach_obs(&obs)
                 .attach_faults(config.faults.clone()),
@@ -279,6 +310,7 @@ impl ManagementService {
             broker: broker.clone(),
             repo,
             config,
+            delta_baseline: Mutex::new(obs.snapshot()),
             obs,
         })
     }
@@ -297,6 +329,42 @@ impl ManagementService {
     /// Prometheus text exposition of the current metrics snapshot.
     pub fn render_prometheus(&self) -> String {
         self.metrics_snapshot().render_prometheus()
+    }
+
+    /// Everything that changed since the previous call (or since
+    /// construction, on the first call): counters, histogram mass, and
+    /// contention waits as differences; gauges as signed deltas.
+    /// Consecutive calls exactly partition the metric history, so an
+    /// operator can watch `dlhub stats --delta` like `iostat`.
+    pub fn metrics_delta(&self) -> MetricsSnapshot {
+        let current = self.obs.snapshot();
+        let mut baseline = self.delta_baseline.lock();
+        let delta = current.delta_since(&baseline);
+        *baseline = current;
+        delta
+    }
+
+    /// The continuous profiler's collapsed-stack aggregates, or `None`
+    /// while the profiler is disabled ([`ServingConfig::profile_hz`] 0
+    /// and no manual [`Obs::enable_profiler`] call).
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.obs.profile.report()
+    }
+
+    /// Ranked lock/park contention sites (highest total wait first).
+    pub fn contention_snapshot(&self) -> Vec<ContentionSnapshot> {
+        self.obs.contention.snapshot()
+    }
+
+    /// Flight-recorder bundles frozen so far, oldest first. Empty while
+    /// the recorder is disabled ([`ServingConfig::recorder_capacity`] 0).
+    pub fn flight_bundles(&self) -> Vec<Arc<Bundle>> {
+        self.obs.recorder.bundles()
+    }
+
+    /// One flight-recorder bundle by id.
+    pub fn flight_bundle(&self, id: u64) -> Option<Arc<Bundle>> {
+        self.obs.recorder.bundle(id)
     }
 
     /// Collect and export spans, optionally restricted to one trace id
@@ -414,6 +482,7 @@ impl ManagementService {
         trace: Option<TraceContext>,
         deadline: Option<Duration>,
     ) -> Result<(Vec<Value>, Vec<Duration>, Duration), DlhubError> {
+        let _frame = self.obs.profile.frame("serving.execute_remote");
         let deadline = Instant::now() + deadline.unwrap_or(self.config.request_deadline);
         let request = TaskRequest {
             task_id: next_task_id(),
@@ -537,6 +606,7 @@ impl ManagementService {
         options: &RunOptions,
         parent: Option<TraceContext>,
     ) -> Result<RunResult, DlhubError> {
+        let _frame = self.obs.profile.frame("serving.run");
         let started = Instant::now();
         let mut span = match parent {
             Some(p) => self.obs.tracer.start_child(p, "request"),
@@ -598,6 +668,7 @@ impl ManagementService {
             .unwrap_or_else(|| self.memo_enabled.load(Ordering::Relaxed));
         let key = MemoKey::new(id, &input);
         if memoize {
+            let _frame = self.obs.profile.frame("serving.memo_lookup");
             let lookup_started = Instant::now();
             let mut lookup_span = self.obs.tracer.start_child(ctx, "memo_lookup");
             lookup_span.attr("servable", id);
@@ -729,6 +800,7 @@ impl ManagementService {
                         sizing,
                         self.config.batch_delay,
                         Arc::new(move |inputs: Vec<Value>| {
+                            let _frame = service.obs.profile.frame("serving.batch_flush");
                             // One flush = one task: trace it as its own
                             // root and record the coalesced size.
                             let mut span = service.obs.tracer.start_root("batch_flush");
@@ -795,6 +867,7 @@ impl ManagementService {
         // No thread is spawned per request: the job joins the injector
         // queue and one of the `async_workers` pool threads runs it.
         self.async_pool.submit(Box::new(move || {
+            let _frame = service.obs.profile.frame("serving.async_worker");
             let mut span = span;
             let series = service.obs.metrics.series(&servable);
             series.requests.inc();
@@ -813,6 +886,16 @@ impl ManagementService {
                     Err(e) => {
                         series.errors.inc();
                         span.attr("error", e.to_string());
+                        // A terminal failure is exactly the moment an
+                        // operator wants the recent past preserved:
+                        // freeze a flight-recorder bundle (no-op while
+                        // the recorder is disabled).
+                        service.obs.recorder.task_failed(
+                            &task_id,
+                            &servable,
+                            e.attempts(),
+                            &e.to_string(),
+                        );
                         TaskStatus::Failed {
                             attempts: e.attempts(),
                             last_error: e.to_string(),
@@ -1605,6 +1688,107 @@ mod tests {
         assert_eq!(analysis.kind, "request");
         assert_eq!(analysis.stage_sum(), analysis.total_ns);
         assert!(hub.service.analyze_trace(0xdead_beef).is_none());
+    }
+
+    #[test]
+    fn metrics_delta_partitions_the_counter_history() {
+        let hub = TestHub::builder().memo(false).build();
+        hub.service
+            .run(&hub.token, "dlhub/noop", Value::Null)
+            .unwrap();
+        let counter = |snap: &MetricsSnapshot, name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let first = hub.service.metrics_delta();
+        assert_eq!(counter(&first, "tm_tasks_total"), 1);
+        // Nothing happened since: the next window is empty.
+        let quiet = hub.service.metrics_delta();
+        assert_eq!(counter(&quiet, "tm_tasks_total"), 0);
+        hub.service
+            .run(&hub.token, "dlhub/noop", Value::Null)
+            .unwrap();
+        hub.service
+            .run(&hub.token, "dlhub/noop", Value::Null)
+            .unwrap();
+        // The delta reports only the new window, not the running total.
+        let next = hub.service.metrics_delta();
+        assert_eq!(counter(&next, "tm_tasks_total"), 2);
+    }
+
+    #[test]
+    fn profiler_knob_samples_the_serving_path() {
+        let hub = TestHub::builder()
+            .memo(false)
+            .config(ServingConfig {
+                profile_hz: 199,
+                ..ServingConfig::default()
+            })
+            .build();
+        for i in 0..20 {
+            hub.service
+                .run(&hub.token, "dlhub/noop", Value::Int(i))
+                .unwrap();
+        }
+        // The sampler collects on its own clock; give it a few periods.
+        std::thread::sleep(Duration::from_millis(60));
+        let report = hub.service.profile_report().expect("profiler enabled");
+        assert!(report.total_samples > 0, "sampler never ticked");
+        // Per-thread counts must sum to the sampler's own total.
+        let per_thread: u64 = report.threads.iter().map(|t| t.samples).sum();
+        assert_eq!(per_thread, report.total_samples);
+        // Default config never enables the profiler.
+        let plain = TestHub::builder().memo(false).build();
+        assert!(plain.service.profile_report().is_none());
+    }
+
+    #[test]
+    fn terminal_task_failure_freezes_a_flight_bundle() {
+        let hub = TestHub::builder()
+            .without_eval_servables()
+            .memo(false)
+            .config(ServingConfig {
+                recorder_capacity: 4,
+                ..ServingConfig::default()
+            })
+            .build();
+        hub.publish_simple(
+            "boom",
+            ModelType::PythonFunction,
+            servable_fn(|_| Err("exploded".into())),
+        );
+        let handle = hub
+            .service
+            .run_async(&hub.token, "dlhub/boom", Value::Null)
+            .unwrap();
+        assert!(matches!(
+            handle.wait(Duration::from_secs(5)),
+            TaskStatus::Failed { .. }
+        ));
+        let bundles = hub.service.flight_bundles();
+        assert_eq!(bundles.len(), 1);
+        let bundle = &bundles[0];
+        assert_eq!(bundle.trigger.kind(), "task_failed");
+        assert!(bundle.trigger.summary().contains("dlhub/boom"));
+        assert!(hub.service.flight_bundle(bundle.id).is_some());
+        // A successful async run does not freeze anything further.
+        hub.publish_simple(
+            "fine",
+            ModelType::PythonFunction,
+            servable_fn(|v| Ok(v.clone())),
+        );
+        let ok = hub
+            .service
+            .run_async(&hub.token, "dlhub/fine", Value::Null)
+            .unwrap();
+        assert!(matches!(
+            ok.wait(Duration::from_secs(5)),
+            TaskStatus::Completed(_)
+        ));
+        assert_eq!(hub.service.flight_bundles().len(), 1);
     }
 
     #[test]

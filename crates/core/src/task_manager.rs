@@ -238,6 +238,7 @@ fn handle(
     obs: &Obs,
     info: Option<&dlhub_queue::RequestInfo>,
 ) -> TaskResponse {
+    let _frame = obs.profile.frame("tm.handle");
     let request = match TaskRequest::from_bytes(raw) {
         Ok(r) => r,
         Err(e) => {
@@ -260,6 +261,11 @@ fn handle(
         if let Some(info) = info {
             s.attr("queue_wait_ns", info.queue_wait.as_nanos().to_string());
             s.attr("delivery_attempts", info.attempts.to_string());
+            // Redelivered tasks had `enqueued_at` re-stamped by the
+            // broker, so `queue_wait_ns` covers only the latest
+            // residency; flag them so attribution tooling knows the
+            // earlier residencies live on the prior delivery's span.
+            s.attr("redelivered", (info.attempts > 1).to_string());
         }
     }
     let ctx = span.as_ref().map(|s| s.ctx());

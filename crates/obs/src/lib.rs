@@ -23,17 +23,23 @@
 mod ring;
 
 pub mod analyze;
+pub mod contention;
 pub mod metrics;
+pub mod profile;
+pub mod recorder;
 pub mod slo;
 pub mod trace;
 
 pub use analyze::{
     aggregate_stages, analyze, analyze_all, render_stages, RequestBreakdown, Stage, TraceAnalysis,
 };
+pub use contention::{render_contention, ContentionRegistry, ContentionSite, ContentionSnapshot};
 pub use metrics::{
     escape_label, BucketSnapshot, Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot,
     Registry, ServableSeries, ServableSnapshot,
 };
+pub use profile::{CollapsedStack, FrameGuard, ProfileReport, ProfilerHandle, ThreadSamples};
+pub use recorder::{Bundle, BundleTrigger, FlightRecorder, RecorderEvent, RecorderSources};
 pub use slo::{SloRegistry, SloSnapshot, SloSpec, SloTracker};
 pub use trace::{now_ns, SpanHandle, SpanRecord, TraceContext, TraceExport, Tracer};
 
@@ -51,6 +57,14 @@ pub struct Obs {
     pub metrics: Registry,
     /// Per-servable SLO burn-rate trackers.
     pub slo: SloRegistry,
+    /// Wall-clock sampling profiler (disabled until
+    /// [`enable_profiler`](Obs::enable_profiler)).
+    pub profile: ProfilerHandle,
+    /// Named park/wait sites across the stack.
+    pub contention: ContentionRegistry,
+    /// Alert-triggered diagnostic bundles (disabled until
+    /// [`enable_recorder`](Obs::enable_recorder)).
+    pub recorder: FlightRecorder,
 }
 
 impl Obs {
@@ -59,15 +73,40 @@ impl Obs {
         Obs::default()
     }
 
+    /// Start the sampling profiler at `hz` samples per second (`0`
+    /// enables manual-sampling mode for deterministic tests). Reaches
+    /// every clone of this handle, including ones distributed before
+    /// the call. Returns whether this call did the enabling.
+    pub fn enable_profiler(&self, hz: u32) -> bool {
+        self.profile.enable(hz)
+    }
+
+    /// Arm the flight recorder with room for `capacity` bundles,
+    /// snapshotting this handle's tracer, metrics, contention table
+    /// and profiler on every trigger. Returns whether this call did
+    /// the arming.
+    pub fn enable_recorder(&self, capacity: usize) -> bool {
+        self.recorder.enable(
+            capacity,
+            RecorderSources {
+                tracer: self.tracer.clone(),
+                metrics: self.metrics.clone(),
+                contention: self.contention.clone(),
+                profiler: self.profile.clone(),
+            },
+        )
+    }
+
     /// Install an SLO for a servable, wiring its alert transitions into
-    /// this handle's tracer and registry (`slo_alerts_fired_total`,
-    /// `slo_alerts_active`).
+    /// this handle's tracer, registry (`slo_alerts_fired_total`,
+    /// `slo_alerts_active`) and flight recorder.
     pub fn register_slo(&self, spec: SloSpec) {
-        self.slo.register(
+        self.slo.register_with_recorder(
             spec,
             self.tracer.clone(),
             self.metrics.counter("slo_alerts_fired_total"),
             self.metrics.gauge("slo_alerts_active"),
+            self.recorder.clone(),
         );
     }
 
@@ -84,6 +123,7 @@ impl Obs {
         let mut snap = self.metrics.snapshot();
         snap.spans_dropped = self.tracer.dropped();
         snap.slos = self.slo.snapshot();
+        snap.contention = self.contention.snapshot();
         snap
     }
 }
@@ -122,6 +162,35 @@ mod tests {
         assert_eq!(obs.metrics.gauge("slo_alerts_active").get(), 1);
         assert_eq!(obs.tracer.export(None).named("slo_alert").len(), 1);
         assert_eq!(snap.spans_dropped, 0);
+    }
+
+    #[test]
+    fn slo_firing_freezes_a_flight_recorder_bundle() {
+        let obs = Obs::new();
+        obs.enable_recorder(4);
+        obs.register_slo(
+            SloSpec::new("dlhub/echo", Duration::from_millis(1))
+                .latency_objective(0.9)
+                .windows(Duration::from_millis(200), Duration::from_secs(2)),
+        );
+        obs.contention
+            .site("broker.ring.park:tasks")
+            .record(Duration::from_micros(120));
+        for _ in 0..50 {
+            obs.observe_slo("dlhub/echo", Duration::from_millis(50), true);
+        }
+        let bundles = obs.recorder.bundles();
+        assert_eq!(bundles.len(), 1, "one firing transition, one bundle");
+        let bundle = &bundles[0];
+        assert_eq!(bundle.trigger.kind(), "slo_firing");
+        assert!(bundle.trigger.summary().contains("dlhub/echo"));
+        assert!(bundle
+            .contention
+            .iter()
+            .any(|c| c.name == "broker.ring.park:tasks"));
+        // The snapshot carries the contention table too.
+        let snap = obs.snapshot();
+        assert_eq!(snap.contention.len(), 1);
     }
 
     #[test]

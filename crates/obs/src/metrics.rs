@@ -410,7 +410,16 @@ impl Registry {
             servables,
             spans_dropped: 0,
             slos: Vec::new(),
+            contention: Vec::new(),
         }
+    }
+
+    /// Snapshot the registry and subtract `baseline`, yielding the
+    /// activity *between* the two points — the primitive behind
+    /// `dlhub stats --delta` and flight-recorder metric deltas. See
+    /// [`MetricsSnapshot::delta_since`] for the exact semantics.
+    pub fn snapshot_since(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        self.snapshot().delta_since(baseline)
     }
 }
 
@@ -453,6 +462,9 @@ pub struct MetricsSnapshot {
     pub spans_dropped: u64,
     /// Per-servable SLO state (filled by [`crate::Obs::snapshot`]).
     pub slos: Vec<crate::slo::SloSnapshot>,
+    /// Named contention sites ranked by total wait time (filled by
+    /// [`crate::Obs::snapshot`]).
+    pub contention: Vec<crate::contention::ContentionSnapshot>,
 }
 
 /// Escape a label value for the Prometheus text exposition format:
@@ -503,6 +515,170 @@ impl MetricsSnapshot {
             && self.servables.is_empty()
     }
 
+    /// The activity between `baseline` (taken earlier) and `self`:
+    /// counters, histogram counts/sums, servable traffic, contention
+    /// waits and dropped spans become differences; gauges become
+    /// level changes (possibly negative). Monotonic fields saturate at
+    /// zero if the baseline somehow ran ahead. Histogram quantiles are
+    /// *not* re-derivable from two summaries, so the delta keeps the
+    /// current quantiles with the delta'd count/sum/mean; SLO state is
+    /// point-in-time and is carried over unchanged.
+    pub fn delta_since(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        fn base_u64(pairs: &[(String, u64)], name: &str) -> u64 {
+            pairs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        }
+        fn summary_delta(
+            current: &HistogramSummary,
+            baseline: Option<&HistogramSummary>,
+        ) -> HistogramSummary {
+            let (bcount, bsum) = baseline.map(|b| (b.count, b.sum)).unwrap_or((0, 0));
+            let count = current.count.saturating_sub(bcount);
+            let sum = current.sum.saturating_sub(bsum);
+            HistogramSummary {
+                count,
+                sum,
+                mean: sum.checked_div(count).unwrap_or(0),
+                ..*current
+            }
+        }
+        fn opt_summary_delta(
+            current: &Option<HistogramSummary>,
+            baseline: &Option<HistogramSummary>,
+        ) -> Option<HistogramSummary> {
+            current
+                .as_ref()
+                .map(|c| summary_delta(c, baseline.as_ref()))
+        }
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), v.saturating_sub(base_u64(&baseline.counters, n))))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(n, v)| {
+                let base = baseline
+                    .gauges
+                    .iter()
+                    .find(|(bn, _)| bn == n)
+                    .map(|(_, bv)| *bv)
+                    .unwrap_or(0);
+                (n.clone(), v - base)
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(n, s)| {
+                let base = baseline
+                    .histograms
+                    .iter()
+                    .find(|(bn, _)| bn == n)
+                    .map(|(_, bs)| bs);
+                (n.clone(), summary_delta(s, base))
+            })
+            .filter(|(_, s)| s.count > 0)
+            .collect();
+        let servables = self
+            .servables
+            .iter()
+            .map(|(name, s)| {
+                let base = baseline
+                    .servables
+                    .iter()
+                    .find(|(bn, _)| bn == name)
+                    .map(|(_, bs)| bs);
+                let bucket_base = |bound: u64| {
+                    base.map(|b| {
+                        b.request_latency_buckets
+                            .iter()
+                            .find(|bb| bb.bound == bound)
+                            .map(|bb| bb.count)
+                            .unwrap_or(0)
+                    })
+                    .unwrap_or(0)
+                };
+                let snapshot = ServableSnapshot {
+                    requests: s
+                        .requests
+                        .saturating_sub(base.map(|b| b.requests).unwrap_or(0)),
+                    cache_hits: s
+                        .cache_hits
+                        .saturating_sub(base.map(|b| b.cache_hits).unwrap_or(0)),
+                    errors: s.errors.saturating_sub(base.map(|b| b.errors).unwrap_or(0)),
+                    request_latency: opt_summary_delta(
+                        &s.request_latency,
+                        &base.and_then(|b| b.request_latency),
+                    ),
+                    request_latency_buckets: s
+                        .request_latency_buckets
+                        .iter()
+                        .map(|b| BucketSnapshot {
+                            bound: b.bound,
+                            count: b.count.saturating_sub(bucket_base(b.bound)),
+                            exemplars: b.exemplars.clone(),
+                        })
+                        .filter(|b| b.count > 0)
+                        .collect(),
+                    invocation_latency: opt_summary_delta(
+                        &s.invocation_latency,
+                        &base.and_then(|b| b.invocation_latency),
+                    ),
+                    inference_latency: opt_summary_delta(
+                        &s.inference_latency,
+                        &base.and_then(|b| b.inference_latency),
+                    ),
+                    batch_sizes: opt_summary_delta(
+                        &s.batch_sizes,
+                        &base.and_then(|b| b.batch_sizes),
+                    ),
+                };
+                (name.clone(), snapshot)
+            })
+            .collect();
+        let contention = self
+            .contention
+            .iter()
+            .map(|site| {
+                let base = baseline.contention.iter().find(|b| b.name == site.name);
+                crate::contention::ContentionSnapshot {
+                    name: site.name.clone(),
+                    waits: site
+                        .waits
+                        .saturating_sub(base.map(|b| b.waits).unwrap_or(0)),
+                    wait_ns: site
+                        .wait_ns
+                        .saturating_sub(base.map(|b| b.wait_ns).unwrap_or(0)),
+                    buckets: site
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| {
+                            c.saturating_sub(
+                                base.and_then(|b| b.buckets.get(i).copied()).unwrap_or(0),
+                            )
+                        })
+                        .collect(),
+                }
+            })
+            .filter(|site| site.waits > 0)
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            servables,
+            spans_dropped: self.spans_dropped.saturating_sub(baseline.spans_dropped),
+            slos: self.slos.clone(),
+            contention,
+        }
+    }
+
     /// JSON form (latencies in nanoseconds) embedded in `BENCH_*.json`
     /// artifacts.
     pub fn to_json(&self) -> Value {
@@ -547,6 +723,7 @@ impl MetricsSnapshot {
             })
             .collect();
         let slos: Vec<Value> = self.slos.iter().map(|s| s.to_json()).collect();
+        let contention: Vec<Value> = self.contention.iter().map(|s| s.to_json()).collect();
         json!({
             "counters": Value::Array(counters),
             "gauges": Value::Array(gauges),
@@ -554,6 +731,7 @@ impl MetricsSnapshot {
             "servables": Value::Array(servables),
             "spans_dropped": self.spans_dropped,
             "slos": Value::Array(slos),
+            "contention": Value::Array(contention),
         })
     }
 
@@ -675,6 +853,37 @@ impl MetricsSnapshot {
                 "dlhub_slo_alerts_fired_total{{servable=\"{servable}\"}} {}\n",
                 slo.alerts_fired
             ));
+        }
+        if !self.contention.is_empty() {
+            out.push_str("# TYPE dlhub_contention_waits_total counter\n");
+            out.push_str("# TYPE dlhub_contention_wait_seconds_total counter\n");
+            for site in &self.contention {
+                let name = escape_label(&site.name);
+                out.push_str(&format!(
+                    "dlhub_contention_waits_total{{site=\"{name}\"}} {}\n",
+                    site.waits
+                ));
+                out.push_str(&format!(
+                    "dlhub_contention_wait_seconds_total{{site=\"{name}\"}} {:.9}\n",
+                    secs(site.wait_ns)
+                ));
+                // Cumulative log2 wait-time buckets, elided when empty.
+                let mut cumulative = 0u64;
+                for (idx, &count) in site.buckets.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    cumulative += count;
+                    let le = if idx >= site.buckets.len() - 1 {
+                        "+Inf".to_string()
+                    } else {
+                        format!("{:.9}", secs((1u64 << idx) - 1))
+                    };
+                    out.push_str(&format!(
+                        "dlhub_contention_wait_seconds_bucket{{site=\"{name}\",le=\"{le}\"}} {cumulative}\n",
+                    ));
+                }
+            }
         }
         out
     }
@@ -891,6 +1100,81 @@ mod tests {
         assert!(j.contains("\"request_latency_buckets\""), "{j}");
         assert!(j.contains("\"exemplars\":[42]"), "{j}");
         assert!(j.contains("\"spans_dropped\":0"), "{j}");
+    }
+
+    #[test]
+    fn snapshot_since_yields_only_the_activity_between_points() {
+        let reg = Registry::new();
+        reg.counter("requests_total").add(10);
+        reg.gauge("depth").set(4);
+        let series = reg.series("dlhub/echo");
+        series.requests.add(10);
+        series.cache_hits.add(5);
+        series.request_latency.record(1_000);
+        let baseline = reg.snapshot();
+
+        reg.counter("requests_total").add(7);
+        reg.counter("born_after_baseline").add(3);
+        reg.gauge("depth").set(1);
+        series.requests.add(2);
+        series.request_latency.record(2_000);
+        series.request_latency.record(2_000);
+
+        let delta = reg.snapshot_since(&baseline);
+        let counter = |name: &str| {
+            delta
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("requests_total"), Some(7));
+        assert_eq!(counter("born_after_baseline"), Some(3));
+        assert_eq!(delta.gauges, vec![("depth".to_string(), -3)]);
+        let (_, s) = &delta.servables[0];
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.cache_hits, 0);
+        let lat = s.request_latency.unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.sum, 4_000);
+        assert_eq!(lat.mean, 2_000);
+        // Bucket deltas drop the baseline-only bucket entirely.
+        assert_eq!(s.request_latency_buckets.len(), 1);
+        assert_eq!(s.request_latency_buckets[0].count, 2);
+
+        // A delta against the current state is all zeros.
+        let now = reg.snapshot();
+        let none = reg.snapshot_since(&now);
+        assert!(none.counters.iter().all(|(_, v)| *v == 0));
+        assert!(none.histograms.is_empty());
+    }
+
+    #[test]
+    fn contention_sites_render_in_prometheus_and_json() {
+        let contention = crate::contention::ContentionRegistry::new();
+        contention
+            .site("broker.ring.park:dlhub-tasks")
+            .record(Duration::from_micros(100));
+        let mut snap = Registry::new().snapshot();
+        snap.contention = contention.snapshot();
+        let prom = snap.render_prometheus();
+        assert!(
+            prom.contains("dlhub_contention_waits_total{site=\"broker.ring.park:dlhub-tasks\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("dlhub_contention_wait_seconds_total{site=\"broker.ring.park:dlhub-tasks\"} 0.000100000"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("dlhub_contention_wait_seconds_bucket"),
+            "{prom}"
+        );
+        let j = serde_json::to_string(&snap.to_json()).unwrap();
+        assert!(
+            j.contains("\"site\":\"broker.ring.park:dlhub-tasks\""),
+            "{j}"
+        );
     }
 
     #[test]

@@ -1,0 +1,681 @@
+//! Cooperative wall-clock sampling profiler.
+//!
+//! The trace layer explains *requests* (where one request's latency
+//! went); this module explains the *system* — which code paths the
+//! worker threads are actually inside, wall-clock weighted, whether or
+//! not any request is in flight. Hot paths mark scoped frames
+//! ([`ProfilerHandle::frame`]) into a per-thread frame-path slot; a
+//! background sampler thread reads every registered thread's current
+//! path at a configurable rate and aggregates the observations into
+//! collapsed-stack (flamegraph-compatible) counts.
+//!
+//! # Cost discipline
+//!
+//! Like `dlhub-fault`, the profiler is built to vanish when disabled:
+//! [`ProfilerHandle`] wraps an `Arc<OnceLock<..>>`, so a disabled
+//! handle's [`frame`](ProfilerHandle::frame) is one atomic load and a
+//! branch — no allocation, no thread-local touch, no registration.
+//! Enabled, a frame push is a thread-local lookup, one interned-id
+//! store and two epoch stores; the sampler never blocks writers.
+//!
+//! # Frame protocol (seqlock)
+//!
+//! Each thread owns one [`ThreadSlot`]: a fixed array of frame-name
+//! ids, a depth, and an epoch counter. Only the owning thread writes
+//! (frames are scoped guards, and [`FrameGuard`] is `!Send`, so pushes
+//! and pops cannot migrate). A writer makes the slot *unstable* by
+//! bumping the epoch to an odd value, mutates depth/frames with
+//! relaxed stores behind a `Release` fence, then publishes with an
+//! even `Release` epoch store. The sampler `Acquire`-loads the epoch,
+//! copies the path, issues an `Acquire` fence and re-reads the epoch:
+//! any concurrent write changes the epoch, so a torn read can never
+//! validate. Samples that fail to stabilize after a few retries are
+//! counted against the reserved `(unstable)` frame so the per-thread
+//! sample counts still sum to the sampler's total.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde_json::{json, Value};
+
+/// Maximum recorded frame depth per thread; deeper nesting is counted
+/// under a `(truncated)` leaf rather than lost.
+const MAX_DEPTH: usize = 32;
+
+/// Reserved frame id: the sampler could not get a stable read.
+const UNSTABLE: u32 = u32::MAX;
+/// Reserved frame id: the thread was deeper than [`MAX_DEPTH`].
+const TRUNCATED: u32 = u32::MAX - 1;
+
+/// Sampler retries before giving up on a stable read of one thread.
+const SAMPLE_RETRIES: usize = 8;
+
+/// One thread's current frame path, readable by the sampler without
+/// stopping the thread. See the module docs for the seqlock protocol.
+struct ThreadSlot {
+    id: u64,
+    epoch: AtomicU64,
+    depth: AtomicUsize,
+    frames: [AtomicU32; MAX_DEPTH],
+}
+
+impl ThreadSlot {
+    fn new(id: u64) -> Self {
+        ThreadSlot {
+            id,
+            epoch: AtomicU64::new(0),
+            depth: AtomicUsize::new(0),
+            frames: std::array::from_fn(|_| AtomicU32::new(0)),
+        }
+    }
+
+    /// Owner thread only: enter a frame.
+    fn push(&self, frame: u32) {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        self.epoch.store(epoch.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        let depth = self.depth.load(Ordering::Relaxed);
+        if depth < MAX_DEPTH {
+            self.frames[depth].store(frame, Ordering::Relaxed);
+        }
+        self.depth.store(depth + 1, Ordering::Relaxed);
+        self.epoch.store(epoch.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Owner thread only: leave the innermost frame.
+    fn pop(&self) {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        self.epoch.store(epoch.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        let depth = self.depth.load(Ordering::Relaxed);
+        self.depth.store(depth.saturating_sub(1), Ordering::Relaxed);
+        self.epoch.store(epoch.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Sampler side: read a consistent frame path, or `None` when the
+    /// owner kept the slot unstable for [`SAMPLE_RETRIES`] attempts.
+    fn sample(&self) -> Option<Vec<u32>> {
+        for _ in 0..SAMPLE_RETRIES {
+            let before = self.epoch.load(Ordering::Acquire);
+            if before & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let depth = self.depth.load(Ordering::Relaxed);
+            let take = depth.min(MAX_DEPTH);
+            let mut path = Vec::with_capacity(take + 1);
+            for frame in self.frames.iter().take(take) {
+                path.push(frame.load(Ordering::Relaxed));
+            }
+            fence(Ordering::Acquire);
+            if self.epoch.load(Ordering::Relaxed) == before {
+                if depth > MAX_DEPTH {
+                    path.push(TRUNCATED);
+                }
+                return Some(path);
+            }
+        }
+        None
+    }
+}
+
+/// Interned frame names: ids are dense indices into `list`.
+#[derive(Default)]
+struct NameTable {
+    list: Vec<&'static str>,
+    index: HashMap<usize, u32>,
+}
+
+/// Registered threads plus their display labels (labels outlive the
+/// slot so samples attributed to an exited thread stay resolvable).
+#[derive(Default)]
+struct ThreadRegistry {
+    slots: Vec<Arc<ThreadSlot>>,
+    labels: HashMap<u64, String>,
+    next_id: u64,
+}
+
+struct ProfilerInner {
+    hz: u32,
+    names: Mutex<NameTable>,
+    threads: Mutex<ThreadRegistry>,
+    /// (thread id, frame path) -> observations.
+    stacks: Mutex<HashMap<(u64, Vec<u32>), u64>>,
+    total_samples: AtomicU64,
+}
+
+impl ProfilerInner {
+    fn new(hz: u32) -> Self {
+        ProfilerInner {
+            hz,
+            names: Mutex::new(NameTable::default()),
+            threads: Mutex::new(ThreadRegistry::default()),
+            stacks: Mutex::new(HashMap::new()),
+            total_samples: AtomicU64::new(0),
+        }
+    }
+
+    fn intern(&self, name: &'static str) -> u32 {
+        let mut names = self.names.lock();
+        if let Some(&id) = names.index.get(&(name.as_ptr() as usize)) {
+            return id;
+        }
+        // Distinct call sites may pass equal strings at different
+        // addresses; fold them onto one id so collapsed stacks merge.
+        if let Some(pos) = names.list.iter().position(|n| *n == name) {
+            let id = pos as u32;
+            names.index.insert(name.as_ptr() as usize, id);
+            return id;
+        }
+        let id = names.list.len() as u32;
+        names.list.push(name);
+        names.index.insert(name.as_ptr() as usize, id);
+        id
+    }
+
+    fn register_thread(&self, base: &str) -> Arc<ThreadSlot> {
+        let mut threads = self.threads.lock();
+        let id = threads.next_id;
+        threads.next_id += 1;
+        threads.labels.insert(id, format!("{base}#{id}"));
+        let slot = Arc::new(ThreadSlot::new(id));
+        threads.slots.push(Arc::clone(&slot));
+        slot
+    }
+
+    /// Take one observation of every live registered thread.
+    fn sample_once(&self) -> usize {
+        let slots: Vec<Arc<ThreadSlot>> = {
+            let mut threads = self.threads.lock();
+            // A slot whose only owner is this registry belongs to an
+            // exited thread: stop observing it (its accumulated samples
+            // and label are retained).
+            threads.slots.retain(|slot| Arc::strong_count(slot) > 1);
+            threads.slots.clone()
+        };
+        let mut stacks = self.stacks.lock();
+        for slot in &slots {
+            let path = slot.sample().unwrap_or_else(|| vec![UNSTABLE]);
+            *stacks.entry((slot.id, path)).or_insert(0) += 1;
+            self.total_samples.fetch_add(1, Ordering::Relaxed);
+        }
+        slots.len()
+    }
+
+    fn resolve(&self, id: u32, names: &NameTable) -> String {
+        match id {
+            UNSTABLE => "(unstable)".to_string(),
+            TRUNCATED => "(truncated)".to_string(),
+            id => names
+                .list
+                .get(id as usize)
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| format!("(frame-{id})")),
+        }
+    }
+
+    fn report(&self) -> ProfileReport {
+        let names = self.names.lock();
+        let labels = self.threads.lock().labels.clone();
+        let stacks_raw = self.stacks.lock();
+        let mut per_thread: HashMap<u64, u64> = HashMap::new();
+        let mut stacks = Vec::with_capacity(stacks_raw.len());
+        for ((thread, path), &count) in stacks_raw.iter() {
+            *per_thread.entry(*thread).or_insert(0) += count;
+            let label = labels
+                .get(thread)
+                .cloned()
+                .unwrap_or_else(|| format!("thread#{thread}"));
+            let frames: Vec<String> = if path.is_empty() {
+                vec!["(idle)".to_string()]
+            } else {
+                path.iter().map(|&id| self.resolve(id, &names)).collect()
+            };
+            stacks.push(CollapsedStack {
+                thread: label,
+                frames,
+                count,
+            });
+        }
+        stacks.sort_by(|a, b| (&a.thread, &a.frames).cmp(&(&b.thread, &b.frames)));
+        let mut threads: Vec<ThreadSamples> = per_thread
+            .into_iter()
+            .map(|(id, samples)| ThreadSamples {
+                thread: labels
+                    .get(&id)
+                    .cloned()
+                    .unwrap_or_else(|| format!("thread#{id}")),
+                samples,
+            })
+            .collect();
+        threads.sort_by(|a, b| a.thread.cmp(&b.thread));
+        ProfileReport {
+            hz: self.hz,
+            total_samples: self.total_samples.load(Ordering::Relaxed),
+            threads,
+            stacks,
+        }
+    }
+}
+
+/// One observed frame path and how many times the sampler saw it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollapsedStack {
+    /// Owning thread's display label (`name#id`).
+    pub thread: String,
+    /// Root-to-leaf frame names; `["(idle)"]` for an empty path.
+    pub frames: Vec<String>,
+    /// Observations of exactly this path on this thread.
+    pub count: u64,
+}
+
+/// Per-thread observation totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadSamples {
+    /// Thread display label.
+    pub thread: String,
+    /// Total samples attributed to the thread.
+    pub samples: u64,
+}
+
+/// An aggregated profile: every (thread, path) the sampler observed.
+///
+/// Invariant: `total_samples` equals both the sum of
+/// `threads[i].samples` and the sum of `stacks[i].count` — every
+/// observation lands in exactly one collapsed stack.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Configured sampling rate (0 = manual sampling only).
+    pub hz: u32,
+    /// Observations taken since enablement.
+    pub total_samples: u64,
+    /// Per-thread totals.
+    pub threads: Vec<ThreadSamples>,
+    /// Collapsed stacks, sorted by thread then path.
+    pub stacks: Vec<CollapsedStack>,
+}
+
+impl ProfileReport {
+    /// Render `thread;frame;frame count` lines — the collapsed-stack
+    /// format `flamegraph.pl` and speedscope ingest directly.
+    pub fn render_collapsed(&self) -> String {
+        let mut out = String::new();
+        for stack in &self.stacks {
+            out.push_str(&stack.thread);
+            for frame in &stack.frames {
+                out.push(';');
+                out.push_str(frame);
+            }
+            out.push(' ');
+            out.push_str(&stack.count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON for bench artifacts and the CLI `--json` flag.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "hz": self.hz,
+            "total_samples": self.total_samples,
+            "threads": self.threads.iter().map(|t| json!({
+                "thread": t.thread,
+                "samples": t.samples,
+            })).collect::<Vec<_>>(),
+            "stacks": self.stacks.iter().map(|s| json!({
+                "thread": s.thread,
+                "frames": s.frames,
+                "count": s.count,
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+struct LocalEntry {
+    key: usize,
+    inner: Weak<ProfilerInner>,
+    slot: Arc<ThreadSlot>,
+    /// Per-thread intern cache keyed by the name literal's address, so
+    /// the steady-state frame push never takes the name-table lock.
+    names: HashMap<usize, u32>,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Vec<LocalEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Cloneable handle to one deployment's profiler. Default-constructed
+/// handles are disabled and statically near-free (see module docs);
+/// [`enable`](ProfilerHandle::enable) flips every clone at once.
+#[derive(Clone, Default)]
+pub struct ProfilerHandle {
+    shared: Arc<OnceLock<Arc<ProfilerInner>>>,
+}
+
+impl ProfilerHandle {
+    /// A disabled handle (same as `default()`).
+    pub fn disabled() -> Self {
+        ProfilerHandle::default()
+    }
+
+    /// Enable profiling at `hz` samples per second; `hz == 0` skips the
+    /// background sampler (tests drive [`sample_now`](Self::sample_now)
+    /// deterministically instead). The first enable wins; returns
+    /// whether this call did the enabling.
+    pub fn enable(&self, hz: u32) -> bool {
+        let mut created = false;
+        let inner = self.shared.get_or_init(|| {
+            created = true;
+            Arc::new(ProfilerInner::new(hz))
+        });
+        if created && hz > 0 {
+            let weak = Arc::downgrade(inner);
+            let period = Duration::from_nanos(1_000_000_000 / u64::from(hz));
+            std::thread::Builder::new()
+                .name("dlhub-profile-sampler".to_string())
+                .spawn(move || loop {
+                    std::thread::sleep(period);
+                    // The profiler died with its deployment: exit.
+                    let Some(inner) = weak.upgrade() else { break };
+                    inner.sample_once();
+                })
+                .expect("spawn profiler sampler");
+        }
+        created
+    }
+
+    /// Whether any clone of this handle has been enabled.
+    pub fn enabled(&self) -> bool {
+        self.shared.get().is_some()
+    }
+
+    /// Mark a scoped frame on the current thread. Disabled: one atomic
+    /// load and a branch. Enabled: the frame is visible to the sampler
+    /// until the returned guard drops.
+    pub fn frame(&self, name: &'static str) -> FrameGuard {
+        let Some(inner) = self.shared.get() else {
+            return FrameGuard::noop();
+        };
+        let key = Arc::as_ptr(inner) as usize;
+        LOCAL
+            .try_with(|local| {
+                let mut local = local.borrow_mut();
+                // Key equality is necessary but not sufficient: a dead
+                // profiler's allocation can be reused by a live one at
+                // the same address, so a matching entry must also still
+                // hold its profiler alive.
+                let idx = match local
+                    .iter()
+                    .position(|e| e.key == key && e.inner.strong_count() > 0)
+                {
+                    Some(idx) => idx,
+                    None => {
+                        local.retain(|e| e.inner.strong_count() > 0);
+                        let base = std::thread::current()
+                            .name()
+                            .map(str::to_string)
+                            .unwrap_or_else(|| "thread".to_string());
+                        local.push(LocalEntry {
+                            key,
+                            inner: Arc::downgrade(inner),
+                            slot: inner.register_thread(&base),
+                            names: HashMap::new(),
+                        });
+                        local.len() - 1
+                    }
+                };
+                let entry = &mut local[idx];
+                let name_key = name.as_ptr() as usize;
+                let id = match entry.names.get(&name_key) {
+                    Some(&id) => id,
+                    None => {
+                        let id = inner.intern(name);
+                        entry.names.insert(name_key, id);
+                        id
+                    }
+                };
+                entry.slot.push(id);
+                FrameGuard {
+                    slot: Some(Arc::clone(&entry.slot)),
+                    _not_send: PhantomData,
+                }
+            })
+            .unwrap_or_else(|_| FrameGuard::noop())
+    }
+
+    /// Synchronously sample every registered thread once (deterministic
+    /// alternative to the background sampler). Returns the number of
+    /// threads observed; 0 when disabled.
+    pub fn sample_now(&self) -> usize {
+        match self.shared.get() {
+            Some(inner) => inner.sample_once(),
+            None => 0,
+        }
+    }
+
+    /// Total observations taken so far (0 when disabled).
+    pub fn total_samples(&self) -> u64 {
+        self.shared
+            .get()
+            .map(|inner| inner.total_samples.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Aggregated collapsed-stack report; `None` when disabled.
+    pub fn report(&self) -> Option<ProfileReport> {
+        self.shared.get().map(|inner| inner.report())
+    }
+}
+
+/// Scope guard for one profiled frame; pops the frame on drop. `!Send`
+/// so pushes and pops stay on the owning thread (the seqlock writer
+/// side is single-threaded by construction).
+pub struct FrameGuard {
+    slot: Option<Arc<ThreadSlot>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl FrameGuard {
+    fn noop() -> Self {
+        FrameGuard {
+            slot: None,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            slot.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn sum_stacks(report: &ProfileReport) -> u64 {
+        report.stacks.iter().map(|s| s.count).sum()
+    }
+
+    fn sum_threads(report: &ProfileReport) -> u64 {
+        report.threads.iter().map(|t| t.samples).sum()
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let profiler = ProfilerHandle::disabled();
+        {
+            let _a = profiler.frame("outer");
+            let _b = profiler.frame("inner");
+        }
+        assert!(!profiler.enabled());
+        assert_eq!(profiler.sample_now(), 0);
+        assert_eq!(profiler.total_samples(), 0);
+        assert!(profiler.report().is_none());
+    }
+
+    #[test]
+    fn samples_attribute_to_the_current_frame_path() {
+        let profiler = ProfilerHandle::disabled();
+        profiler.enable(0);
+        {
+            let _outer = profiler.frame("serving.run");
+            profiler.sample_now();
+            {
+                let _inner = profiler.frame("memo.get");
+                profiler.sample_now();
+                profiler.sample_now();
+            }
+            profiler.sample_now();
+        }
+        profiler.sample_now();
+        let report = profiler.report().unwrap();
+        assert_eq!(report.total_samples, 5);
+        assert_eq!(sum_stacks(&report), 5);
+        assert_eq!(sum_threads(&report), 5);
+        let count = |frames: &[&str]| {
+            report
+                .stacks
+                .iter()
+                .find(|s| s.frames == frames)
+                .map(|s| s.count)
+                .unwrap_or(0)
+        };
+        assert_eq!(count(&["serving.run"]), 2);
+        assert_eq!(count(&["serving.run", "memo.get"]), 2);
+        assert_eq!(count(&["(idle)"]), 1);
+        let collapsed = profiler.report().unwrap().render_collapsed();
+        assert!(collapsed.contains(";serving.run;memo.get 2"), "{collapsed}");
+    }
+
+    #[test]
+    fn clones_share_one_profiler_and_late_enable_reaches_old_clones() {
+        let a = ProfilerHandle::disabled();
+        let b = a.clone();
+        assert!(!b.enabled());
+        a.enable(0);
+        assert!(b.enabled());
+        let _f = b.frame("shared");
+        b.sample_now();
+        assert_eq!(a.total_samples(), 1);
+    }
+
+    #[test]
+    fn equal_names_from_different_sites_collapse_onto_one_frame() {
+        let profiler = ProfilerHandle::disabled();
+        profiler.enable(0);
+        // Same contents, different static allocations.
+        let name_a: &'static str = "same.frame";
+        let name_b: &'static str = Box::leak("same.frame".to_string().into_boxed_str());
+        {
+            let _f = profiler.frame(name_a);
+            profiler.sample_now();
+        }
+        {
+            let _f = profiler.frame(name_b);
+            profiler.sample_now();
+        }
+        let report = profiler.report().unwrap();
+        let hits: Vec<_> = report
+            .stacks
+            .iter()
+            .filter(|s| s.frames == ["same.frame"])
+            .collect();
+        assert_eq!(hits.len(), 1, "{report:?}");
+        assert_eq!(hits[0].count, 2);
+    }
+
+    #[test]
+    fn depth_overflow_truncates_without_losing_samples() {
+        let profiler = ProfilerHandle::disabled();
+        profiler.enable(0);
+        let mut guards = Vec::new();
+        for _ in 0..(MAX_DEPTH + 3) {
+            guards.push(profiler.frame("deep"));
+        }
+        profiler.sample_now();
+        drop(guards);
+        profiler.sample_now();
+        let report = profiler.report().unwrap();
+        assert_eq!(report.total_samples, 2);
+        assert_eq!(sum_stacks(&report), 2);
+        let deep = report
+            .stacks
+            .iter()
+            .find(|s| s.frames.last().map(String::as_str) == Some("(truncated)"))
+            .expect("truncated sample recorded");
+        assert_eq!(deep.frames.len(), MAX_DEPTH + 1);
+        assert_eq!(deep.count, 1);
+    }
+
+    #[test]
+    fn concurrent_sampling_never_tears_a_path() {
+        // A worker thrashes push/pop while the sampler reads; every
+        // validated sample must be a prefix of the worker's only legal
+        // stack [a, b, c] — a torn read would produce something else.
+        let profiler = ProfilerHandle::disabled();
+        profiler.enable(0);
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let profiler = profiler.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _a = profiler.frame("a");
+                    let _b = profiler.frame("b");
+                    let _c = profiler.frame("c");
+                }
+            })
+        };
+        for _ in 0..5_000 {
+            profiler.sample_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        worker.join().unwrap();
+        let report = profiler.report().unwrap();
+        assert_eq!(report.total_samples, sum_stacks(&report));
+        let legal: Vec<Vec<&str>> = vec![
+            vec!["(idle)"],
+            vec!["(unstable)"],
+            vec!["a"],
+            vec!["a", "b"],
+            vec!["a", "b", "c"],
+        ];
+        for stack in &report.stacks {
+            let frames: Vec<&str> = stack.frames.iter().map(String::as_str).collect();
+            assert!(legal.contains(&frames), "torn path sampled: {frames:?}");
+        }
+    }
+
+    #[test]
+    fn background_sampler_accumulates_and_sums() {
+        let profiler = ProfilerHandle::disabled();
+        profiler.enable(997);
+        let _f = profiler.frame("busy");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while profiler.total_samples() < 20 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sampler made no progress"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let report = profiler.report().unwrap();
+        assert!(report.total_samples >= 20);
+        assert_eq!(sum_stacks(&report), report.total_samples);
+        assert_eq!(sum_threads(&report), report.total_samples);
+        assert!(report
+            .stacks
+            .iter()
+            .any(|s| s.frames == ["busy"] && s.count > 0));
+    }
+}

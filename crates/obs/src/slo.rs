@@ -26,6 +26,7 @@ use parking_lot::RwLock;
 use serde_json::{json, Value};
 
 use crate::metrics::{Counter, Gauge};
+use crate::recorder::FlightRecorder;
 use crate::trace::{now_ns, Tracer};
 
 /// Time slices in a tracker's ring. The slow window is divided evenly
@@ -117,6 +118,7 @@ pub struct SloTracker {
     tracer: Tracer,
     fired_total: Arc<Counter>,
     active: Arc<Gauge>,
+    recorder: FlightRecorder,
 }
 
 /// Burn rates over the two windows for one objective.
@@ -128,7 +130,13 @@ struct Burn {
 }
 
 impl SloTracker {
-    fn new(spec: SloSpec, tracer: Tracer, fired_total: Arc<Counter>, active: Arc<Gauge>) -> Self {
+    fn new(
+        spec: SloSpec,
+        tracer: Tracer,
+        fired_total: Arc<Counter>,
+        active: Arc<Gauge>,
+        recorder: FlightRecorder,
+    ) -> Self {
         let slice_ns = (spec.slow_window.as_nanos() as u64 / SLICES as u64).max(1);
         SloTracker {
             spec,
@@ -139,6 +147,7 @@ impl SloTracker {
             tracer,
             fired_total,
             active,
+            recorder,
         }
     }
 
@@ -247,6 +256,15 @@ impl SloTracker {
         } else {
             "availability"
         };
+        let burn_fast = latency.fast.max(avail.fast);
+        let burn_slow = latency.slow.max(avail.slow);
+        if should_fire {
+            // The CAS winner freezes the evidence: the recorder bundles
+            // the profile slice, contention table, recent traces and
+            // metrics delta at the moment the alert transitioned.
+            self.recorder
+                .slo_firing(&self.spec.servable, objective, burn_fast, burn_slow);
+        }
         self.tracer.event(
             None,
             "slo_alert",
@@ -257,8 +275,8 @@ impl SloTracker {
                     if should_fire { "firing" } else { "resolved" }.to_string(),
                 ),
                 ("objective", objective.to_string()),
-                ("burn_fast", format!("{:.3}", latency.fast.max(avail.fast))),
-                ("burn_slow", format!("{:.3}", latency.slow.max(avail.slow))),
+                ("burn_fast", format!("{burn_fast:.3}")),
+                ("burn_slow", format!("{burn_slow:.3}")),
             ],
         );
     }
@@ -382,7 +400,33 @@ impl SloRegistry {
         fired_total: Arc<Counter>,
         active: Arc<Gauge>,
     ) -> Arc<SloTracker> {
-        let tracker = Arc::new(SloTracker::new(spec.clone(), tracer, fired_total, active));
+        self.register_with_recorder(
+            spec,
+            tracer,
+            fired_total,
+            active,
+            FlightRecorder::disabled(),
+        )
+    }
+
+    /// Like [`register`](SloRegistry::register), additionally wiring
+    /// firing transitions into a flight recorder: the CAS winner of a
+    /// `firing` transition freezes a diagnostic bundle.
+    pub fn register_with_recorder(
+        &self,
+        spec: SloSpec,
+        tracer: Tracer,
+        fired_total: Arc<Counter>,
+        active: Arc<Gauge>,
+        recorder: FlightRecorder,
+    ) -> Arc<SloTracker> {
+        let tracker = Arc::new(SloTracker::new(
+            spec.clone(),
+            tracer,
+            fired_total,
+            active,
+            recorder,
+        ));
         self.inner
             .write()
             .insert(spec.servable, Arc::clone(&tracker));
@@ -419,6 +463,7 @@ mod tests {
             tracer.clone(),
             Arc::new(Counter::new()),
             Arc::new(Gauge::new()),
+            FlightRecorder::disabled(),
         );
         (t, tracer)
     }

@@ -1,0 +1,90 @@
+//! Property test for the profiler's frame protocol: arbitrary
+//! well-nested push/pop/sample sequences, sampled deterministically,
+//! must collapse into exactly the paths that were live at each sample
+//! — never a torn, interleaved, or unbalanced path.
+
+use dlhub_obs::ProfilerHandle;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const NAMES: [&str; 5] = ["serve", "memo", "broker", "rpc", "exec"];
+
+const PUSH: u8 = 0;
+const POP: u8 = 1;
+const SAMPLE: u8 = 2;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn collapsed_stacks_are_exactly_the_live_paths(
+        ops in proptest::collection::vec((0..NAMES.len(), 0u8..3), 0..80)
+    ) {
+        let profiler = ProfilerHandle::disabled();
+        prop_assert!(profiler.enable(0));
+        // Guards drop LIFO off the end of the vec, so any op sequence
+        // is well-nested by construction — the property checks the
+        // *profiler* preserves that nesting in its samples.
+        let mut guards = Vec::new();
+        let mut path: Vec<String> = Vec::new();
+        let mut expected: HashMap<Vec<String>, u64> = HashMap::new();
+        // The thread only registers with the profiler on its first
+        // frame push; samples taken before that observe no threads.
+        let mut registered = false;
+        let sample = |path: &[String],
+                          registered: bool,
+                          expected: &mut HashMap<Vec<String>, u64>| {
+            let threads = profiler.sample_now();
+            if !registered {
+                assert_eq!(threads, 0, "sampled an unregistered thread");
+                return;
+            }
+            let key = if path.is_empty() {
+                vec!["(idle)".to_string()]
+            } else {
+                path.to_vec()
+            };
+            *expected.entry(key).or_default() += 1;
+        };
+        for (name, op) in ops {
+            match op {
+                PUSH if guards.len() < 16 => {
+                    guards.push(profiler.frame(NAMES[name]));
+                    path.push(NAMES[name].to_string());
+                    registered = true;
+                }
+                POP if guards.pop().is_some() => {
+                    path.pop();
+                }
+                SAMPLE => sample(&path, registered, &mut expected),
+                _ => {}
+            }
+        }
+        // A final sample once the stack has fully unwound: registered
+        // runs must collapse to the `(idle)` pseudo-path.
+        while guards.pop().is_some() {
+            path.pop();
+        }
+        sample(&path, registered, &mut expected);
+
+        let report = profiler.report().expect("profiler enabled");
+        let total: u64 = expected.values().sum();
+        prop_assert_eq!(report.total_samples, total);
+        // The report's own invariant: per-thread counts and per-path
+        // counts are both partitions of the sample total.
+        let thread_sum: u64 = report.threads.iter().map(|t| t.samples).sum();
+        let stack_sum: u64 = report.stacks.iter().map(|s| s.count).sum();
+        prop_assert_eq!(thread_sum, total);
+        prop_assert_eq!(stack_sum, total);
+        // Single-threaded deterministic sampling never loses a seqlock
+        // race, so no sample may degrade to the torn-read marker.
+        prop_assert!(report.stacks.iter().all(|s| s.frames != ["(unstable)"]));
+        // Exact path-by-path match: everything sampled is reported and
+        // nothing unsampled is invented.
+        let mut observed: HashMap<Vec<String>, u64> = HashMap::new();
+        for stack in &report.stacks {
+            *observed.entry(stack.frames.clone()).or_default() += stack.count;
+        }
+        prop_assert_eq!(observed, expected);
+    }
+}

@@ -9,11 +9,12 @@
 use crate::broker::{Broker, QueueError};
 use crate::message::{Message, MessageId};
 use bytes::Bytes;
+use dlhub_obs::{ContentionSite, Obs, ProfilerHandle};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// RPC-level errors.
@@ -90,6 +91,15 @@ pub struct RpcClient {
     reply_topic: Arc<str>,
     pending: Arc<PendingTable>,
     pump: Option<std::thread::JoinHandle<()>>,
+    obs: OnceLock<RpcClientObs>,
+}
+
+/// Pre-resolved observability for one client: the reply-wait
+/// contention site and the profiler whose `rpc.wait` frames mark
+/// blocked callers.
+struct RpcClientObs {
+    reply_wait: Arc<ContentionSite>,
+    profiler: ProfilerHandle,
 }
 
 static CLIENT_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -138,7 +148,20 @@ impl RpcClient {
             reply_topic,
             pending,
             pump: Some(pump),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Wire this client's reply waits into a contention site
+    /// (`rpc.reply_wait:<service>`) and its blocked callers into the
+    /// profiler. First attachment wins.
+    pub fn attach_obs(&self, obs: &Obs) {
+        let _ = self.obs.set(RpcClientObs {
+            reply_wait: obs
+                .contention
+                .site(&format!("rpc.reply_wait:{}", self.service_topic)),
+            profiler: obs.profile.clone(),
+        });
     }
 
     /// Fire a request and return a handle to await the reply.
@@ -159,21 +182,38 @@ impl RpcClient {
     }
 
     fn wait(&self, id: MessageId, deadline: Option<Instant>) -> Result<Bytes, RpcError> {
+        let _frame = self.obs.get().map(|o| o.profiler.frame("rpc.wait"));
+        // An already-arrived reply returns without looking at the
+        // clock; only blocked callers are timed.
+        let record = |waited_from: Option<Instant>| {
+            if let (Some(obs), Some(at)) = (self.obs.get(), waited_from) {
+                obs.reply_wait.record(at.elapsed());
+            }
+        };
+        let mut waited_from: Option<Instant> = None;
         let shard = self.pending.shard(id);
         let mut replies = shard.replies.lock();
         loop {
             match replies.get(&id) {
                 Some(Some(_)) => {
                     let payload = replies.remove(&id).flatten().expect("checked above");
+                    record(waited_from);
                     return Ok(payload);
                 }
                 Some(None) => {}
-                None => return Err(RpcError::Canceled),
+                None => {
+                    record(waited_from);
+                    return Err(RpcError::Canceled);
+                }
+            }
+            if waited_from.is_none() && self.obs.get().is_some() {
+                waited_from = Some(Instant::now());
             }
             match deadline {
                 Some(d) => {
                     if shard.cv.wait_until(&mut replies, d).timed_out() {
                         replies.remove(&id);
+                        record(waited_from);
                         return Err(RpcError::Timeout);
                     }
                 }
@@ -419,6 +459,30 @@ mod tests {
             let reply = h.wait_timeout(Duration::from_secs(5)).unwrap();
             assert_eq!(reply, Bytes::from(format!("echo:{i}")));
         }
+        broker.close_topic("svc").unwrap();
+    }
+
+    #[test]
+    fn blocked_reply_waits_land_in_the_contention_site() {
+        let broker = Broker::new(BrokerConfig::default());
+        let client = RpcClient::connect(&broker, "svc");
+        let obs = Obs::new();
+        client.attach_obs(&obs);
+        let _server = echo_server(&broker, "svc");
+        client
+            .call_wait(Bytes::from_static(b"hi"), Duration::from_secs(2))
+            .unwrap();
+        // Whether the wait blocked depends on scheduling; force one
+        // guaranteed block via a timeout with no reply outstanding.
+        let topic_less = RpcClient::connect(&broker, "svc-quiet");
+        topic_less.attach_obs(&obs);
+        let err = topic_less
+            .call_wait(Bytes::from_static(b"x"), Duration::from_millis(30))
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        let site = obs.contention.site("rpc.reply_wait:svc-quiet");
+        assert_eq!(site.waits(), 1);
+        assert!(site.snapshot().wait_ns >= 25_000_000);
         broker.close_topic("svc").unwrap();
     }
 

@@ -13,8 +13,16 @@ use std::sync::Arc;
 fn main() {
     // A loose latency objective on the servable this session publishes:
     // `dlhub slo` below shows its burn rates and (quiet) alert state.
+    // The profiler and flight recorder are normally off (and statically
+    // free); enabling them here lets the session demo `dlhub profile`,
+    // `dlhub contention` and `dlhub bundle`.
     let hub = TestHub::builder()
         .without_eval_servables()
+        .config(dlhub_core::serving::ServingConfig {
+            profile_hz: 99,
+            recorder_capacity: 4,
+            ..Default::default()
+        })
         .slo(dlhub_core::obs::SloSpec::new(
             "dlhub/composition-parser",
             std::time::Duration::from_secs(5),
@@ -69,13 +77,20 @@ fn main() {
         .and_then(|rest| rest.strip_suffix(')'))
         .expect("run output carries its trace id")
         .to_string();
+    // Give the 99 Hz background sampler a few ticks to observe the
+    // session before asking for the collapsed-stack profile.
+    std::thread::sleep(std::time::Duration::from_millis(80));
     for args in [
         vec!["stats"],
+        vec!["stats", "--delta"],
         vec!["stats", "--prometheus"],
         vec!["trace", trace_id.as_str()],
         vec!["analyze", trace_id.as_str()],
         vec!["analyze"],
         vec!["slo"],
+        vec!["profile"],
+        vec!["contention"],
+        vec!["bundle"],
     ] {
         println!("$ dlhub {}", args.join(" "));
         match cli.execute(&workdir, &args) {
@@ -91,6 +106,7 @@ fn main() {
         vec!["frobnicate"],
         vec!["trace", "not-a-trace-id"],
         vec!["analyze", "0xdeadbeef"],
+        vec!["bundle", "999"],
     ] {
         println!("$ dlhub {}", args.join(" "));
         match cli.execute(&workdir, &args) {

@@ -20,8 +20,15 @@ Checks:
             runs are then held to noise-floored fractions of the
             committed numbers (raw ring throughput, memo-bypass
             single-thread, scaling shape).
+  overhead  committed contract: the hotpath bench's profiler A/B —
+            throughput with the continuous profiler sampling and the
+            flight recorder armed must stay within
+            OVERHEAD_GATE_RATIO of the profiler-disabled run
+            (default 0.95, i.e. <=5%% overhead). Enforced on the
+            committed BENCH_hotpath.json, which full-length runs
+            produce; smoke runs are too noisy for a 5%% bound.
 
-Usage: bench_gate.py [--check hotpath|broker|all]   (default: all)
+Usage: bench_gate.py [--check hotpath|broker|overhead|all]   (default: all)
 
 Environment:
   BENCH_GATE_RATIO          throughput floor as a fraction of the
@@ -35,6 +42,9 @@ Environment:
                             (default 6.0)
   BROKER_GATE_SPEEDUP       minimum fresh 1-to-8-client broker scaling,
                             noise floor for shared runners (default 2.0)
+  OVERHEAD_GATE_RATIO       minimum committed enabled/disabled profiler
+                            throughput ratio (default 0.95; <=0
+                            disables the overhead gate)
 """
 
 import argparse
@@ -168,10 +178,58 @@ def check_broker(ratio):
     )
 
 
+def check_overhead():
+    floor = float(os.environ.get("OVERHEAD_GATE_RATIO", "0.95"))
+    if floor <= 0:
+        print("bench gate: overhead gate disabled (OVERHEAD_GATE_RATIO<=0)")
+        return
+    committed = load("BENCH_hotpath.json")
+    if committed is None:
+        print("bench gate: no committed BENCH_hotpath.json; skipping overhead")
+        return
+    overhead = committed.get("overhead")
+    if overhead is None:
+        sys.exit(
+            "bench gate: committed BENCH_hotpath.json has no overhead "
+            "object; regenerate with the profiler A/B"
+        )
+    ratio = overhead.get("enabled_over_disabled", 0.0)
+    if ratio < floor:
+        sys.exit(
+            "bench gate: profiler overhead — enabled {:.0f} req/s vs "
+            "disabled {:.0f} (ratio {:.3f} < floor {})".format(
+                overhead.get("enabled_req_per_s", 0.0),
+                overhead.get("disabled_req_per_s", 0.0),
+                ratio,
+                floor,
+            )
+        )
+    if overhead.get("profiler_samples", 0) <= 0:
+        sys.exit(
+            "bench gate: overhead A/B recorded no profiler samples — "
+            "the enabled side was not actually profiling"
+        )
+    print(
+        "bench gate: profiler overhead within bound ({:.0f} → {:.0f} "
+        "req/s, ratio {:.3f} >= {}, {} samples @ {} Hz)".format(
+            overhead.get("disabled_req_per_s", 0.0),
+            overhead.get("enabled_req_per_s", 0.0),
+            ratio,
+            floor,
+            overhead.get("profiler_samples", 0),
+            overhead.get("profile_hz", 0),
+        )
+    )
+
+
 def main():
     parser = argparse.ArgumentParser()
-    parser.add_argument("--check", choices=["hotpath", "broker", "all"], default="all")
+    parser.add_argument(
+        "--check", choices=["hotpath", "broker", "overhead", "all"], default="all"
+    )
     opts = parser.parse_args()
+    if opts.check in ("overhead", "all"):
+        check_overhead()
     ratio = float(os.environ.get("BENCH_GATE_RATIO", "0.25"))
     if ratio <= 0:
         print("bench gate: disabled (BENCH_GATE_RATIO<=0)")

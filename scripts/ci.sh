@@ -78,6 +78,31 @@ print(
 )
 EOF
 
+echo "######## profiler + contention smoke"
+# The hotpath smoke above ran the profiler A/B: its artifact must carry
+# a well-formed overhead object, and the enabled side must actually
+# have sampled. The contention/flight-recorder surface is exercised by
+# the dedicated unit suites; this asserts the end-to-end artifact.
+python3 - <<'EOF'
+import json, sys
+doc = json.load(open("results/BENCH_hotpath.json"))
+overhead = doc.get("overhead")
+if not overhead:
+    sys.exit("ci: BENCH_hotpath.json has no profiler overhead A/B")
+for key in ("disabled_req_per_s", "enabled_req_per_s", "enabled_over_disabled"):
+    if not overhead.get(key, 0) > 0:
+        sys.exit("ci: overhead object missing {}".format(key))
+if not overhead.get("profiler_samples", 0) > 0:
+    sys.exit("ci: profiler A/B collected no samples")
+print(
+    "ci: profiler smoke OK (ratio {:.3f}, {} samples @ {} Hz)".format(
+        overhead["enabled_over_disabled"],
+        overhead["profiler_samples"],
+        overhead.get("profile_hz", 0),
+    )
+)
+EOF
+
 echo "######## broker smoke (sharded rings + zero-copy path)"
 # Short windows; BROKER_MIRROR=0 keeps the smoke run from clobbering
 # the committed full-length BENCH_broker.json at the workspace root.
@@ -90,7 +115,10 @@ echo "######## bench regression gates"
 # BENCH_GATE_SPEEDUP / BROKER_GATE_* tune, BENCH_GATE_RATIO=0
 # disables). The broker gate also re-asserts the committed artifact's
 # absolute contract: ≥2x the hot-path single-thread baseline on the
-# memo-bypass path and ≥6x 1→8-client scaling on the RTT series.
+# memo-bypass path and ≥6x 1→8-client scaling on the RTT series. The
+# overhead gate holds the committed profiler A/B to
+# OVERHEAD_GATE_RATIO (default 0.95: enabling the profiler may cost at
+# most 5% throughput).
 python3 scripts/bench_gate.py
 
 echo "######## ci OK"

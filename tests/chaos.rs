@@ -628,6 +628,116 @@ fn combined_chaos_loses_nothing() {
 }
 
 #[test]
+fn terminal_failures_freeze_deterministic_flight_bundles() {
+    // Same seed, same workload => the flight recorder freezes the same
+    // bundles with byte-identical fingerprints, run after run. The
+    // fingerprint hashes only workload-determined trigger fields
+    // (servable, attempts, error), never timestamps or burn rates.
+    fn run_once(seed: u64) -> Vec<(String, u64)> {
+        let faults = FaultPlan::seeded(seed)
+            .inject(site::REPLICA, FaultSpec::new(FaultKind::Error).max(4))
+            .build();
+        let hub = chaos_builder(faults)
+            .replicas(1)
+            .consumers(1)
+            .task_managers(1)
+            .config(ServingConfig {
+                recorder_capacity: 8,
+                ..chaos_config()
+            })
+            .build();
+        // The fault budget (4 errors, 4 attempts) exhausts exactly the
+        // first async request; the second must succeed and freeze
+        // nothing further.
+        let doomed = hub
+            .service
+            .run_async(&hub.token, "dlhub/noop", Value::Null)
+            .unwrap();
+        match doomed.wait(chaos_config().request_deadline + SLACK) {
+            TaskStatus::Failed { attempts, .. } => assert_eq!(attempts, 4, "seed {seed}"),
+            other => panic!("seed {seed}: unexpected {other:?}"),
+        }
+        let survivor = hub
+            .service
+            .run_async(&hub.token, "dlhub/noop", Value::Null)
+            .unwrap();
+        assert!(
+            matches!(
+                survivor.wait(chaos_config().request_deadline + SLACK),
+                TaskStatus::Completed(_)
+            ),
+            "seed {seed}: budget-spent request failed"
+        );
+        let bundles = hub.service.flight_bundles();
+        assert_eq!(bundles.len(), 1, "seed {seed}: one failure, one bundle");
+        assert_eq!(bundles[0].trigger.kind(), "task_failed");
+        bundles
+            .iter()
+            .map(|b| (b.trigger.kind().to_string(), b.fingerprint()))
+            .collect()
+    }
+
+    for seed in seeds() {
+        let first = run_once(seed);
+        let second = run_once(seed);
+        assert_eq!(first, second, "seed {seed}: bundle fingerprints diverged");
+    }
+}
+
+#[test]
+fn chaos_slo_firing_freezes_one_deterministic_bundle() {
+    // Every replica execution fails, so the availability objective
+    // burns deterministically; the firing transition must freeze
+    // exactly one bundle whose fingerprint is seed-stable.
+    fn run_once(seed: u64) -> (String, u64) {
+        let faults = FaultPlan::seeded(seed)
+            .inject(site::REPLICA, FaultSpec::new(FaultKind::Error))
+            .build();
+        let hub = chaos_builder(faults)
+            .replicas(1)
+            .consumers(1)
+            .task_managers(1)
+            .config(ServingConfig {
+                recorder_capacity: 4,
+                // Fail fast: execution errors are terminal here.
+                retry_execution_errors: false,
+                slos: vec![
+                    dlhub_core::obs::SloSpec::new("dlhub/noop", Duration::from_secs(5))
+                        .availability_objective(0.5)
+                        .windows(Duration::from_millis(200), Duration::from_secs(2)),
+                ],
+                ..chaos_config()
+            })
+            .build();
+        for _ in 0..20 {
+            let _ = hub.service.run(&hub.token, "dlhub/noop", Value::Null);
+        }
+        let bundles = hub.service.flight_bundles();
+        assert_eq!(
+            bundles.len(),
+            1,
+            "seed {seed}: one firing transition, one bundle"
+        );
+        let bundle = &bundles[0];
+        assert_eq!(bundle.trigger.kind(), "slo_firing", "seed {seed}");
+        assert!(
+            bundle.trigger.summary().contains("dlhub/noop"),
+            "seed {seed}: {}",
+            bundle.trigger.summary()
+        );
+        (bundle.trigger.kind().to_string(), bundle.fingerprint())
+    }
+
+    for seed in seeds() {
+        assert_eq!(
+            run_once(seed),
+            run_once(seed),
+            "seed {seed}: SLO bundle fingerprint diverged"
+        );
+    }
+}
+
+#[test]
 fn disabled_fault_handle_changes_nothing() {
     // The production configuration: a default (disabled) handle. The
     // stack behaves exactly as the seed tests expect, and no fault
