@@ -226,6 +226,9 @@ fn main() {
         .consumers(16)
         .config(ServingConfig {
             async_workers: 16,
+            // Sample the run into the time-series store so the
+            // artifact carries a queue-wait/throughput time axis.
+            telemetry_interval: Duration::from_millis(50),
             ..ServingConfig::default()
         })
         .build();
@@ -312,6 +315,18 @@ fn main() {
         speedup >= 2.0,
     );
 
+    let store = hub
+        .service
+        .telemetry_store()
+        .expect("telemetry enabled on the serve hub");
+    shape_check(
+        &format!(
+            "telemetry collector sampled the serve runs ({} passes)",
+            store.samples_taken()
+        ),
+        store.samples_taken() > 0,
+    );
+
     let doc = serde_json::json!({
         "bench": "broker",
         "window_ms": window.as_millis() as u64,
@@ -321,6 +336,9 @@ fn main() {
         "modes": serde_json::Value::Object(json_modes),
         "serve_rtt0_1t_req_per_s": single,
         "serve_rtt_speedup_8t_over_1t": speedup,
+        // Time axis of the serve runs: broker queue wait, per-servable
+        // rates and pool gauges from the sampling collector.
+        "telemetry": store.to_json(),
     });
     let path = write_json("BENCH_broker.json", &doc);
     let mirror = std::env::var("BROKER_MIRROR").map_or(true, |v| v != "0");

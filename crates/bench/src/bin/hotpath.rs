@@ -344,6 +344,69 @@ fn main() {
         overhead_ratio >= 0.85,
     );
 
+    // Telemetry collector A/B, mirroring the profiler's: the same
+    // 100%-hit cell against a third deployment with the time-series
+    // collector sampling every 50 ms. The disabled side reuses the
+    // default hub (collector statically off — one relaxed pointer load
+    // per query accessor); `bench_gate.py --check telemetry` enforces
+    // the committed ratio in CI. The telemetered run's exported series
+    // becomes the artifact's time axis.
+    const TELEMETRY_INTERVAL_MS: u64 = 50;
+    shape_check(
+        "default config leaves the telemetry collector statically disabled",
+        hub.service.telemetry_store().is_none(),
+    );
+    let telemetry_disabled_cell = drive(&hub, OVERHEAD_THREADS, ab_window, rtt, true);
+    let telemetered = TestHub::builder()
+        .without_eval_servables()
+        .memo(true)
+        .replicas(16)
+        .consumers(16)
+        .config(ServingConfig {
+            async_workers: 16,
+            telemetry_interval: Duration::from_millis(TELEMETRY_INTERVAL_MS),
+            ..ServingConfig::default()
+        })
+        .slo(dlhub_core::obs::SloSpec::new(
+            "dlhub/echo",
+            Duration::from_secs(1),
+        ))
+        .build();
+    telemetered.publish_simple(
+        "echo",
+        ModelType::PythonFunction,
+        servable_fn(|v| Ok(v.clone())),
+    );
+    for i in 0..HOT_KEYS {
+        telemetered
+            .service
+            .run(&telemetered.token, "dlhub/echo", Value::Int(i))
+            .expect("warm request");
+    }
+    let telemetry_cell = drive(&telemetered, OVERHEAD_THREADS, ab_window, rtt, true);
+    let store = telemetered
+        .service
+        .telemetry_store()
+        .expect("collector enabled for the A/B hub");
+    shape_check(
+        &format!(
+            "telemetry collector observed the run ({} passes, {} series)",
+            store.samples_taken(),
+            store.series_names().len()
+        ),
+        store.samples_taken() > 0 && !store.series_names().is_empty(),
+    );
+    let telemetry_ratio = telemetry_cell.req_per_s() / telemetry_disabled_cell.req_per_s().max(1.0);
+    shape_check(
+        &format!(
+            "collector-enabled throughput within noise of disabled ({:.0} → {:.0} req/s, ratio {:.3})",
+            telemetry_disabled_cell.req_per_s(),
+            telemetry_cell.req_per_s(),
+            telemetry_ratio
+        ),
+        telemetry_ratio >= 0.85,
+    );
+
     let doc = serde_json::json!({
         "bench": "hotpath",
         "window_ms": window.as_millis() as u64,
@@ -360,6 +423,18 @@ fn main() {
             "enabled_over_disabled": overhead_ratio,
             "profiler_samples": profile.total_samples,
         },
+        "telemetry_overhead": {
+            "threads": OVERHEAD_THREADS,
+            "window_ms": ab_window.as_millis() as u64,
+            "interval_ms": TELEMETRY_INTERVAL_MS,
+            "disabled_req_per_s": telemetry_disabled_cell.req_per_s(),
+            "enabled_req_per_s": telemetry_cell.req_per_s(),
+            "enabled_over_disabled": telemetry_ratio,
+            "telemetry_samples": store.samples_taken(),
+        },
+        // The run's time axis: every sampled series with its
+        // multi-resolution ring history, from the telemetered A/B hub.
+        "telemetry": store.to_json(),
         "metrics": metrics.to_json(),
     });
     let path = write_json("BENCH_hotpath.json", &doc);

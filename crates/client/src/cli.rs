@@ -85,12 +85,13 @@ impl Cli {
             ["stats", rest @ ..] => self.stats(rest),
             ["trace", rest @ ..] => self.trace(rest),
             ["analyze", rest @ ..] => self.analyze(rest),
-            ["slo"] => self.slo(),
+            ["slo", rest @ ..] => self.slo(rest),
+            ["top", rest @ ..] => self.top(rest),
             ["profile", rest @ ..] => self.profile(rest),
             ["contention"] => self.contention(),
             ["bundle", rest @ ..] => self.bundle(rest),
             [] => Err(
-                "usage: dlhub <init|update|publish|run|ls|stats|trace|analyze|slo|profile|contention|bundle>"
+                "usage: dlhub <init|update|publish|run|ls|stats|trace|analyze|slo|top|profile|contention|bundle>"
                     .into(),
             ),
             other => Err(format!("unknown command: {}", other.join(" "))),
@@ -271,10 +272,97 @@ impl Cli {
         }
     }
 
-    /// `slo`: per-servable objective status — burn rates over the fast
-    /// and slow windows and the current alert state.
-    fn slo(&self) -> Result<String, CliError> {
-        Ok(self.service.metrics_snapshot().render_slos())
+    /// `slo [--json]`: per-servable objective status — burn rates over
+    /// the fast and slow windows and the current alert state, as a
+    /// table or (with `--json`) machine-readable JSON, consistent with
+    /// `stats`/`profile`/`bundle`.
+    fn slo(&self, args: &[&str]) -> Result<String, CliError> {
+        let snapshot = self.service.metrics_snapshot();
+        match args {
+            [] => Ok(snapshot.render_slos()),
+            ["--json"] => {
+                let slos: Vec<serde_json::Value> =
+                    snapshot.slos.iter().map(|s| s.to_json()).collect();
+                Ok(
+                    serde_json::to_string_pretty(&serde_json::Value::Array(slos))
+                        .expect("slo snapshot serializes"),
+                )
+            }
+            other => Err(format!(
+                "usage: dlhub slo [--json] (got: {})",
+                other.join(" ")
+            )),
+        }
+    }
+
+    /// `top [--follow] [--frames N] [--interval-ms M] [--window-s W]`:
+    /// live dashboard over the telemetry time-series store — req/s,
+    /// p50/p99, queue depth, memo hit ratio, firing SLOs, each with a
+    /// sparkline. One frame by default; `--follow` repaints in place
+    /// every `--interval-ms` (default: the collector interval) for
+    /// `--frames` frames. Errors while telemetry is disabled.
+    fn top(&self, args: &[&str]) -> Result<String, CliError> {
+        let store = self
+            .service
+            .telemetry_store()
+            .ok_or("telemetry is disabled; set ServingConfig::telemetry_interval")?;
+        let mut follow = false;
+        let mut frames = 10usize;
+        let mut interval = self.service.obs().telemetry.interval();
+        let mut window = std::time::Duration::from_secs(60);
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match *arg {
+                "--follow" => follow = true,
+                "--once" => follow = false,
+                "--frames" => {
+                    frames = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--frames needs a number")?;
+                }
+                "--interval-ms" => {
+                    let ms: u64 = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--interval-ms needs a number")?;
+                    interval = std::time::Duration::from_millis(ms);
+                }
+                "--window-s" => {
+                    let s: u64 = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--window-s needs a number")?;
+                    window = std::time::Duration::from_secs(s);
+                }
+                other => {
+                    return Err(format!(
+                        "usage: dlhub top [--follow] [--frames N] [--interval-ms M] [--window-s W] (got: {other})"
+                    ))
+                }
+            }
+        }
+        if !follow {
+            return Ok(crate::top::render_frame(
+                &store,
+                &self.service.metrics_snapshot(),
+                window,
+            ));
+        }
+        if interval.is_zero() {
+            interval = std::time::Duration::from_millis(250);
+        }
+        let mut frame = String::new();
+        for i in 0..frames.max(1) {
+            if i > 0 {
+                std::thread::sleep(interval);
+            }
+            frame = crate::top::render_frame(&store, &self.service.metrics_snapshot(), window);
+            print!("{}{}", crate::top::REFRESH_PREFIX, frame);
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Ok(frame)
     }
 
     /// `init <name> [--kind k]`: create `.dlhub/dlhub.json`.
@@ -631,6 +719,82 @@ mod tests {
         assert!(json.contains("\"trigger\""), "{json}");
         assert!(cli.execute(&dir.0, &["bundle", "999999"]).is_err());
         assert!(cli.execute(&dir.0, &["bundle", "nope"]).is_err());
+    }
+
+    #[test]
+    fn slo_json_renders_machine_readable_objectives() {
+        let hub = TestHub::builder()
+            .without_eval_servables()
+            .slo(dlhub_core::obs::SloSpec::new(
+                "dlhub/echo",
+                std::time::Duration::from_secs(5),
+            ))
+            .build();
+        let cli = cli(&hub);
+        let dir = TempDir::new("slojson");
+        cli.execute(&dir.0, &["init", "echo"]).unwrap();
+        cli.execute(&dir.0, &["publish"]).unwrap();
+        cli.execute(&dir.0, &["run", "\"hi\""]).unwrap();
+        let json = cli.execute(&dir.0, &["slo", "--json"]).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let slos = doc.as_array().unwrap();
+        assert_eq!(slos.len(), 1, "{json}");
+        assert_eq!(slos[0]["servable"], "dlhub/echo");
+        assert!(slos[0]["latency_burn_fast"].as_f64().is_some(), "{json}");
+        assert_eq!(slos[0]["firing"], false);
+        assert!(cli.execute(&dir.0, &["slo", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn top_renders_live_series_from_a_running_hub() {
+        let hub = TestHub::builder()
+            .without_eval_servables()
+            .config(dlhub_core::serving::ServingConfig {
+                telemetry_interval: std::time::Duration::from_millis(10),
+                ..Default::default()
+            })
+            .build();
+        let cli = cli(&hub);
+        let dir = TempDir::new("top");
+        cli.execute(&dir.0, &["init", "echo"]).unwrap();
+        cli.execute(&dir.0, &["publish"]).unwrap();
+        for _ in 0..5 {
+            cli.execute(&dir.0, &["run", "\"hi\""]).unwrap();
+        }
+        // Wait for the collector to take at least two passes so rates
+        // have a delta to work from.
+        let store = hub.service.telemetry_store().expect("telemetry enabled");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while store.samples_taken() < 3 {
+            assert!(std::time::Instant::now() < deadline, "collector never ran");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let frame = cli.execute(&dir.0, &["top"]).unwrap();
+        assert!(frame.contains("dlhub top"), "{frame}");
+        assert!(frame.contains("dlhub/echo"), "{frame}");
+        assert!(frame.contains("REQ/S"), "{frame}");
+        assert!(frame.contains("MEMO"), "{frame}");
+        // Sparkline glyphs from the live series are present.
+        assert!(frame.contains('█') || frame.contains('▁'), "{frame}");
+        // Follow mode returns the final frame.
+        let followed = cli
+            .execute(
+                &dir.0,
+                &["top", "--follow", "--frames", "2", "--interval-ms", "5"],
+            )
+            .unwrap();
+        assert!(followed.contains("dlhub top"), "{followed}");
+        assert!(cli.execute(&dir.0, &["top", "--frames"]).is_err());
+        assert!(cli.execute(&dir.0, &["top", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn top_errors_when_telemetry_is_disabled() {
+        let hub = TestHub::builder().without_eval_servables().build();
+        let cli = cli(&hub);
+        let dir = TempDir::new("topoff");
+        let err = cli.execute(&dir.0, &["top"]).unwrap_err();
+        assert!(err.contains("telemetry is disabled"), "{err}");
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod kinds;
 pub mod rest;
 pub mod sdk;
 pub mod toolbox;
+pub mod top;
 
 pub use rest::{RestApi, RestResponse};
 pub use sdk::DlhubClient;

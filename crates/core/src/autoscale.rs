@@ -10,7 +10,9 @@
 
 use crate::executor::ParslExecutor;
 use crate::profile::ProfileRegistry;
+use dlhub_obs::{ControlSignals, GaugeWindow, WindowHistogram};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Autoscaling policy bounds.
 #[derive(Debug, Clone)]
@@ -42,6 +44,81 @@ pub struct ScalingDecision {
     pub current: usize,
     /// Replicas the policy wants.
     pub desired: usize,
+}
+
+/// Read-only windowed inputs a scaling control loop consumes. Every
+/// accessor returns `None` when the underlying signal has no history
+/// yet — callers must treat "no data" as "do not act", never as zero.
+///
+/// The trait exists so the (future) control loop can be tested against
+/// scripted signal fixtures; production wires [`TelemetrySignals`]
+/// over the telemetry store's [`ControlSignals`] view.
+pub trait ScalingSignals {
+    /// Requests per second answered for `servable` over `window`.
+    fn arrival_rate(&self, servable: &str, window: Duration) -> Option<f64>;
+
+    /// Slope of the arrival rate in req/s per second — positive means
+    /// traffic is ramping toward the pool.
+    fn arrival_trend(&self, servable: &str, window: Duration) -> Option<f64>;
+
+    /// p99 broker queue wait over `window`, in nanoseconds.
+    fn queue_wait_p99(&self, window: Duration) -> Option<u64>;
+
+    /// Fast-window SLO burn rate for `servable` (mean over `window`);
+    /// above 1.0 the error budget is being consumed too fast.
+    fn burn_rate(&self, servable: &str, window: Duration) -> Option<f64>;
+
+    /// Mean async worker-pool occupancy over `window`.
+    fn pool_occupancy(&self, window: Duration) -> Option<f64>;
+}
+
+/// [`ScalingSignals`] over the telemetry store, via its
+/// [`ControlSignals`] query view. Obtain one from
+/// [`ManagementService::control_signals`] and wrap it:
+/// `TelemetrySignals::new(service.control_signals()?)`.
+///
+/// [`ManagementService::control_signals`]: crate::serving::ManagementService::control_signals
+#[derive(Clone)]
+pub struct TelemetrySignals {
+    signals: ControlSignals,
+}
+
+impl TelemetrySignals {
+    /// Wrap the telemetry query view.
+    pub fn new(signals: ControlSignals) -> Self {
+        TelemetrySignals { signals }
+    }
+
+    /// The underlying view, for signals the trait does not name.
+    pub fn inner(&self) -> &ControlSignals {
+        &self.signals
+    }
+}
+
+impl ScalingSignals for TelemetrySignals {
+    fn arrival_rate(&self, servable: &str, window: Duration) -> Option<f64> {
+        self.signals.arrival_rate(servable, window)
+    }
+
+    fn arrival_trend(&self, servable: &str, window: Duration) -> Option<f64> {
+        self.signals.arrival_trend(servable, window)
+    }
+
+    fn queue_wait_p99(&self, window: Duration) -> Option<u64> {
+        self.signals
+            .queue_wait(window)
+            .and_then(|w: WindowHistogram| w.quantile(0.99))
+    }
+
+    fn burn_rate(&self, servable: &str, window: Duration) -> Option<f64> {
+        self.signals
+            .burn_rate(servable, window)
+            .map(|w: GaugeWindow| w.avg)
+    }
+
+    fn pool_occupancy(&self, window: Duration) -> Option<f64> {
+        self.signals.pool_occupancy(window).map(|w| w.avg)
+    }
 }
 
 /// Profile-driven replica autoscaler.
@@ -185,5 +262,47 @@ mod tests {
         feed(&registry, "u/huge", 400, 403); // knee would be ~134
         scaler.reconcile();
         assert_eq!(executor.replicas("u/huge"), 4);
+    }
+
+    #[test]
+    fn telemetry_signals_adapt_the_query_view() {
+        use dlhub_obs::Obs;
+
+        let obs = Obs::new();
+        obs.enable_telemetry_manual(Duration::from_secs(1));
+        let step = 1_000_000_000u64;
+        for tick in 0..5u64 {
+            obs.metrics.series("u/inception").requests.add(20);
+            obs.metrics.gauge("async_pool_active").set(3);
+            obs.metrics
+                .histogram("broker_queue_wait_ns")
+                .record(2_000_000);
+            obs.telemetry.sample_now(tick * step);
+        }
+        let signals = TelemetrySignals::new(obs.telemetry.signals().unwrap());
+        let w = Duration::from_secs(4);
+        let arrival = signals.arrival_rate("u/inception", w).unwrap();
+        assert!((arrival - 20.0).abs() < 1e-9, "{arrival}");
+        // Constant arrivals: trend is flat.
+        let trend = signals.arrival_trend("u/inception", w).unwrap();
+        assert!(trend.abs() < 1e-6, "{trend}");
+        assert!(signals.queue_wait_p99(w).unwrap() >= 2_000_000);
+        assert_eq!(signals.pool_occupancy(w), Some(3.0));
+        // No SLO registered: burn rate reports no data, not zero.
+        assert_eq!(signals.burn_rate("u/inception", w), None);
+    }
+
+    #[test]
+    fn signals_report_none_without_history() {
+        use dlhub_obs::Obs;
+
+        let obs = Obs::new();
+        obs.enable_telemetry_manual(Duration::from_secs(1));
+        let signals = TelemetrySignals::new(obs.telemetry.signals().unwrap());
+        let w = Duration::from_secs(60);
+        assert_eq!(signals.arrival_rate("u/ghost", w), None);
+        assert_eq!(signals.queue_wait_p99(w), None);
+        assert_eq!(signals.pool_occupancy(w), None);
+        assert_eq!(signals.inner().arrival_trend("u/ghost", w), None);
     }
 }

@@ -348,8 +348,14 @@ impl ParslExecutor {
     /// called.
     pub fn attach_obs(&self, obs: &Obs) {
         let _ = self.metrics.set(HealthMetrics {
-            quarantined: obs.metrics.gauge("replicas_quarantined"),
-            restarts: obs.metrics.counter("replica_restarts_total"),
+            quarantined: obs.metrics.gauge_with_help(
+                "replicas_quarantined",
+                "Replicas currently quarantined after repeated failures",
+            ),
+            restarts: obs.metrics.counter_with_help(
+                "replica_restarts_total",
+                "Replica processes restarted by health supervision",
+            ),
             profiler: obs.profile.clone(),
         });
     }

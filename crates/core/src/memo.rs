@@ -246,9 +246,16 @@ impl MemoCache {
     /// carrying the evicted servable.
     pub fn attach_obs(mut self, obs: &dlhub_obs::Obs) -> Self {
         self.obs = Some(ObsHooks {
-            hits: obs.metrics.counter("memo_hits_total"),
-            misses: obs.metrics.counter("memo_misses_total"),
-            evictions: obs.metrics.counter("memo_evictions_total"),
+            hits: obs
+                .metrics
+                .counter_with_help("memo_hits_total", "Memo-cache lookups answered from cache"),
+            misses: obs
+                .metrics
+                .counter_with_help("memo_misses_total", "Memo-cache lookups that fell through"),
+            evictions: obs.metrics.counter_with_help(
+                "memo_evictions_total",
+                "Memo-cache entries evicted to stay within the byte budget",
+            ),
             tracer: obs.tracer.clone(),
             shard_lock: obs.contention.site("memo.shard_lock"),
             profiler: obs.profile.clone(),

@@ -88,6 +88,12 @@ pub struct ServingConfig {
     /// slice, contention table, recent traces, metrics delta) into a
     /// ring of this many bundles.
     pub recorder_capacity: usize,
+    /// Telemetry-collector sampling interval. Zero (the default)
+    /// leaves the time-series store disabled; otherwise a
+    /// `dlhub-telemetry` thread samples every registered metric and
+    /// SLO burn rate into ring-buffered multi-resolution history
+    /// (`dlhub top`, `ControlSignals`, bench time axes).
+    pub telemetry_interval: Duration,
 }
 
 impl Default for ServingConfig {
@@ -109,6 +115,7 @@ impl Default for ServingConfig {
             slos: Vec::new(),
             profile_hz: 0,
             recorder_capacity: 0,
+            telemetry_interval: Duration::ZERO,
         }
     }
 }
@@ -285,6 +292,26 @@ impl ManagementService {
         if config.recorder_capacity > 0 {
             obs.enable_recorder(config.recorder_capacity);
         }
+        if !config.telemetry_interval.is_zero() {
+            obs.enable_telemetry(config.telemetry_interval);
+        }
+        // Descriptions for counters whose increment sites are hot paths
+        // (retry loop, Task Manager dispatch) — registered once here so
+        // `# HELP` lines render without touching those paths.
+        obs.metrics.describe(
+            "request_retries_total",
+            "Request attempts retried after a transient failure",
+        );
+        obs.metrics.describe(
+            "request_exhausted_total",
+            "Requests failed after exhausting the retry budget",
+        );
+        obs.metrics
+            .describe("tm_tasks_total", "Tasks executed by Task Managers");
+        obs.metrics.describe(
+            "tm_crashes_injected_total",
+            "Task Manager crashes injected by the fault schedule",
+        );
         for spec in &config.slos {
             obs.register_slo(spec.clone());
         }
@@ -303,8 +330,14 @@ impl ManagementService {
             registrations: RwLock::new(Vec::new()),
             async_pool: AsyncPool::new(
                 config.async_workers,
-                obs.metrics.gauge("async_queue_depth"),
-                obs.metrics.gauge("async_pool_active"),
+                obs.metrics.gauge_with_help(
+                    "async_queue_depth",
+                    "Async dispatches waiting in the worker-pool injector queue",
+                ),
+                obs.metrics.gauge_with_help(
+                    "async_pool_active",
+                    "Worker-pool threads currently running a dispatch",
+                ),
             ),
             profiles: ProfileRegistry::new(),
             broker: broker.clone(),
@@ -365,6 +398,20 @@ impl ManagementService {
     /// One flight-recorder bundle by id.
     pub fn flight_bundle(&self, id: u64) -> Option<Arc<Bundle>> {
         self.obs.recorder.bundle(id)
+    }
+
+    /// The telemetry time-series store, or `None` while the collector
+    /// is disabled ([`ServingConfig::telemetry_interval`] zero and no
+    /// manual [`Obs::enable_telemetry`] call).
+    pub fn telemetry_store(&self) -> Option<Arc<dlhub_obs::SeriesStore>> {
+        self.obs.telemetry.store()
+    }
+
+    /// Windowed control-plane signals (arrival rate, queue wait, burn
+    /// history, pool occupancy) over the telemetry store; `None` while
+    /// the collector is disabled.
+    pub fn control_signals(&self) -> Option<dlhub_obs::ControlSignals> {
+        self.obs.telemetry.signals()
     }
 
     /// Collect and export spans, optionally restricted to one trace id

@@ -23,25 +23,32 @@
 mod ring;
 
 pub mod analyze;
+pub mod collect;
 pub mod contention;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
 pub mod slo;
 pub mod trace;
+pub mod tsdb;
 
 pub use analyze::{
     aggregate_stages, analyze, analyze_all, render_stages, RequestBreakdown, Stage, TraceAnalysis,
 };
+pub use collect::{TelemetryHandle, TelemetrySources};
 pub use contention::{render_contention, ContentionRegistry, ContentionSite, ContentionSnapshot};
 pub use metrics::{
-    escape_label, BucketSnapshot, Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot,
-    Registry, ServableSeries, ServableSnapshot,
+    bucket_bound, bucket_index, escape_label, BucketSnapshot, Counter, Gauge, Histogram,
+    HistogramSummary, MetricsSnapshot, Registry, ServableSeries, ServableSnapshot,
 };
 pub use profile::{CollapsedStack, FrameGuard, ProfileReport, ProfilerHandle, ThreadSamples};
 pub use recorder::{Bundle, BundleTrigger, FlightRecorder, RecorderEvent, RecorderSources};
 pub use slo::{SloRegistry, SloSnapshot, SloSpec, SloTracker};
 pub use trace::{now_ns, SpanHandle, SpanRecord, TraceContext, TraceExport, Tracer};
+pub use tsdb::{
+    default_tiers, servable_series, slo_series, ControlSignals, GaugeWindow, SeriesKind,
+    SeriesStore, TierSpec, WindowHistogram,
+};
 
 use std::time::Duration;
 
@@ -65,6 +72,10 @@ pub struct Obs {
     /// Alert-triggered diagnostic bundles (disabled until
     /// [`enable_recorder`](Obs::enable_recorder)).
     pub recorder: FlightRecorder,
+    /// Ring-buffered time-series history over this handle's metrics
+    /// and SLOs (disabled until
+    /// [`enable_telemetry`](Obs::enable_telemetry)).
+    pub telemetry: TelemetryHandle,
 }
 
 impl Obs {
@@ -97,6 +108,34 @@ impl Obs {
         )
     }
 
+    /// Start the telemetry collector sampling this handle's metrics
+    /// and SLO registries every `interval` into the time-series store.
+    /// Reaches every clone of this handle. Returns whether this call
+    /// did the enabling.
+    pub fn enable_telemetry(&self, interval: Duration) -> bool {
+        self.telemetry.enable(
+            interval,
+            TelemetrySources {
+                metrics: self.metrics.clone(),
+                slo: self.slo.clone(),
+            },
+        )
+    }
+
+    /// Arm the telemetry store without a sampler thread: passes are
+    /// driven through [`TelemetryHandle::sample_now`] on a caller
+    /// clock (the sim harness's virtual clock, typically). `base_step`
+    /// sets the finest ring resolution.
+    pub fn enable_telemetry_manual(&self, base_step: Duration) -> bool {
+        self.telemetry.enable_manual(
+            base_step,
+            TelemetrySources {
+                metrics: self.metrics.clone(),
+                slo: self.slo.clone(),
+            },
+        )
+    }
+
     /// Install an SLO for a servable, wiring its alert transitions into
     /// this handle's tracer, registry (`slo_alerts_fired_total`,
     /// `slo_alerts_active`) and flight recorder.
@@ -104,8 +143,12 @@ impl Obs {
         self.slo.register_with_recorder(
             spec,
             self.tracer.clone(),
-            self.metrics.counter("slo_alerts_fired_total"),
-            self.metrics.gauge("slo_alerts_active"),
+            self.metrics.counter_with_help(
+                "slo_alerts_fired_total",
+                "SLO alert firing transitions since startup",
+            ),
+            self.metrics
+                .gauge_with_help("slo_alerts_active", "SLO alerts currently firing"),
             self.recorder.clone(),
         );
     }

@@ -79,12 +79,16 @@ pub const HISTOGRAM_BUCKETS: usize = 64;
 /// [exemplars]: Histogram::record_with_exemplar
 pub const EXEMPLAR_SLOTS: usize = 4;
 
-fn bucket_index(v: u64) -> usize {
+/// Index of the log2 bucket that `v` lands in: `v`'s bit length,
+/// clamped to the last bucket. Shared with the telemetry layer so
+/// windowed histograms merged from ring slots agree bucket-for-bucket
+/// with the live histograms they were sampled from.
+pub fn bucket_index(v: u64) -> usize {
     ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
 }
 
 /// Inclusive upper bound of a bucket.
-fn bucket_bound(idx: usize) -> u64 {
+pub fn bucket_bound(idx: usize) -> u64 {
     if idx == 0 {
         0
     } else if idx >= HISTOGRAM_BUCKETS - 1 {
@@ -195,6 +199,13 @@ impl Histogram {
             p95: self.quantile(0.95).unwrap_or(0),
             p99: self.quantile(0.99).unwrap_or(0),
         })
+    }
+
+    /// All [`HISTOGRAM_BUCKETS`] cumulative bucket counts, empty ones
+    /// included — the raw form the telemetry collector samples, so a
+    /// per-step histogram stays mergeable by bucket-wise subtraction.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
     /// Non-empty buckets as `(inclusive upper bound, count)` pairs,
@@ -313,6 +324,9 @@ struct RegistryInner {
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
     series: RwLock<BTreeMap<String, Arc<ServableSeries>>>,
+    /// One-line descriptions keyed by metric name, surfaced as
+    /// `# HELP` lines in the Prometheus exposition.
+    help: RwLock<BTreeMap<String, String>>,
 }
 
 /// Named metrics registry. Cheap to clone; clones share state.
@@ -359,6 +373,82 @@ impl Registry {
         get_or_insert(&self.inner.series, servable)
     }
 
+    /// Attach a one-line description to a metric name (emitted as a
+    /// `# HELP` line in the Prometheus exposition). The first
+    /// description for a name wins, so registration sites may call
+    /// this idempotently.
+    pub fn describe(&self, name: &str, help: &str) {
+        if self.inner.help.read().contains_key(name) {
+            return;
+        }
+        self.inner
+            .help
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+    }
+
+    /// [`counter`](Self::counter) plus a [`describe`](Self::describe).
+    pub fn counter_with_help(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.describe(name, help);
+        self.counter(name)
+    }
+
+    /// [`gauge`](Self::gauge) plus a [`describe`](Self::describe).
+    pub fn gauge_with_help(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.describe(name, help);
+        self.gauge(name)
+    }
+
+    /// [`histogram`](Self::histogram) plus a
+    /// [`describe`](Self::describe).
+    pub fn histogram_with_help(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.describe(name, help);
+        self.histogram(name)
+    }
+
+    /// Live counter instruments, name-sorted (telemetry collector
+    /// hook: the collector reads the atomics directly rather than
+    /// paying for a full snapshot per sampling pass).
+    pub fn counter_entries(&self) -> Vec<(String, Arc<Counter>)> {
+        self.inner
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Live gauge instruments, name-sorted.
+    pub fn gauge_entries(&self) -> Vec<(String, Arc<Gauge>)> {
+        self.inner
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Live named histograms, name-sorted.
+    pub fn histogram_entries(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.inner
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Live per-servable series, name-sorted.
+    pub fn servable_entries(&self) -> Vec<(String, Arc<ServableSeries>)> {
+        self.inner
+            .series
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
     /// Point-in-time snapshot of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self
@@ -403,11 +493,19 @@ impl Registry {
                 )
             })
             .collect();
+        let help = self
+            .inner
+            .help
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         MetricsSnapshot {
             counters,
             gauges,
             histograms,
             servables,
+            help,
             spans_dropped: 0,
             slos: Vec::new(),
             contention: Vec::new(),
@@ -456,6 +554,9 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<(String, HistogramSummary)>,
     /// Name-sorted per-servable series.
     pub servables: Vec<(String, ServableSnapshot)>,
+    /// Name-sorted metric descriptions registered via
+    /// [`Registry::describe`], rendered as `# HELP` lines.
+    pub help: Vec<(String, String)>,
     /// Spans lost to ring overflow or store eviction (filled by
     /// [`crate::Obs::snapshot`]; a bare [`Registry::snapshot`] reports
     /// zero). Nonzero means trace analytics may see incomplete trees.
@@ -477,6 +578,21 @@ pub fn escape_label(value: &str) -> String {
         match c {
             '\\' => out.push_str("\\\\"),
             '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escape a `# HELP` text for the Prometheus exposition format:
+/// backslashes and newlines must be escaped so every help line stays a
+/// single physical line.
+fn escape_help(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             other => out.push(other),
         }
@@ -673,6 +789,7 @@ impl MetricsSnapshot {
             gauges,
             histograms,
             servables,
+            help: self.help.clone(),
             spans_dropped: self.spans_dropped.saturating_sub(baseline.spans_dropped),
             slos: self.slos.clone(),
             contention,
@@ -736,18 +853,35 @@ impl MetricsSnapshot {
     }
 
     /// Prometheus text exposition (latencies as seconds, summary
-    /// quantiles rather than raw buckets).
+    /// quantiles rather than raw buckets). Metric names carrying a
+    /// registered description get a `# HELP` line before their
+    /// `# TYPE`.
     pub fn render_prometheus(&self) -> String {
+        let help_for = |name: &str| -> Option<&str> {
+            self.help
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.as_str())
+        };
         let mut out = String::new();
         for (name, value) in &self.counters {
+            if let Some(help) = help_for(name) {
+                out.push_str(&format!("# HELP dlhub_{name} {}\n", escape_help(help)));
+            }
             out.push_str(&format!("# TYPE dlhub_{name} counter\n"));
             out.push_str(&format!("dlhub_{name} {value}\n"));
         }
         for (name, value) in &self.gauges {
+            if let Some(help) = help_for(name) {
+                out.push_str(&format!("# HELP dlhub_{name} {}\n", escape_help(help)));
+            }
             out.push_str(&format!("# TYPE dlhub_{name} gauge\n"));
             out.push_str(&format!("dlhub_{name} {value}\n"));
         }
         for (name, s) in &self.histograms {
+            if let Some(help) = help_for(name) {
+                out.push_str(&format!("# HELP dlhub_{name} {}\n", escape_help(help)));
+            }
             out.push_str(&format!("# TYPE dlhub_{name} summary\n"));
             for (q, v) in [(0.5, s.p50), (0.95, s.p95), (0.99, s.p99)] {
                 out.push_str(&format!("dlhub_{name}{{quantile=\"{q}\"}} {v}\n"));
@@ -755,11 +889,24 @@ impl MetricsSnapshot {
             out.push_str(&format!("dlhub_{name}_sum {}\n", s.sum));
             out.push_str(&format!("dlhub_{name}_count {}\n", s.count));
         }
+        out.push_str(
+            "# HELP dlhub_spans_dropped_total Spans lost to ring overflow or store eviction.\n",
+        );
         out.push_str("# TYPE dlhub_spans_dropped_total counter\n");
         out.push_str(&format!(
             "dlhub_spans_dropped_total {}\n",
             self.spans_dropped
         ));
+        if !self.servables.is_empty() {
+            out.push_str(
+                "# HELP dlhub_servable_requests_total Requests answered per servable (hits, misses and failures alike).\n\
+                 # TYPE dlhub_servable_requests_total counter\n\
+                 # HELP dlhub_servable_cache_hits_total Requests answered from the memo cache.\n\
+                 # TYPE dlhub_servable_cache_hits_total counter\n\
+                 # HELP dlhub_servable_errors_total Requests that returned an error.\n\
+                 # TYPE dlhub_servable_errors_total counter\n",
+            );
+        }
         for (servable, s) in &self.servables {
             let servable = escape_label(servable);
             let label = format!("{{servable=\"{servable}\"}}");
@@ -828,6 +975,14 @@ impl MetricsSnapshot {
                     batch.count
                 ));
             }
+        }
+        if !self.slos.is_empty() {
+            out.push_str(
+                "# HELP dlhub_slo_burn_rate Error-budget burn rate per objective and window.\n\
+                 # TYPE dlhub_slo_burn_rate gauge\n\
+                 # HELP dlhub_slo_firing Whether the multi-window SLO alert is firing.\n\
+                 # TYPE dlhub_slo_firing gauge\n",
+            );
         }
         for slo in &self.slos {
             let servable = escape_label(&slo.servable);
@@ -1175,6 +1330,66 @@ mod tests {
             j.contains("\"site\":\"broker.ring.park:dlhub-tasks\""),
             "{j}"
         );
+    }
+
+    #[test]
+    fn help_lines_render_before_type_lines() {
+        let reg = Registry::new();
+        reg.counter_with_help("broker_send_total", "Messages accepted by the broker.")
+            .add(2);
+        reg.gauge_with_help("async_queue_depth", "Jobs waiting in the injector queue.")
+            .set(3);
+        reg.histogram_with_help("broker_queue_wait_ns", "Queue wait per message, ns.")
+            .record(10);
+        // First description wins; later ones are ignored.
+        reg.describe("broker_send_total", "a different story");
+        reg.describe("weird_help", "text with \\ and\nnewline");
+        reg.counter("weird_help").inc();
+        let prom = reg.snapshot().render_prometheus();
+        let send_help = prom
+            .lines()
+            .position(|l| l == "# HELP dlhub_broker_send_total Messages accepted by the broker.");
+        let send_type = prom
+            .lines()
+            .position(|l| l == "# TYPE dlhub_broker_send_total counter");
+        assert!(send_help.is_some(), "{prom}");
+        assert!(send_help < send_type, "{prom}");
+        assert!(
+            prom.contains("# HELP dlhub_async_queue_depth Jobs waiting in the injector queue."),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("# HELP dlhub_broker_queue_wait_ns Queue wait per message, ns."),
+            "{prom}"
+        );
+        assert!(!prom.contains("a different story"), "{prom}");
+        // Help text is escaped onto one physical line.
+        assert!(prom.contains("text with \\\\ and\\nnewline"), "{prom}");
+        // Undescribed metrics still render without a HELP line.
+        reg.counter("bare").inc();
+        let prom = reg.snapshot().render_prometheus();
+        assert!(prom.contains("# TYPE dlhub_bare counter"), "{prom}");
+        assert!(!prom.contains("# HELP dlhub_bare"), "{prom}");
+    }
+
+    #[test]
+    fn entries_expose_live_instruments() {
+        let reg = Registry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(-2);
+        reg.histogram("h").record(5);
+        reg.series("s/v").requests.inc();
+        let counters = reg.counter_entries();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(counters[0].0, "c");
+        assert_eq!(counters[0].1.get(), 7);
+        assert_eq!(reg.gauge_entries()[0].1.get(), -2);
+        let (name, h) = &reg.histogram_entries()[0];
+        assert_eq!(name, "h");
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets.iter().sum::<u64>(), 1);
+        assert_eq!(buckets[bucket_index(5)], 1);
+        assert_eq!(reg.servable_entries()[0].1.requests.get(), 1);
     }
 
     #[test]

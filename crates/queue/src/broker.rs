@@ -315,11 +315,24 @@ impl Broker {
     /// no-ops (the broker is shared by clones).
     pub fn attach_obs(&self, obs: &Obs) {
         let _ = self.inner.obs.set(BrokerObs {
-            send: obs.metrics.counter("broker_send_total"),
-            recv: obs.metrics.counter("broker_recv_total"),
-            queue_wait: obs.metrics.histogram("broker_queue_wait_ns"),
-            dropped: obs.metrics.counter("broker_dropped_total"),
-            redelivered: obs.metrics.counter("broker_redelivered_total"),
+            send: obs
+                .metrics
+                .counter_with_help("broker_send_total", "Messages published across all topics"),
+            recv: obs
+                .metrics
+                .counter_with_help("broker_recv_total", "Messages delivered to consumers"),
+            queue_wait: obs.metrics.histogram_with_help(
+                "broker_queue_wait_ns",
+                "Time messages spent queued before delivery",
+            ),
+            dropped: obs.metrics.counter_with_help(
+                "broker_dropped_total",
+                "Messages dropped by bounded rings under backpressure",
+            ),
+            redelivered: obs.metrics.counter_with_help(
+                "broker_redelivered_total",
+                "Messages requeued after a lease expired unacknowledged",
+            ),
             contention: obs.contention.clone(),
             profiler: obs.profile.clone(),
             topics_lock: obs.contention.site("broker.topics_lock"),

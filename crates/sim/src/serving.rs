@@ -343,6 +343,50 @@ pub fn record_samples(metrics: &dlhub_obs::Registry, servable: &str, samples: &[
     }
 }
 
+/// Replay a simulated timing series through an [`dlhub_obs::Obs`]
+/// handle's metric registry *and* its telemetry collector, on the
+/// closed-loop virtual clock (the next request is issued when the
+/// previous response lands, §V-B): after each sample the virtual time
+/// advances by that request's latency, and whenever it crosses a
+/// base-step boundary of the collector the store takes one sampling
+/// pass at exactly that boundary. Because every timestamp comes from
+/// `SimTime` — never the wall clock — two replays of the same seeded
+/// sample series export bit-identical series. Requires the handle's
+/// telemetry to be armed in manual mode
+/// ([`dlhub_obs::Obs::enable_telemetry_manual`]); returns the number
+/// of sampling passes taken.
+pub fn replay_telemetry(obs: &dlhub_obs::Obs, servable: &str, samples: &[RequestSample]) -> u64 {
+    let step = obs
+        .telemetry
+        .base_step()
+        .expect("telemetry must be enabled (manual mode) before replay")
+        .as_nanos()
+        .min(u64::MAX as u128) as u64;
+    let series = obs.metrics.series(servable);
+    let mut now = 0u64;
+    let mut next_pass = step;
+    let mut passes = 0u64;
+    for sample in samples {
+        now += sample.request.0;
+        while next_pass <= now {
+            obs.telemetry.sample_now(next_pass);
+            next_pass += step;
+            passes += 1;
+        }
+        series.requests.inc();
+        series.request_latency.record(sample.request.0);
+        series.invocation_latency.record(sample.invocation.0);
+        if sample.cache_hit {
+            series.cache_hits.inc();
+        } else {
+            series.inference_latency.record(sample.inference.0);
+        }
+    }
+    // One closing pass so the final partial step is captured.
+    obs.telemetry.sample_now(next_pass);
+    passes + 1
+}
+
 /// Fraction of samples whose request latency meets `threshold` — the
 /// virtual-time counterpart of the serving stack's SLO burn tracking
 /// (which runs on wall-clock windows and so can't be driven by the

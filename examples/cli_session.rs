@@ -13,14 +13,16 @@ use std::sync::Arc;
 fn main() {
     // A loose latency objective on the servable this session publishes:
     // `dlhub slo` below shows its burn rates and (quiet) alert state.
-    // The profiler and flight recorder are normally off (and statically
-    // free); enabling them here lets the session demo `dlhub profile`,
-    // `dlhub contention` and `dlhub bundle`.
+    // The profiler, flight recorder and time-series collector are
+    // normally off (and statically free); enabling them here lets the
+    // session demo `dlhub profile`, `dlhub contention`, `dlhub bundle`
+    // and `dlhub top`.
     let hub = TestHub::builder()
         .without_eval_servables()
         .config(dlhub_core::serving::ServingConfig {
             profile_hz: 99,
             recorder_capacity: 4,
+            telemetry_interval: std::time::Duration::from_millis(25),
             ..Default::default()
         })
         .slo(dlhub_core::obs::SloSpec::new(
@@ -77,9 +79,10 @@ fn main() {
         .and_then(|rest| rest.strip_suffix(')'))
         .expect("run output carries its trace id")
         .to_string();
-    // Give the 99 Hz background sampler a few ticks to observe the
-    // session before asking for the collapsed-stack profile.
-    std::thread::sleep(std::time::Duration::from_millis(80));
+    // Give the 99 Hz background sampler and the 25 ms time-series
+    // collector a few ticks to observe the session before asking for
+    // the collapsed-stack profile and the `dlhub top` dashboard.
+    std::thread::sleep(std::time::Duration::from_millis(120));
     for args in [
         vec!["stats"],
         vec!["stats", "--delta"],
@@ -88,6 +91,9 @@ fn main() {
         vec!["analyze", trace_id.as_str()],
         vec!["analyze"],
         vec!["slo"],
+        vec!["slo", "--json"],
+        vec!["top"],
+        vec!["top", "--window-s", "5"],
         vec!["profile"],
         vec!["contention"],
         vec!["bundle"],
@@ -107,6 +113,7 @@ fn main() {
         vec!["trace", "not-a-trace-id"],
         vec!["analyze", "0xdeadbeef"],
         vec!["bundle", "999"],
+        vec!["top", "--frames"],
     ] {
         println!("$ dlhub {}", args.join(" "));
         match cli.execute(&workdir, &args) {

@@ -28,7 +28,14 @@ Checks:
             committed BENCH_hotpath.json, which full-length runs
             produce; smoke runs are too noisy for a 5%% bound.
 
-Usage: bench_gate.py [--check hotpath|broker|overhead|all]   (default: all)
+  telemetry committed contract: the hotpath bench's collector A/B —
+            throughput with the time-series telemetry collector
+            sampling every registered metric must stay within
+            OVERHEAD_GATE_RATIO of the collector-disabled run, the
+            A/B must have taken sampling passes, and the artifact's
+            embedded telemetry export must carry non-empty series.
+
+Usage: bench_gate.py [--check hotpath|broker|overhead|telemetry|all]   (default: all)
 
 Environment:
   BENCH_GATE_RATIO          throughput floor as a fraction of the
@@ -42,9 +49,10 @@ Environment:
                             (default 6.0)
   BROKER_GATE_SPEEDUP       minimum fresh 1-to-8-client broker scaling,
                             noise floor for shared runners (default 2.0)
-  OVERHEAD_GATE_RATIO       minimum committed enabled/disabled profiler
-                            throughput ratio (default 0.95; <=0
-                            disables the overhead gate)
+  OVERHEAD_GATE_RATIO       minimum committed enabled/disabled
+                            throughput ratio for both the profiler and
+                            telemetry A/Bs (default 0.95; <=0 disables
+                            the overhead and telemetry gates)
 """
 
 import argparse
@@ -222,14 +230,68 @@ def check_overhead():
     )
 
 
+def check_telemetry():
+    floor = float(os.environ.get("OVERHEAD_GATE_RATIO", "0.95"))
+    if floor <= 0:
+        print("bench gate: telemetry gate disabled (OVERHEAD_GATE_RATIO<=0)")
+        return
+    committed = load("BENCH_hotpath.json")
+    if committed is None:
+        print("bench gate: no committed BENCH_hotpath.json; skipping telemetry")
+        return
+    overhead = committed.get("telemetry_overhead")
+    if overhead is None:
+        sys.exit(
+            "bench gate: committed BENCH_hotpath.json has no "
+            "telemetry_overhead object; regenerate with the collector A/B"
+        )
+    ratio = overhead.get("enabled_over_disabled", 0.0)
+    if ratio < floor:
+        sys.exit(
+            "bench gate: telemetry overhead — enabled {:.0f} req/s vs "
+            "disabled {:.0f} (ratio {:.3f} < floor {})".format(
+                overhead.get("enabled_req_per_s", 0.0),
+                overhead.get("disabled_req_per_s", 0.0),
+                ratio,
+                floor,
+            )
+        )
+    if overhead.get("telemetry_samples", 0) <= 0:
+        sys.exit(
+            "bench gate: telemetry A/B took no sampling passes — "
+            "the enabled side was not actually collecting"
+        )
+    export = committed.get("telemetry")
+    if not export or not export.get("series"):
+        sys.exit(
+            "bench gate: committed BENCH_hotpath.json telemetry export "
+            "has no series; the time axis is missing"
+        )
+    print(
+        "bench gate: telemetry overhead within bound ({:.0f} → {:.0f} "
+        "req/s, ratio {:.3f} >= {}, {} passes, {} series exported)".format(
+            overhead.get("disabled_req_per_s", 0.0),
+            overhead.get("enabled_req_per_s", 0.0),
+            ratio,
+            floor,
+            overhead.get("telemetry_samples", 0),
+            len(export.get("series", [])),
+        )
+    )
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument(
-        "--check", choices=["hotpath", "broker", "overhead", "all"], default="all"
+        "--check",
+        choices=["hotpath", "broker", "overhead", "telemetry", "all"],
+        default="all",
     )
     opts = parser.parse_args()
     if opts.check in ("overhead", "all"):
         check_overhead()
+    if opts.check in ("telemetry", "all"):
+        check_telemetry()
     ratio = float(os.environ.get("BENCH_GATE_RATIO", "0.25"))
     if ratio <= 0:
         print("bench gate: disabled (BENCH_GATE_RATIO<=0)")

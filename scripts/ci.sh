@@ -103,6 +103,45 @@ print(
 )
 EOF
 
+echo "######## telemetry smoke (time-series export)"
+# The hotpath smoke also ran the telemetry collector A/B: the artifact
+# must carry the telemetry_overhead object, the collector must have
+# taken sampling passes, and the embedded time-series export must hold
+# real series. The 0.95 overhead contract itself is enforced by
+# bench_gate.py against the committed full-length artifact — a 100 ms
+# smoke window is far too noisy for a 5% bound.
+python3 - <<'EOF'
+import json, sys
+doc = json.load(open("results/BENCH_hotpath.json"))
+overhead = doc.get("telemetry_overhead")
+if not overhead:
+    sys.exit("ci: BENCH_hotpath.json has no telemetry collector A/B")
+if not overhead.get("telemetry_samples", 0) > 0:
+    sys.exit("ci: telemetry A/B took no sampling passes")
+export = doc.get("telemetry")
+if not export:
+    sys.exit("ci: BENCH_hotpath.json has no telemetry time-series export")
+if not export.get("samples_taken", 0) > 0:
+    sys.exit("ci: telemetry export records zero sampling passes")
+series = export.get("series") or []
+names = {s.get("name") for s in series}
+if "servable.dlhub/echo.requests" not in names:
+    sys.exit("ci: telemetry export has no echo request series")
+req = next(s for s in series if s["name"] == "servable.dlhub/echo.requests")
+points = sum(len(t.get("points", [])) for t in req.get("tiers", []))
+if points == 0:
+    sys.exit("ci: echo request series exported no points")
+print(
+    "ci: telemetry smoke OK (ratio {:.3f}, {} passes, {} series, "
+    "{} echo points)".format(
+        overhead.get("enabled_over_disabled", 0.0),
+        overhead["telemetry_samples"],
+        len(series),
+        points,
+    )
+)
+EOF
+
 echo "######## broker smoke (sharded rings + zero-copy path)"
 # Short windows; BROKER_MIRROR=0 keeps the smoke run from clobbering
 # the committed full-length BENCH_broker.json at the workspace root.
