@@ -68,6 +68,19 @@ impl TokenInfo {
         self.scopes.iter().any(|s| s == scope)
     }
 
+    /// The tenant key a resource server should account this caller
+    /// under: the *smallest* identity in the linked set. Linking is
+    /// symmetric, so two tokens issued to different linked identities
+    /// of the same person map to the same tenant — one human cannot
+    /// multiply their quota by minting tokens under each alias.
+    pub fn tenant(&self) -> IdentityId {
+        self.linked_identities
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(self.identity)
+    }
+
     /// Remaining validity; zero if expired.
     pub fn ttl(&self) -> Duration {
         self.expires_at.saturating_duration_since(Instant::now())
@@ -110,5 +123,36 @@ mod tests {
         assert!(!info.has_scope(&Scope::new("dlhub", "dlhub:publish")));
         assert!(!info.expired());
         assert!(info.ttl() > Duration::from_secs(50));
+    }
+
+    #[test]
+    fn tenant_is_stable_across_linked_identities() {
+        // Two tokens for the same person, issued under different linked
+        // identities, must account to the same tenant key.
+        let a = TokenInfo {
+            identity: IdentityId(7),
+            linked_identities: vec![IdentityId(7), IdentityId(3)],
+            scopes: vec![],
+            expires_at: Instant::now() + Duration::from_secs(60),
+            dependent: false,
+        };
+        let b = TokenInfo {
+            identity: IdentityId(3),
+            linked_identities: vec![IdentityId(3), IdentityId(7)],
+            scopes: vec![],
+            expires_at: Instant::now() + Duration::from_secs(60),
+            dependent: false,
+        };
+        assert_eq!(a.tenant(), b.tenant());
+        assert_eq!(a.tenant(), IdentityId(3));
+        // An unlinked identity is its own tenant.
+        let solo = TokenInfo {
+            identity: IdentityId(9),
+            linked_identities: vec![IdentityId(9)],
+            scopes: vec![],
+            expires_at: Instant::now() + Duration::from_secs(60),
+            dependent: false,
+        };
+        assert_eq!(solo.tenant(), IdentityId(9));
     }
 }

@@ -41,6 +41,17 @@ pub enum DlhubError {
         /// The final attempt's failure.
         last_error: String,
     },
+    /// The admission controller shed this request before dispatch: the
+    /// service is at capacity (bounded-queue occupancy, queue-wait or
+    /// burn-rate breach) or the caller's tenant is over its fair share.
+    /// 429-style: the caller should back off for `retry_after_ms`
+    /// before retrying. Distinct from [`DlhubError::Exhausted`] — no
+    /// attempt was ever dispatched, so nothing deep in the stack timed
+    /// out.
+    Overloaded {
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// No executor can run this servable type.
     NoExecutor(String),
     /// Async task id unknown — it was never registered with this
@@ -76,6 +87,9 @@ impl fmt::Display for DlhubError {
                 f,
                 "request to {servable} exhausted after {attempts} attempts: {last_error}"
             ),
+            DlhubError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: retry after {retry_after_ms} ms")
+            }
             DlhubError::NoExecutor(t) => write!(f, "no executor for model type {t}"),
             DlhubError::UnknownTask(id) => write!(f, "unknown task: {id}"),
             DlhubError::ExpiredTask(id) => write!(f, "task expired: {id}"),
@@ -86,11 +100,13 @@ impl fmt::Display for DlhubError {
 
 impl DlhubError {
     /// How many dispatch attempts stand behind this error: the recorded
-    /// count for [`DlhubError::Exhausted`], 1 for everything else (an
-    /// error that was not retried).
+    /// count for [`DlhubError::Exhausted`], 0 for a shed request
+    /// ([`DlhubError::Overloaded`] never dispatched anything), 1 for
+    /// everything else (an error that was not retried).
     pub fn attempts(&self) -> u32 {
         match self {
             DlhubError::Exhausted { attempts, .. } => *attempts,
+            DlhubError::Overloaded { .. } => 0,
             _ => 1,
         }
     }

@@ -11,10 +11,10 @@ use crate::value::Value;
 use crossbeam::channel;
 use dlhub_container::{Cluster, Digest, PodSpec};
 use dlhub_fault::{site, FaultHandle, FaultKind};
-use dlhub_obs::{Counter, Gauge, Obs, ProfilerHandle, SpanRecord, TraceContext};
+use dlhub_obs::{Counter, Gauge, Histogram, Obs, ProfilerHandle, SpanRecord, TraceContext};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -95,6 +95,26 @@ pub trait Executor: Send + Sync {
     ) -> Result<(Vec<Value>, Vec<Duration>), String> {
         self.execute_traced(servable_id, servable, &inputs, obs, parent)
     }
+
+    /// Resize a servable's replica pool; returns the applied count.
+    /// Inline executors (TF-Serving, SageMaker) have no pools: the
+    /// default ignores the request and reports one always-on server.
+    /// Pooled executors override this (see [`ParslExecutor::scale`]).
+    fn scale(&self, _servable_id: &str, _replicas: usize) -> usize {
+        1
+    }
+
+    /// Current replica count for a servable; inline executors always
+    /// report one.
+    fn replicas(&self, _servable_id: &str) -> usize {
+        1
+    }
+
+    /// Replicas of the servable currently quarantined by health
+    /// supervision; executors without supervision report zero.
+    fn quarantined(&self, _servable_id: &str) -> usize {
+        0
+    }
 }
 
 /// Trace baggage attached to a pooled job so the replica thread can
@@ -153,6 +173,9 @@ impl Default for HealthPolicy {
 struct HealthMetrics {
     quarantined: Arc<Gauge>,
     restarts: Arc<Counter>,
+    /// Wall time to bring a pool from zero replicas to serving, fed by
+    /// [`ParslExecutor::scale`] on every cold start.
+    cold_start: Arc<Histogram>,
     /// Replica threads mark `replica.execute` frames while running
     /// user code, so profiler samples attribute worker CPU.
     profiler: ProfilerHandle,
@@ -162,6 +185,11 @@ struct Pool {
     sender: channel::Sender<Job>,
     workers: Vec<std::thread::JoinHandle<()>>,
     replicas: usize,
+    /// Replicas of *this* pool sitting in quarantine right now. The
+    /// reconciler reads it per servable so a quarantine + scale-down
+    /// cannot count sick replicas as capacity; the global
+    /// `replicas_quarantined` gauge still aggregates across pools.
+    quarantined: Arc<AtomicUsize>,
 }
 
 impl Pool {
@@ -173,11 +201,13 @@ impl Pool {
         metrics: Arc<OnceLock<HealthMetrics>>,
     ) -> Pool {
         let (sender, receiver) = channel::unbounded::<Job>();
+        let quarantined = Arc::new(AtomicUsize::new(0));
         let workers = (0..replicas)
             .map(|i| {
                 let rx = receiver.clone();
                 let faults = faults.clone();
                 let metrics = Arc::clone(&metrics);
+                let pool_quarantined = Arc::clone(&quarantined);
                 std::thread::Builder::new()
                     .name(format!("pod-{servable_id}-{i}"))
                     .spawn(move || {
@@ -251,11 +281,13 @@ impl Pool {
                                 } else {
                                     strikes += 1;
                                     if strikes >= policy.quarantine_after {
+                                        pool_quarantined.fetch_add(1, Ordering::Relaxed);
                                         if let Some(m) = metrics.get() {
                                             m.quarantined.add(1);
                                         }
                                         std::thread::sleep(policy.quarantine_for);
                                         strikes = 0;
+                                        pool_quarantined.fetch_sub(1, Ordering::Relaxed);
                                         if let Some(m) = metrics.get() {
                                             m.quarantined.add(-1);
                                             m.restarts.inc();
@@ -272,6 +304,7 @@ impl Pool {
             sender,
             workers,
             replicas,
+            quarantined,
         }
     }
 
@@ -356,15 +389,32 @@ impl ParslExecutor {
                 "replica_restarts_total",
                 "Replica processes restarted by health supervision",
             ),
+            cold_start: obs.metrics.histogram_with_help(
+                "cold_start_ns",
+                "Wall time to bring a replica pool from zero to serving",
+            ),
             profiler: obs.profile.clone(),
         });
     }
 
     /// Scale a servable's replica pool, mirroring the change into the
     /// cluster's Deployment. Returns the new replica count.
+    ///
+    /// `replicas == 0` is scale-to-zero: the Deployment's pods are
+    /// terminated and the pool is dropped. The next dispatch (or the
+    /// next non-zero `scale`) recreates the pool and pays a cold start,
+    /// recorded in the `cold_start_ns` histogram when observability is
+    /// attached.
     pub fn scale(&self, servable_id: &str, replicas: usize) -> usize {
-        let replicas = replicas.max(1);
         let deployment = format!("parsl-{}", servable_id.replace('/', "-"));
+        if replicas == 0 {
+            let _ = self.cluster.scale(&deployment, 0);
+            let mut pools = self.pools.write();
+            if let Some(pool) = pools.remove(servable_id) {
+                pool.shutdown();
+            }
+            return 0;
+        }
         if self.cluster.running_pods(&deployment).is_empty() {
             let _ = self.cluster.create_deployment(
                 &deployment,
@@ -379,6 +429,7 @@ impl ParslExecutor {
             let _ = self.cluster.scale(&deployment, replicas);
         }
         let mut pools = self.pools.write();
+        let cold = !pools.contains_key(servable_id);
         if let Some(pool) = pools.remove(servable_id) {
             if pool.replicas == replicas {
                 pools.insert(servable_id.to_string(), pool);
@@ -386,6 +437,7 @@ impl ParslExecutor {
             }
             pool.shutdown();
         }
+        let spawn_started = Instant::now();
         pools.insert(
             servable_id.to_string(),
             Pool::spawn(
@@ -396,12 +448,29 @@ impl ParslExecutor {
                 Arc::clone(&self.metrics),
             ),
         );
+        if cold {
+            if let Some(m) = self.metrics.get() {
+                m.cold_start
+                    .record(spawn_started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
+        }
         replicas
     }
 
-    /// Current replica count for a servable (0 if never deployed).
+    /// Current replica count for a servable (0 if never deployed or
+    /// scaled to zero).
     pub fn replicas(&self, servable_id: &str) -> usize {
         self.pools.read().get(servable_id).map_or(0, |p| p.replicas)
+    }
+
+    /// Replicas of the servable sitting in quarantine right now (0 if
+    /// never deployed). The reconciler subtracts this from observed
+    /// capacity so sick replicas are never scaled away as surplus.
+    pub fn quarantined(&self, servable_id: &str) -> usize {
+        self.pools
+            .read()
+            .get(servable_id)
+            .map_or(0, |p| p.quarantined.load(Ordering::Relaxed))
     }
 
     fn ensure_pool(&self, servable_id: &str) {
@@ -542,6 +611,18 @@ impl Executor for ParslExecutor {
             _ => None,
         };
         self.execute_inner(servable_id, servable, inputs, trace)
+    }
+
+    fn scale(&self, servable_id: &str, replicas: usize) -> usize {
+        ParslExecutor::scale(self, servable_id, replicas)
+    }
+
+    fn replicas(&self, servable_id: &str) -> usize {
+        ParslExecutor::replicas(self, servable_id)
+    }
+
+    fn quarantined(&self, servable_id: &str) -> usize {
+        ParslExecutor::quarantined(self, servable_id)
     }
 }
 
@@ -717,6 +798,62 @@ mod tests {
         let echo = servable_fn(|v| Ok(v.clone()));
         let (out, _) = ex.execute("u/m", &echo, &[Value::Int(1)]).unwrap();
         assert_eq!(out, vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn parsl_scales_to_zero_and_cold_starts_back() {
+        let ex = ParslExecutor::new(cluster(), 2);
+        let obs = Obs::new();
+        ex.attach_obs(&obs);
+        let echo = servable_fn(|v| Ok(v.clone()));
+        ex.execute("u/idle", &echo, &[Value::Int(1)]).unwrap();
+        assert_eq!(ex.replicas("u/idle"), 2);
+        // Park the pool: pods terminated, pool dropped.
+        assert_eq!(ex.scale("u/idle", 0), 0);
+        assert_eq!(ex.replicas("u/idle"), 0);
+        assert!(ex.cluster.running_pods("parsl-u-idle").is_empty());
+        // First request after park recreates the pool (cold start).
+        let (out, _) = ex.execute("u/idle", &echo, &[Value::Int(2)]).unwrap();
+        assert_eq!(out, vec![Value::Int(2)]);
+        assert_eq!(ex.replicas("u/idle"), 2);
+        // Both pool creations were cold starts; rescales are not.
+        assert_eq!(obs.metrics.histogram("cold_start_ns").count(), 2);
+        ex.scale("u/idle", 3);
+        assert_eq!(obs.metrics.histogram("cold_start_ns").count(), 2);
+    }
+
+    #[test]
+    fn quarantined_is_tracked_per_pool() {
+        let ex = ParslExecutor::new(cluster(), 1).with_health(Some(HealthPolicy {
+            quarantine_after: 1,
+            quarantine_for: Duration::from_millis(200),
+        }));
+        let failing = servable_fn(|_| Err("kaboom".into()));
+        assert_eq!(ex.quarantined("u/sick"), 0);
+        let _ = ex.execute("u/sick", &failing, &[Value::Null]);
+        // The single replica strikes out immediately and sits in
+        // quarantine; the per-pool counter must see it, and the
+        // healthy pool next door must not.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while ex.quarantined("u/sick") == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(ex.quarantined("u/sick"), 1);
+        assert_eq!(ex.quarantined("u/healthy"), 0);
+        // After the quarantine window the replica returns to duty.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while ex.quarantined("u/sick") > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(ex.quarantined("u/sick"), 0);
+    }
+
+    #[test]
+    fn inline_executors_report_one_fixed_replica() {
+        let tfs = TfServingExecutor::new();
+        assert_eq!(Executor::scale(&tfs, "u/m", 5), 1);
+        assert_eq!(Executor::replicas(&tfs, "u/m"), 1);
+        assert_eq!(Executor::quarantined(&tfs, "u/m"), 0);
     }
 
     #[test]

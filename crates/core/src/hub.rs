@@ -218,7 +218,13 @@ impl TestHubBuilder {
                 self.faults.clone(),
             ));
         }
+        let autoscale = config.autoscale.is_some();
         let service = ManagementService::with_obs(Arc::clone(&repo), &broker, config, obs);
+        if autoscale {
+            // The control loop actuates through the first TM's exposed
+            // Parsl executor — the one tests and benches inspect.
+            service.attach_autoscaler(Arc::clone(&parsl));
+        }
         TestHub {
             auth,
             repo,

@@ -36,6 +36,7 @@
 //! assert_eq!(out.value, Value::Str("hello world".into()));
 //! ```
 
+pub mod admission;
 pub mod autoscale;
 pub mod batch;
 pub mod error;

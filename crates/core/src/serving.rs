@@ -6,8 +6,11 @@
 //! functionality to … optimize task performance, route workloads to
 //! suitable executors, batch tasks, and cache results."
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionPermit};
+use crate::autoscale::{ControlDecision, ControlPolicy, Reconciler, TelemetrySignals};
 use crate::batch::Batcher;
 use crate::error::DlhubError;
+use crate::executor::ParslExecutor;
 use crate::memo::{MemoCache, MemoKey, MemoStats};
 use crate::metrics::Timings;
 use crate::pipeline::{Pipeline, StepTiming};
@@ -17,7 +20,7 @@ use crate::servable::{Servable, ServableMetadata};
 use crate::task::{next_task_id, TaskHandle, TaskRequest, TaskResponse, TaskStatus, TaskTable};
 use crate::task_manager::{TmRegistration, REGISTRATION_TOPIC};
 use crate::value::Value;
-use dlhub_auth::{Scope, Token};
+use dlhub_auth::{IdentityId, Scope, Token};
 use dlhub_fault::{site, FaultHandle};
 use dlhub_obs::{
     Bundle, ContentionSnapshot, Gauge, MetricsSnapshot, Obs, ProfileReport, SloSpec, TraceAnalysis,
@@ -27,7 +30,7 @@ use dlhub_queue::{Broker, RpcClient};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Management Service configuration.
@@ -94,6 +97,20 @@ pub struct ServingConfig {
     /// SLO burn rate into ring-buffered multi-resolution history
     /// (`dlhub top`, `ControlSignals`, bench time axes).
     pub telemetry_interval: Duration,
+    /// Closed-loop autoscaling policy. `None` (the default) leaves the
+    /// reconciler off; `Some` arms it once
+    /// [`ManagementService::attach_autoscaler`] wires the executor.
+    pub autoscale: Option<ControlPolicy>,
+    /// Background reconcile interval. Zero (the default) spawns no
+    /// thread — the embedder drives passes manually through
+    /// [`ManagementService::reconcile_at`] (the sim harness does this
+    /// on its virtual clock for deterministic decision logs).
+    pub autoscale_interval: Duration,
+    /// Admission control. `None` (the default) admits everything;
+    /// `Some` bounds inflight requests, sheds early with
+    /// [`DlhubError::Overloaded`] under pressure, and schedules
+    /// contended capacity by per-tenant weighted fair shares.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for ServingConfig {
@@ -116,6 +133,9 @@ impl Default for ServingConfig {
             profile_hz: 0,
             recorder_capacity: 0,
             telemetry_interval: Duration::ZERO,
+            autoscale: None,
+            autoscale_interval: Duration::ZERO,
+            admission: None,
         }
     }
 }
@@ -257,6 +277,11 @@ pub struct ManagementService {
     profiles: ProfileRegistry,
     broker: Broker,
     config: ServingConfig,
+    /// The front door ([`ServingConfig::admission`]); `None` admits
+    /// everything.
+    admission: Option<Arc<AdmissionController>>,
+    /// The autoscaling actuator, armed by [`Self::attach_autoscaler`].
+    reconciler: OnceLock<Arc<Reconciler>>,
     obs: Obs,
     /// Baseline for [`Self::metrics_delta`]: the snapshot taken at the
     /// previous delta call (or construction), so consecutive deltas
@@ -318,6 +343,15 @@ impl ManagementService {
         let rpc = RpcClient::connect(broker, &config.task_topic);
         rpc.attach_obs(&obs);
         broker.attach_obs(&obs);
+        let admission = config.admission.clone().map(|cfg| {
+            Arc::new(AdmissionController::new(cfg).with_observability(
+                obs.metrics.counter_with_help(
+                    "requests_shed_total",
+                    "Requests shed by the admission controller before dispatch",
+                ),
+                obs.recorder.clone(),
+            ))
+        });
         Arc::new(ManagementService {
             rpc,
             memo: MemoCache::new(config.memo_capacity)
@@ -343,6 +377,8 @@ impl ManagementService {
             broker: broker.clone(),
             repo,
             config,
+            admission,
+            reconciler: OnceLock::new(),
             delta_baseline: Mutex::new(obs.snapshot()),
             obs,
         })
@@ -414,6 +450,83 @@ impl ManagementService {
         self.obs.telemetry.signals()
     }
 
+    /// Arm the autoscaling reconciler over `executor`'s replica pools.
+    /// Returns `false` (and does nothing) while
+    /// [`ServingConfig::autoscale`] is unset; first attach wins. With a
+    /// non-zero [`ServingConfig::autoscale_interval`] a
+    /// `dlhub-reconciler` thread drives passes on the wall clock,
+    /// holding only a `Weak` so it exits once the service drops; with a
+    /// zero interval the embedder drives [`Self::reconcile_at`] on a
+    /// clock of its choosing (the sim harness uses its virtual clock,
+    /// which is what makes seeded decision logs byte-identical).
+    pub fn attach_autoscaler(&self, executor: Arc<ParslExecutor>) -> bool {
+        let Some(policy) = self.config.autoscale.clone() else {
+            return false;
+        };
+        let mut created = false;
+        let reconciler = self.reconciler.get_or_init(|| {
+            created = true;
+            Arc::new(
+                Reconciler::new(self.profiles.clone(), executor, policy).with_counter(
+                    self.obs.metrics.counter_with_help(
+                        "autoscale_decisions_total",
+                        "Scaling decisions applied by the control loop",
+                    ),
+                ),
+            )
+        });
+        if created && !self.config.autoscale_interval.is_zero() {
+            let weak = Arc::downgrade(reconciler);
+            let telemetry = self.obs.telemetry.clone();
+            let interval = self.config.autoscale_interval;
+            std::thread::Builder::new()
+                .name("dlhub-reconciler".into())
+                .spawn(move || loop {
+                    std::thread::sleep(interval);
+                    match weak.upgrade() {
+                        Some(reconciler) => {
+                            if let Some(signals) = telemetry.signals() {
+                                let signals = TelemetrySignals::new(signals);
+                                reconciler.reconcile_at(dlhub_obs::now_ns(), &signals);
+                            }
+                        }
+                        None => break,
+                    }
+                })
+                .expect("spawn reconciler thread");
+        }
+        created
+    }
+
+    /// The attached reconciler (decision log, policy), or `None` before
+    /// [`Self::attach_autoscaler`].
+    pub fn reconciler(&self) -> Option<Arc<Reconciler>> {
+        self.reconciler.get().cloned()
+    }
+
+    /// One manual reconcile pass at (virtual) time `now_ns`, reading
+    /// the telemetry store's control signals. Returns the decisions
+    /// applied; empty while the reconciler or telemetry is unarmed.
+    pub fn reconcile_at(&self, now_ns: u64) -> Vec<ControlDecision> {
+        let (Some(reconciler), Some(signals)) = (self.reconciler.get(), self.control_signals())
+        else {
+            return Vec::new();
+        };
+        reconciler.reconcile_at(now_ns, &TelemetrySignals::new(signals))
+    }
+
+    /// One reconcile pass on the wall clock, for embedders that want
+    /// an immediate pass between background ticks (or without any).
+    pub fn reconcile_now(&self) -> Vec<ControlDecision> {
+        self.reconcile_at(dlhub_obs::now_ns())
+    }
+
+    /// The admission controller, or `None` while admission control is
+    /// disabled ([`ServingConfig::admission`] unset).
+    pub fn admission(&self) -> Option<&Arc<AdmissionController>> {
+        self.admission.as_ref()
+    }
+
     /// Collect and export spans, optionally restricted to one trace id
     /// (as returned in [`RunResult::trace`]).
     pub fn trace_export(&self, trace: Option<u64>) -> TraceExport {
@@ -481,25 +594,29 @@ impl ManagementService {
         self.memo.stats()
     }
 
-    fn authorize_serve(&self, token: &Token) -> Result<(), DlhubError> {
+    /// Authorize the serve scope, returning the caller's tenant key
+    /// (smallest linked identity — see [`dlhub_auth::TokenInfo::tenant`])
+    /// for admission accounting.
+    fn authorize_serve(&self, token: &Token) -> Result<IdentityId, DlhubError> {
         self.repo
             .auth()
             .authorize(
                 token,
                 &Scope::new(crate::repository::RESOURCE_SERVER, SERVE_SCOPE),
             )
-            .map(|_| ())
+            .map(|info| info.tenant())
             .map_err(DlhubError::from)
     }
 
-    /// Validate the caller and input, returning the servable metadata.
+    /// Validate the caller and input, returning the servable metadata
+    /// plus the caller's tenant key.
     fn preflight(
         &self,
         token: &Token,
         id: &str,
         inputs: &[Value],
-    ) -> Result<ServableMetadata, DlhubError> {
-        self.authorize_serve(token)?;
+    ) -> Result<(ServableMetadata, IdentityId), DlhubError> {
+        let tenant = self.authorize_serve(token)?;
         let (_, metadata) = self.repo.resolve(Some(token), id)?;
         for input in inputs {
             if !metadata.input_type.matches(input) {
@@ -509,7 +626,40 @@ impl ManagementService {
                 });
             }
         }
-        Ok(metadata)
+        Ok((metadata, tenant))
+    }
+
+    /// Pass `tenant`'s request through the admission controller (a
+    /// no-op `Ok(None)` while admission is disabled). The permit holds
+    /// the inflight slot and must live for the request's duration.
+    /// Contention pressure is read from the telemetry signals: p99
+    /// broker queue wait or the servable's fast burn rate over their
+    /// configured maxima.
+    fn admit(
+        &self,
+        servable: &str,
+        tenant: IdentityId,
+    ) -> Result<Option<AdmissionPermit>, DlhubError> {
+        let Some(controller) = &self.admission else {
+            return Ok(None);
+        };
+        let cfg = controller.config();
+        let pressured = self.control_signals().is_some_and(|signals| {
+            let window = cfg.signal_window;
+            let queue_hot = signals
+                .queue_wait(window)
+                .and_then(|h| h.quantile(0.99))
+                .is_some_and(|p99| {
+                    p99 > cfg.queue_wait_p99_max.as_nanos().min(u64::MAX as u128) as u64
+                });
+            let burn_hot = signals
+                .burn_rate(servable, window)
+                .is_some_and(|b| b.avg > cfg.burn_rate_max);
+            queue_hot || burn_hot
+        });
+        controller
+            .admit(tenant, pressured, dlhub_obs::now_ns())
+            .map(Some)
     }
 
     /// Dispatch `inputs` to a Task Manager and await the response,
@@ -709,7 +859,12 @@ impl ManagementService {
         ctx: TraceContext,
         started: Instant,
     ) -> Result<(Value, Timings), DlhubError> {
-        self.preflight(token, id, std::slice::from_ref(&input))?;
+        let (_, tenant) = self.preflight(token, id, std::slice::from_ref(&input))?;
+        // Shed *before* any queueing or dispatch: a rejected request
+        // costs the caller one typed error and a back-off, not a
+        // deadline spent deep in the stack. The permit's drop at the
+        // end of this call releases the inflight slot.
+        let _permit = self.admit(id, tenant)?;
         let memoize = options
             .memoize
             .unwrap_or_else(|| self.memo_enabled.load(Ordering::Relaxed));
@@ -768,7 +923,9 @@ impl ManagementService {
         if inputs.is_empty() {
             return Ok((Vec::new(), Timings::default()));
         }
-        self.preflight(token, id, &inputs)?;
+        let (_, tenant) = self.preflight(token, id, &inputs)?;
+        // One permit per batch: the batch travels as one task.
+        let _permit = self.admit(id, tenant)?;
         let mut span = self.obs.tracer.start_root("request");
         span.attr("servable", id);
         span.attr("batch_size", inputs.len().to_string());
@@ -813,7 +970,10 @@ impl ManagementService {
         id: &str,
         input: Value,
     ) -> Result<Value, DlhubError> {
-        self.preflight(token, id, std::slice::from_ref(&input))?;
+        let (_, tenant) = self.preflight(token, id, std::slice::from_ref(&input))?;
+        // The permit covers the coalescing wait and the flush this
+        // caller blocks on: submit() returns only once its batch ran.
+        let _permit = self.admit(id, tenant)?;
         // Fast path: the batcher already exists, so a read lock keeps
         // concurrent submitters for different servables contention-free.
         if let Some(batcher) = self.batchers.read().get(id).map(Arc::clone) {
@@ -898,7 +1058,11 @@ impl ManagementService {
         id: &str,
         input: Value,
     ) -> Result<TaskHandle, DlhubError> {
-        self.preflight(token, id, std::slice::from_ref(&input))?;
+        let (_, tenant) = self.preflight(token, id, std::slice::from_ref(&input))?;
+        // Admission happens at submission — an accepted handle is a
+        // promise of capacity — and the permit rides into the pool job
+        // so the slot stays held until the dispatch finishes.
+        let permit = self.admit(id, tenant)?;
         let task_id = next_task_id();
         self.task_table.register(&task_id);
         let handle = TaskHandle::new(task_id.clone(), Arc::clone(&self.task_table));
@@ -915,6 +1079,7 @@ impl ManagementService {
         // queue and one of the `async_workers` pool threads runs it.
         self.async_pool.submit(Box::new(move || {
             let _frame = service.obs.profile.frame("serving.async_worker");
+            let _permit = permit;
             let mut span = span;
             let series = service.obs.metrics.series(&servable);
             series.requests.inc();

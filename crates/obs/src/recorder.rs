@@ -90,14 +90,23 @@ pub enum BundleTrigger {
         /// Final attempt's error.
         last_error: String,
     },
+    /// The admission controller crossed its shed-storm threshold: load
+    /// shedding went from incidental to sustained inside one window.
+    ShedStorm {
+        /// Requests shed within the storm window.
+        shed: u64,
+        /// Storm window length in milliseconds.
+        window_ms: u64,
+    },
 }
 
 impl BundleTrigger {
-    /// Short kind tag (`slo_firing` / `task_failed`).
+    /// Short kind tag (`slo_firing` / `task_failed` / `shed_storm`).
     pub fn kind(&self) -> &'static str {
         match self {
             BundleTrigger::SloFiring { .. } => "slo_firing",
             BundleTrigger::TaskFailed { .. } => "task_failed",
+            BundleTrigger::ShedStorm { .. } => "shed_storm",
         }
     }
 
@@ -118,6 +127,9 @@ impl BundleTrigger {
                 attempts,
                 last_error,
             } => format!("task {task} ({servable}) failed after {attempts} attempts: {last_error}"),
+            BundleTrigger::ShedStorm { shed, window_ms } => {
+                format!("admission shed storm: {shed} requests shed in {window_ms} ms")
+            }
         }
     }
 
@@ -139,6 +151,11 @@ impl BundleTrigger {
                 last_error,
                 ..
             } => format!("task_failed:{servable}:{attempts}:{last_error}"),
+            // Shed counts under a seeded sim are workload-determined;
+            // the window is config. Both belong to the identity.
+            BundleTrigger::ShedStorm { shed, window_ms } => {
+                format!("shed_storm:{shed}:{window_ms}")
+            }
         }
     }
 }
@@ -377,6 +394,14 @@ impl FlightRecorder {
         }
     }
 
+    /// Trigger: the admission controller shed `shed` requests inside
+    /// one `window_ms` storm window. No-op when disabled.
+    pub fn shed_storm(&self, shed: u64, window_ms: u64) {
+        if let Some(inner) = self.shared.get() {
+            inner.freeze(BundleTrigger::ShedStorm { shed, window_ms });
+        }
+    }
+
     /// Retained bundles, oldest first. Empty when disabled.
     pub fn bundles(&self) -> Vec<Arc<Bundle>> {
         match self.shared.get() {
@@ -532,6 +557,18 @@ mod tests {
             recorder.latest().unwrap().fingerprint()
         };
         assert_ne!(make(10.0), other);
+    }
+
+    #[test]
+    fn shed_storm_freezes_a_bundle() {
+        let recorder = FlightRecorder::disabled();
+        recorder.shed_storm(100, 1_000); // disabled: inert
+        recorder.enable(2, sources());
+        recorder.shed_storm(42, 1_000);
+        let bundle = recorder.latest().expect("bundle frozen");
+        assert_eq!(bundle.trigger.kind(), "shed_storm");
+        assert!(bundle.trigger.summary().contains("42 requests shed"));
+        assert_eq!(bundle.trigger.deterministic_key(), "shed_storm:42:1000");
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod queueing;
 pub mod serving;
 pub mod testbed;
 pub mod time;
+pub mod workload;
 
 pub use engine::Sim;
 pub use serving::{BatchPolicy, CacheLocation, RequestSample, ServableModel, ServingProfile};

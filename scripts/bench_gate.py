@@ -35,7 +35,17 @@ Checks:
             A/B must have taken sampling passes, and the artifact's
             embedded telemetry export must carry non-empty series.
 
-Usage: bench_gate.py [--check hotpath|broker|overhead|telemetry|all]   (default: all)
+  control   committed contract: the hotpath bench's control-loop A/B —
+            throughput with the full control plane armed (telemetry
+            collector, background autoscale reconciler, per-request
+            admission control) must stay within OVERHEAD_GATE_RATIO of
+            the control-disabled run, admission must have accounted
+            every request (admitted > 0), nothing may have shed on the
+            uncontended bench load, and the pinned min==max policy must
+            have applied zero scaling decisions (the A/B measures the
+            loop's steady-state cost, not capacity changes).
+
+Usage: bench_gate.py [--check hotpath|broker|overhead|telemetry|control|all]   (default: all)
 
 Environment:
   BENCH_GATE_RATIO          throughput floor as a fraction of the
@@ -50,9 +60,10 @@ Environment:
   BROKER_GATE_SPEEDUP       minimum fresh 1-to-8-client broker scaling,
                             noise floor for shared runners (default 2.0)
   OVERHEAD_GATE_RATIO       minimum committed enabled/disabled
-                            throughput ratio for both the profiler and
-                            telemetry A/Bs (default 0.95; <=0 disables
-                            the overhead and telemetry gates)
+                            throughput ratio for the profiler,
+                            telemetry and control-loop A/Bs (default
+                            0.95; <=0 disables the overhead, telemetry
+                            and control gates)
 """
 
 import argparse
@@ -280,11 +291,67 @@ def check_telemetry():
     )
 
 
+def check_control():
+    floor = float(os.environ.get("OVERHEAD_GATE_RATIO", "0.95"))
+    if floor <= 0:
+        print("bench gate: control gate disabled (OVERHEAD_GATE_RATIO<=0)")
+        return
+    committed = load("BENCH_hotpath.json")
+    if committed is None:
+        print("bench gate: no committed BENCH_hotpath.json; skipping control")
+        return
+    overhead = committed.get("autoscale_overhead")
+    if overhead is None:
+        sys.exit(
+            "bench gate: committed BENCH_hotpath.json has no "
+            "autoscale_overhead object; regenerate with the control-loop A/B"
+        )
+    ratio = overhead.get("enabled_over_disabled", 0.0)
+    if ratio < floor:
+        sys.exit(
+            "bench gate: control-loop overhead — enabled {:.0f} req/s vs "
+            "disabled {:.0f} (ratio {:.3f} < floor {})".format(
+                overhead.get("enabled_req_per_s", 0.0),
+                overhead.get("disabled_req_per_s", 0.0),
+                ratio,
+                floor,
+            )
+        )
+    if overhead.get("admitted", 0) <= 0:
+        sys.exit(
+            "bench gate: control A/B admitted no requests — admission "
+            "was not actually on the request path"
+        )
+    if overhead.get("shed", 0) != 0:
+        sys.exit(
+            "bench gate: control A/B shed {} requests on an uncontended "
+            "bench load — the admission thresholds are miscalibrated".format(
+                overhead.get("shed", 0)
+            )
+        )
+    if overhead.get("scaling_decisions", 0) != 0:
+        sys.exit(
+            "bench gate: control A/B applied {} scaling decisions under a "
+            "pinned min==max policy — the A/B measured capacity changes, "
+            "not steady-state overhead".format(overhead.get("scaling_decisions", 0))
+        )
+    print(
+        "bench gate: control-loop overhead within bound ({:.0f} → {:.0f} "
+        "req/s, ratio {:.3f} >= {}, {} admitted, 0 shed)".format(
+            overhead.get("disabled_req_per_s", 0.0),
+            overhead.get("enabled_req_per_s", 0.0),
+            ratio,
+            floor,
+            overhead.get("admitted", 0),
+        )
+    )
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument(
         "--check",
-        choices=["hotpath", "broker", "overhead", "telemetry", "all"],
+        choices=["hotpath", "broker", "overhead", "telemetry", "control", "all"],
         default="all",
     )
     opts = parser.parse_args()
@@ -292,6 +359,8 @@ def main():
         check_overhead()
     if opts.check in ("telemetry", "all"):
         check_telemetry()
+    if opts.check in ("control", "all"):
+        check_control()
     ratio = float(os.environ.get("BENCH_GATE_RATIO", "0.25"))
     if ratio <= 0:
         print("bench gate: disabled (BENCH_GATE_RATIO<=0)")

@@ -15,6 +15,8 @@
 //! The default seed matrix is `[7, 1848, 3141]`; `CHAOS_SEED` narrows
 //! it to one seed.
 
+use dlhub_core::admission::AdmissionConfig;
+use dlhub_core::autoscale::ControlPolicy;
 use dlhub_core::executor::HealthPolicy;
 use dlhub_core::fault::{site, FaultHandle, FaultKind, FaultPlan, FaultSpec};
 use dlhub_core::hub::{TestHub, TestHubBuilder};
@@ -24,6 +26,7 @@ use dlhub_core::task::TaskStatus;
 use dlhub_core::value::Value;
 use dlhub_core::DlhubError;
 use dlhub_queue::TopicConfig;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Broker lease used by every chaos hub: short enough that a crashed
@@ -734,6 +737,165 @@ fn chaos_slo_firing_freezes_one_deterministic_bundle() {
             run_once(seed),
             "seed {seed}: SLO bundle fingerprint diverged"
         );
+    }
+}
+
+#[test]
+fn quarantined_replicas_are_never_counted_as_capacity_by_the_control_loop() {
+    const SEC: u64 = 1_000_000_000;
+    for seed in seeds() {
+        // The first job errors out: with quarantine_after = 1 its
+        // replica is benched for 10 s while the retry lands on the
+        // healthy one. The control loop then reconciles against a
+        // pool that is half quarantine.
+        let faults = FaultPlan::seeded(seed)
+            .inject(site::REPLICA, FaultSpec::new(FaultKind::Error).max(1))
+            .build();
+        let hub = chaos_builder(faults)
+            .replicas(2)
+            .consumers(1)
+            .task_managers(1)
+            .replica_health(HealthPolicy {
+                quarantine_after: 1,
+                quarantine_for: Duration::from_secs(10),
+            })
+            .config(ServingConfig {
+                autoscale: Some(ControlPolicy {
+                    min_samples: 1,
+                    cooldown: Duration::ZERO,
+                    signal_window: Duration::from_secs(10),
+                    ..ControlPolicy::default()
+                }),
+                ..chaos_config()
+            })
+            .build();
+        hub.publish_simple(
+            "m",
+            ModelType::PythonFunction,
+            servable_fn(|v| Ok(v.clone())),
+        );
+        hub.service
+            .run(&hub.token, "dlhub/m", Value::Null)
+            .expect("retry must outlive the faulted replica");
+        let deadline = Instant::now() + Duration::from_secs(3);
+        while hub.parsl.quarantined("dlhub/m") == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            hub.parsl.quarantined("dlhub/m"),
+            1,
+            "seed {seed}: replica never quarantined"
+        );
+        // Scripted 100 ms profile so the virtual load below is heavy.
+        for _ in 0..10 {
+            hub.service.profiles().record(
+                "dlhub/m",
+                Duration::from_millis(100),
+                Duration::from_millis(103),
+                1,
+            );
+        }
+        hub.service
+            .obs()
+            .enable_telemetry_manual(Duration::from_secs(1));
+        // Light load first: demand says one replica is plenty, but the
+        // loop must not scale the only *healthy* replica away…
+        for s in 0..3u64 {
+            hub.service.obs().metrics.series("dlhub/m").requests.add(2);
+            hub.service.obs().telemetry.sample_now((s + 1) * SEC);
+            hub.service.reconcile_at((s + 1) * SEC);
+        }
+        assert!(
+            hub.parsl.replicas("dlhub/m") > hub.parsl.quarantined("dlhub/m"),
+            "seed {seed}: quarantined replica was counted as capacity"
+        );
+        // …and an up-scale under pressure must size against healthy
+        // capacity (1), not nominal (2).
+        for s in 3..8u64 {
+            hub.service.obs().metrics.series("dlhub/m").requests.add(40);
+            hub.service.obs().telemetry.sample_now((s + 1) * SEC);
+            hub.service.reconcile_at((s + 1) * SEC);
+        }
+        let decisions = hub.service.reconciler().unwrap().decisions();
+        assert!(!decisions.is_empty(), "seed {seed}: loop never acted");
+        for d in &decisions {
+            assert!(d.to >= 2, "seed {seed}: decision left nothing healthy: {d}");
+        }
+        assert!(
+            hub.parsl.replicas("dlhub/m") > 2,
+            "seed {seed}: up-scale never bought healthy capacity"
+        );
+    }
+}
+
+#[test]
+fn overload_sheds_stay_typed_overloaded_under_chaos() {
+    for seed in seeds() {
+        // Replica faults rage on while the front door is saturated: a
+        // shed must surface as `Overloaded` with its back-off — never
+        // as the retry path's `Exhausted`.
+        let faults = FaultPlan::seeded(seed)
+            .inject(
+                site::REPLICA,
+                FaultSpec::new(FaultKind::Error).probability(0.3).max(2),
+            )
+            .build();
+        let hub = chaos_builder(faults)
+            .config(ServingConfig {
+                admission: Some(AdmissionConfig {
+                    max_inflight: 1,
+                    fair_share_at: 1.0,
+                    retry_after: Duration::from_millis(40),
+                    ..AdmissionConfig::default()
+                }),
+                ..chaos_config()
+            })
+            .build();
+        hub.publish_simple(
+            "slow",
+            ModelType::PythonFunction,
+            servable_fn(|v| {
+                std::thread::sleep(Duration::from_millis(400));
+                Ok(v.clone())
+            }),
+        );
+        let service = Arc::clone(&hub.service);
+        let token = hub.token.clone();
+        let holder = std::thread::spawn(move || service.run(&token, "dlhub/slow", Value::Null));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while hub.service.admission().unwrap().inflight() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            hub.service.admission().unwrap().inflight(),
+            1,
+            "seed {seed}: holder never admitted"
+        );
+        let started = Instant::now();
+        let err = hub
+            .service
+            .run(&hub.token, "dlhub/noop", Value::Null)
+            .unwrap_err();
+        match err {
+            DlhubError::Overloaded { retry_after_ms } => {
+                assert_eq!(retry_after_ms, 40, "seed {seed}");
+            }
+            DlhubError::Exhausted { .. } => {
+                panic!("seed {seed}: shed surfaced as Exhausted")
+            }
+            other => panic!("seed {seed}: unexpected {other:?}"),
+        }
+        // Shedding happens at the door, before any retry loop burns
+        // the deadline.
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "seed {seed}: shed was not early: {:?}",
+            started.elapsed()
+        );
+        assert!(counter(&hub, "requests_shed_total") >= 1, "seed {seed}");
+        // The admitted request rides out its faults and completes.
+        let held = holder.join().unwrap();
+        assert!(held.is_ok(), "seed {seed}: admitted request died: {held:?}");
     }
 }
 
