@@ -197,28 +197,35 @@ impl AdmissionController {
         pressured: bool,
         now_ns: u64,
     ) -> Result<AdmissionPermit, DlhubError> {
-        let inflight = self.inflight.load(Ordering::Relaxed);
-        if inflight >= self.config.max_inflight {
-            return Err(self.shed(now_ns));
-        }
+        // Reserve the slot atomically: a load-check-then-add would let
+        // N racing arrivals all pass at `max_inflight - 1` and push
+        // inflight past the documented hard cap.
+        let inflight = match self
+            .inflight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < self.config.max_inflight).then_some(n + 1)
+            }) {
+            Ok(previous) => previous,
+            Err(_) => return Err(self.shed(now_ns)),
+        };
         let fair_threshold =
             (self.config.fair_share_at * self.config.max_inflight as f64).ceil() as usize;
         let contended = pressured || inflight >= fair_threshold;
         let mut fair = self.fair.lock();
         if contended {
             let my_weight = self.weight(tenant) as u64;
-            // Σw over the tenants competing this round, including the
-            // newcomer.
-            let mut total_weight: u64 = fair
-                .accepted
-                .keys()
-                .filter(|t| **t != tenant)
-                .map(|t| self.weight(*t) as u64)
-                .sum();
-            total_weight += self.weight(tenant) as u64;
+            // Competing registers the tenant in the ledger (at zero
+            // accepts) even when this request is shed, so Σw spans
+            // every tenant that *requested* this round — a
+            // persistently-shed tenant still dilutes everyone else's
+            // share, per w_i / Σw over competing tenants.
+            fair.accepted.entry(tenant).or_insert(0);
+            let total_weight: u64 = fair.accepted.keys().map(|t| self.weight(*t) as u64).sum();
             let mine = fair.accepted.get(&tenant).copied().unwrap_or(0);
             if mine * total_weight >= (fair.total + 1) * my_weight {
                 drop(fair);
+                // Roll back the reserved slot before shedding.
+                self.inflight.fetch_sub(1, Ordering::Relaxed);
                 return Err(self.shed(now_ns));
             }
             *fair.accepted.entry(tenant).or_insert(0) += 1;
@@ -227,12 +234,11 @@ impl AdmissionController {
             // Uncontended admission resets the ledger: fairness is
             // about sharing scarce capacity, not hoarding credit from
             // quiet periods.
-            if fair.total > 0 {
+            if fair.total > 0 || !fair.accepted.is_empty() {
                 *fair = FairState::default();
             }
         }
         drop(fair);
-        self.inflight.fetch_add(1, Ordering::Relaxed);
         self.admitted.fetch_add(1, Ordering::Relaxed);
         Ok(AdmissionPermit {
             inflight: Arc::clone(&self.inflight),

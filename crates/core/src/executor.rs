@@ -409,12 +409,19 @@ impl ParslExecutor {
         let deployment = format!("parsl-{}", servable_id.replace('/', "-"));
         if replicas == 0 {
             let _ = self.cluster.scale(&deployment, 0);
-            let mut pools = self.pools.write();
-            if let Some(pool) = pools.remove(servable_id) {
+            let retired = self.pools.write().remove(servable_id);
+            // Join worker threads outside the pool-map lock: a replica
+            // sleeping through quarantine (or a hung inference) would
+            // otherwise block every dispatch for every servable while
+            // the write guard is held.
+            if let Some(pool) = retired {
                 pool.shutdown();
             }
             return 0;
         }
+        // Cold-start clock starts here: deployment creation is the
+        // dominant cost of zero-to-serving, not thread spawn.
+        let cold_started = Instant::now();
         if self.cluster.running_pods(&deployment).is_empty() {
             let _ = self.cluster.create_deployment(
                 &deployment,
@@ -428,31 +435,38 @@ impl ParslExecutor {
         } else {
             let _ = self.cluster.scale(&deployment, replicas);
         }
-        let mut pools = self.pools.write();
-        let cold = !pools.contains_key(servable_id);
-        if let Some(pool) = pools.remove(servable_id) {
-            if pool.replicas == replicas {
-                pools.insert(servable_id.to_string(), pool);
+        let retired;
+        {
+            let mut pools = self.pools.write();
+            if pools
+                .get(servable_id)
+                .is_some_and(|p| p.replicas == replicas)
+            {
                 return replicas;
             }
-            pool.shutdown();
-        }
-        let spawn_started = Instant::now();
-        pools.insert(
-            servable_id.to_string(),
-            Pool::spawn(
-                servable_id,
-                replicas,
-                self.faults.clone(),
-                self.health,
-                Arc::clone(&self.metrics),
-            ),
-        );
-        if cold {
-            if let Some(m) = self.metrics.get() {
-                m.cold_start
-                    .record(spawn_started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            let cold = !pools.contains_key(servable_id);
+            retired = pools.remove(servable_id);
+            pools.insert(
+                servable_id.to_string(),
+                Pool::spawn(
+                    servable_id,
+                    replicas,
+                    self.faults.clone(),
+                    self.health,
+                    Arc::clone(&self.metrics),
+                ),
+            );
+            if cold {
+                if let Some(m) = self.metrics.get() {
+                    m.cold_start
+                        .record(cold_started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                }
             }
+        }
+        // As above: join the replaced pool's workers only after the
+        // write guard is dropped.
+        if let Some(pool) = retired {
+            pool.shutdown();
         }
         replicas
     }
@@ -489,28 +503,41 @@ impl ParslExecutor {
         self.ensure_pool(servable_id);
         let count = inputs.len();
         let (reply_tx, reply_rx) = channel::unbounded();
-        {
-            // Shared lock: many batches dispatch concurrently; the
-            // per-replica channels do the fan-out.
-            let pools = self.pools.read();
-            let pool = pools.get(servable_id).expect("pool ensured above");
-            for index in 0..count {
-                self.dispatched.fetch_add(1, Ordering::Relaxed);
-                pool.sender
-                    .send(Job {
-                        servable: Arc::clone(servable),
-                        inputs: Arc::clone(&inputs),
-                        reply: reply_tx.clone(),
-                        index,
-                        trace: trace.map(|(obs, parent)| JobTrace {
-                            tracer: obs.tracer.clone(),
-                            parent,
-                            servable_id: servable_id.to_string(),
-                        }),
-                        queued_ns: dlhub_obs::now_ns(),
-                    })
-                    .map_err(|_| "executor pool shut down".to_string())?;
+        // Shared lock: many batches dispatch concurrently; the
+        // per-replica channels do the fan-out. The reconciler's idle
+        // park (scale-to-zero) can retire the pool between
+        // ensure_pool() and the read lock — that is a cold start to
+        // retry, never a panic on a live request thread.
+        let mut park_races = 0u32;
+        loop {
+            {
+                let pools = self.pools.read();
+                if let Some(pool) = pools.get(servable_id) {
+                    for index in 0..count {
+                        self.dispatched.fetch_add(1, Ordering::Relaxed);
+                        pool.sender
+                            .send(Job {
+                                servable: Arc::clone(servable),
+                                inputs: Arc::clone(&inputs),
+                                reply: reply_tx.clone(),
+                                index,
+                                trace: trace.map(|(obs, parent)| JobTrace {
+                                    tracer: obs.tracer.clone(),
+                                    parent,
+                                    servable_id: servable_id.to_string(),
+                                }),
+                                queued_ns: dlhub_obs::now_ns(),
+                            })
+                            .map_err(|_| "executor pool shut down".to_string())?;
+                    }
+                    break;
+                }
             }
+            park_races += 1;
+            if park_races > 3 {
+                return Err("executor pool shut down".to_string());
+            }
+            self.ensure_pool(servable_id);
         }
         drop(reply_tx);
         let mut outputs: Vec<Option<Value>> = vec![None; count];
