@@ -337,8 +337,9 @@ fn main() {
         "serve_rtt0_1t_req_per_s": single,
         "serve_rtt_speedup_8t_over_1t": speedup,
         // Time axis of the serve runs: broker queue wait, per-servable
-        // rates and pool gauges from the sampling collector.
-        "telemetry": store.to_json(),
+        // rates and pool gauges from the sampling collector, capped to
+        // the newest points per ring tier to keep the artifact small.
+        "telemetry": store.to_json_capped(6),
     });
     let path = write_json("BENCH_broker.json", &doc);
     let mirror = std::env::var("BROKER_MIRROR").map_or(true, |v| v != "0");

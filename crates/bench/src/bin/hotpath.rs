@@ -577,9 +577,10 @@ fn main() {
             "shed": shed,
             "scaling_decisions": control_decisions,
         },
-        // The run's time axis: every sampled series with its
-        // multi-resolution ring history, from the telemetered A/B hub.
-        "telemetry": store.to_json(),
+        // The run's time axis from the telemetered A/B hub, capped to
+        // the newest points per ring tier so the committed artifact
+        // stays reviewable (each tier reports what it dropped).
+        "telemetry": store.to_json_capped(6),
         "metrics": metrics.to_json(),
     });
     let path = write_json("BENCH_hotpath.json", &doc);

@@ -774,6 +774,9 @@ mod tests {
         assert!(frame.contains("dlhub/echo"), "{frame}");
         assert!(frame.contains("REQ/S"), "{frame}");
         assert!(frame.contains("MEMO"), "{frame}");
+        // No admission controller on this hub: the row says so rather
+        // than vanishing.
+        assert!(frame.contains("ADMISSION"), "{frame}");
         // Sparkline glyphs from the live series are present.
         assert!(frame.contains('█') || frame.contains('▁'), "{frame}");
         // Follow mode returns the final frame.

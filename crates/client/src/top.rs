@@ -199,6 +199,24 @@ pub fn render_frame(
         ),
     ));
 
+    // Admission: admit/shed rates so overload (and who is being
+    // turned away) is visible live, with the shed history sparkline.
+    let admits = store.rate("requests_admitted_total", window);
+    let sheds = store.rate("requests_shed_total", window);
+    if admits.is_some() || sheds.is_some() {
+        out.push_str(&format!(
+            "\n  ADMISSION  admit/s {}  shed/s {}  {}\n",
+            fmt_rate(admits),
+            fmt_rate(sheds),
+            sparkline(
+                &values(&store.points("requests_shed_total", window)),
+                SPARK_WIDTH
+            ),
+        ));
+    } else {
+        out.push_str("\n  ADMISSION  (admission control disabled)\n");
+    }
+
     // SLOs: live alert state plus sampled burn-rate history.
     if snapshot.slos.is_empty() {
         out.push_str("\n  SLO   (none registered)\n");
@@ -240,6 +258,27 @@ mod tests {
         // All-zero and empty series stay at the baseline glyph.
         assert!(sparkline(&[], 4).chars().all(|c| c == SPARKS[0]));
         assert!(sparkline(&[0.0, 0.0], 4).chars().all(|c| c == SPARKS[0]));
+    }
+
+    #[test]
+    fn admission_row_shows_admit_and_shed_rates() {
+        use std::time::Duration;
+        const S: u64 = 1_000_000_000;
+        let store = Arc::new(SeriesStore::new(Duration::from_secs(1)));
+        for step in 0..10u64 {
+            store.record_counter("requests_admitted_total", step * S, step * 50);
+            store.record_counter("requests_shed_total", step * S, step * 5);
+            store.note_pass(step * S);
+        }
+        let frame = render_frame(&store, &MetricsSnapshot::default(), Duration::from_secs(8));
+        assert!(frame.contains("ADMISSION"), "{frame}");
+        assert!(frame.contains("admit/s 50.0"), "{frame}");
+        assert!(frame.contains("shed/s 5.0"), "{frame}");
+
+        // Hubs without admission control degrade gracefully.
+        let empty = Arc::new(SeriesStore::new(Duration::from_secs(1)));
+        let frame = render_frame(&empty, &MetricsSnapshot::default(), Duration::from_secs(8));
+        assert!(frame.contains("admission control disabled"), "{frame}");
     }
 
     #[test]

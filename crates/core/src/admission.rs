@@ -132,6 +132,7 @@ pub struct AdmissionController {
     fair: Mutex<FairState>,
     storm: Mutex<StormState>,
     shed_counter: Option<Arc<Counter>>,
+    admitted_counter: Option<Arc<Counter>>,
     recorder: Option<FlightRecorder>,
 }
 
@@ -148,14 +149,23 @@ impl AdmissionController {
                 shed_in_window: 0,
             }),
             shed_counter: None,
+            admitted_counter: None,
             recorder: None,
         }
     }
 
-    /// Count sheds on `counter` (`requests_shed_total` in the serving
-    /// wiring) and freeze recorder bundles on shed storms.
-    pub fn with_observability(mut self, counter: Arc<Counter>, recorder: FlightRecorder) -> Self {
-        self.shed_counter = Some(counter);
+    /// Count sheds on `shed` and admissions on `admitted`
+    /// (`requests_shed_total` / `requests_admitted_total` in the
+    /// serving wiring — the pair `dlhub top`'s ADMISSION row reads),
+    /// and freeze recorder bundles on shed storms.
+    pub fn with_observability(
+        mut self,
+        shed: Arc<Counter>,
+        admitted: Arc<Counter>,
+        recorder: FlightRecorder,
+    ) -> Self {
+        self.shed_counter = Some(shed);
+        self.admitted_counter = Some(admitted);
         self.recorder = Some(recorder);
         self
     }
@@ -240,6 +250,9 @@ impl AdmissionController {
         }
         drop(fair);
         self.admitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = &self.admitted_counter {
+            counter.inc();
+        }
         Ok(AdmissionPermit {
             inflight: Arc::clone(&self.inflight),
         })
@@ -381,13 +394,18 @@ mod tests {
             },
         );
         let shed_counter = obs.metrics.counter("requests_shed_total");
+        let admitted_counter = obs.metrics.counter("requests_admitted_total");
         let ctl = AdmissionController::new(AdmissionConfig {
             max_inflight: 1,
             storm_threshold: 5,
             storm_window: Duration::from_secs(1),
             ..AdmissionConfig::default()
         })
-        .with_observability(Arc::clone(&shed_counter), recorder.clone());
+        .with_observability(
+            Arc::clone(&shed_counter),
+            Arc::clone(&admitted_counter),
+            recorder.clone(),
+        );
         let _held = ctl.admit(tenant(1), false, 0).unwrap();
         // 8 sheds inside one window: one freeze at the 5th.
         for i in 0..8u64 {
@@ -396,6 +414,7 @@ mod tests {
         assert_eq!(recorder.frozen_total(), 1);
         assert_eq!(recorder.latest().unwrap().trigger.kind(), "shed_storm");
         assert_eq!(shed_counter.get(), 8);
+        assert_eq!(admitted_counter.get(), 1, "only the held permit admitted");
         // A new window starts a fresh count and may freeze again.
         for i in 0..5u64 {
             assert!(ctl.admit(tenant(2), false, 2_000_000_000 + i).is_err());

@@ -349,6 +349,10 @@ impl ManagementService {
                     "requests_shed_total",
                     "Requests shed by the admission controller before dispatch",
                 ),
+                obs.metrics.counter_with_help(
+                    "requests_admitted_total",
+                    "Requests admitted past the admission controller",
+                ),
                 obs.recorder.clone(),
             ))
         });

@@ -25,7 +25,9 @@ mod ring;
 pub mod analyze;
 pub mod collect;
 pub mod contention;
+pub mod hdr;
 pub mod metrics;
+pub mod openloop;
 pub mod profile;
 pub mod recorder;
 pub mod slo;
@@ -33,14 +35,18 @@ pub mod trace;
 pub mod tsdb;
 
 pub use analyze::{
-    aggregate_stages, analyze, analyze_all, render_stages, RequestBreakdown, Stage, TraceAnalysis,
+    aggregate_stages, analyze, analyze_all, render_stages, RequestBreakdown, Stage, StageNs,
+    TraceAnalysis,
 };
 pub use collect::{TelemetryHandle, TelemetrySources};
 pub use contention::{render_contention, ContentionRegistry, ContentionSite, ContentionSnapshot};
+pub use hdr::{HdrHistogram, HdrSummary, HDR_SUB_BUCKETS};
 pub use metrics::{
-    bucket_bound, bucket_index, escape_label, BucketSnapshot, Counter, Gauge, Histogram,
-    HistogramSummary, MetricsSnapshot, Registry, ServableSeries, ServableSnapshot,
+    bucket_bound, bucket_index, bucket_quantile_value, escape_label, BucketSnapshot, Counter,
+    Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry, ServableSeries,
+    ServableSnapshot,
 };
+pub use openloop::{OpenLoopRecorder, OpenLoopReport, OpenLoopSample};
 pub use profile::{CollapsedStack, FrameGuard, ProfileReport, ProfilerHandle, ThreadSamples};
 pub use recorder::{Bundle, BundleTrigger, FlightRecorder, RecorderEvent, RecorderSources};
 pub use slo::{SloRegistry, SloSnapshot, SloSpec, SloTracker};

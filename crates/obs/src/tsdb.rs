@@ -35,7 +35,7 @@ use std::time::Duration;
 use parking_lot::RwLock;
 use serde_json::{json, Value};
 
-use crate::metrics::{bucket_bound, HISTOGRAM_BUCKETS};
+use crate::metrics::{bucket_bound, bucket_quantile_value, HISTOGRAM_BUCKETS};
 
 /// One resolution tier: one sample slot per `step`, `capacity` slots
 /// before the ring wraps.
@@ -314,8 +314,11 @@ pub struct WindowHistogram {
 }
 
 impl WindowHistogram {
-    /// Estimated quantile over the window (bucket upper bound, exact
-    /// to within one power of two). `None` when the window is empty.
+    /// Estimated quantile over the window, rank-interpolated inside
+    /// the target bucket exactly like the live
+    /// [`crate::metrics::Histogram`] (see
+    /// [`crate::metrics::bucket_quantile_value`]). `None` when the
+    /// window is empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -323,10 +326,10 @@ impl WindowHistogram {
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (idx, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return Some(bucket_bound(idx));
+            if n > 0 && seen + n >= target {
+                return Some(bucket_quantile_value(idx, target - seen, n));
             }
+            seen += n;
         }
         Some(bucket_bound(HISTOGRAM_BUCKETS - 1))
     }
@@ -636,6 +639,15 @@ impl SeriesStore {
     /// identical virtual times serialize to identical bytes. Embedded
     /// in `BENCH_*.json` artifacts as the run's time axis.
     pub fn to_json(&self) -> Value {
+        self.to_json_capped(usize::MAX)
+    }
+
+    /// [`Self::to_json`] with at most `max_points` (newest) points per
+    /// tier; each truncated tier reports how many older points were
+    /// dropped. Benches embed this form so committed `BENCH_*.json`
+    /// artifacts carry a reviewable summary of the run's time axis
+    /// instead of tens of thousands of raw ring slots.
+    pub fn to_json_capped(&self, max_points: usize) -> Value {
         let series: Vec<Value> = self
             .series
             .read()
@@ -645,9 +657,11 @@ impl SeriesStore {
                     .tiers
                     .iter()
                     .map(|ring| {
-                        let points: Vec<Value> = ring
-                            .read_all()
+                        let all = ring.read_all();
+                        let dropped = all.len().saturating_sub(max_points);
+                        let points: Vec<Value> = all
                             .iter()
+                            .skip(dropped)
                             .map(|d| {
                                 let t_ns = d.step * ring.step_ns;
                                 match data.kind {
@@ -675,7 +689,11 @@ impl SeriesStore {
                                 }
                             })
                             .collect();
-                        json!({ "step_ns": ring.step_ns, "points": points })
+                        json!({
+                            "step_ns": ring.step_ns,
+                            "points": points,
+                            "points_dropped": dropped,
+                        })
                     })
                     .collect();
                 json!({ "name": name, "kind": data.kind.as_str(), "tiers": tiers })
@@ -918,9 +936,13 @@ mod tests {
             .unwrap();
         assert_eq!(w.count, 15);
         assert_eq!(w.sum, 15_000);
+        // All windowed samples are 1000: the interpolated p50 must
+        // land inside 1000's log2 bucket (not pinned to its bound).
+        let p50 = w.quantile(0.5).unwrap();
         assert_eq!(
-            w.quantile(0.5),
-            Some(bucket_bound(crate::metrics::bucket_index(1000)))
+            crate::metrics::bucket_index(p50),
+            crate::metrics::bucket_index(1000),
+            "{p50}"
         );
         assert_eq!(w.mean(), Some(1000));
         // Full-history window has no baseline: everything counts.

@@ -45,7 +45,18 @@ Checks:
             have applied zero scaling decisions (the A/B measures the
             loop's steady-state cost, not capacity changes).
 
-Usage: bench_gate.py [--check hotpath|broker|overhead|telemetry|control|all]   (default: all)
+  workloads committed contract: BENCH_workloads.json must carry all
+            five open-loop scenarios (steady-poisson, diurnal, bursty,
+            zipf-fanout, hostile-tenant), each with corrected and
+            uncorrected p50/p99/p999, monotone corrected quantiles,
+            corrected >= uncorrected at every reported quantile, shed
+            and cold-start counts, a schedule fingerprint and a
+            non-empty tail stage attribution; the bursty scenario must
+            show a positive coordinated-omission gap at p99. A fresh
+            smoke artifact under results/, when present, is held to a
+            noise-floored p999 regression bound per scenario.
+
+Usage: bench_gate.py [--check hotpath|broker|overhead|telemetry|control|workloads|all]   (default: all)
 
 Environment:
   BENCH_GATE_RATIO          throughput floor as a fraction of the
@@ -64,6 +75,14 @@ Environment:
                             telemetry and control-loop A/Bs (default
                             0.95; <=0 disables the overhead, telemetry
                             and control gates)
+  WORKLOADS_GATE_FACTOR     fresh smoke corrected p999 may exceed the
+                            committed p999 by at most this multiple
+                            (default 5.0; <=0 disables the workloads
+                            gate entirely)
+  WORKLOADS_GATE_FLOOR_MS   additive noise floor on the p999 bound, ms
+                            (default 25). Smoke windows are short and
+                            shared runners are noisy; the bound is
+                            committed_p999 * factor + floor.
 """
 
 import argparse
@@ -347,11 +366,121 @@ def check_control():
     )
 
 
+WORKLOAD_SCENARIOS = (
+    "steady-poisson",
+    "diurnal",
+    "bursty",
+    "zipf-fanout",
+    "hostile-tenant",
+)
+
+
+def check_workloads():
+    factor = float(os.environ.get("WORKLOADS_GATE_FACTOR", "5.0"))
+    floor_ms = float(os.environ.get("WORKLOADS_GATE_FLOOR_MS", "25"))
+    if factor <= 0:
+        print("bench gate: workloads gate disabled (WORKLOADS_GATE_FACTOR<=0)")
+        return
+    committed = load("BENCH_workloads.json")
+    if committed is None:
+        sys.exit(
+            "bench gate: no committed BENCH_workloads.json; run the "
+            "workloads bench full-length and commit the artifact"
+        )
+    by_name = {s.get("name"): s for s in committed.get("scenarios", [])}
+    missing = [n for n in WORKLOAD_SCENARIOS if n not in by_name]
+    if missing:
+        sys.exit(
+            "bench gate: committed BENCH_workloads.json is missing "
+            "scenarios: {}".format(", ".join(missing))
+        )
+    for name in WORKLOAD_SCENARIOS:
+        sc = by_name[name]
+        ol = sc.get("open_loop") or {}
+        for side in ("corrected", "uncorrected"):
+            summary = ol.get(side) or {}
+            for q in ("p50", "p99", "p999"):
+                if q not in summary:
+                    sys.exit(
+                        "bench gate: workloads scenario {} lacks {} {}".format(
+                            name, side, q
+                        )
+                    )
+        corr, uncorr = ol["corrected"], ol["uncorrected"]
+        if not corr["p50"] <= corr["p99"] <= corr["p999"]:
+            sys.exit(
+                "bench gate: workloads scenario {} corrected quantiles "
+                "are not monotone".format(name)
+            )
+        for q in ("p50", "p99", "p999"):
+            if corr[q] < uncorr[q]:
+                sys.exit(
+                    "bench gate: workloads scenario {} corrected {} below "
+                    "uncorrected — the intended-start stamp is broken".format(name, q)
+                )
+        if not sc.get("completed", 0) > 0:
+            sys.exit("bench gate: workloads scenario {} completed nothing".format(name))
+        for key in ("shed", "cold_starts", "schedule_fingerprint"):
+            if key not in sc:
+                sys.exit(
+                    "bench gate: workloads scenario {} lacks {}".format(name, key)
+                )
+        tail = (sc.get("attribution") or {}).get("tail") or {}
+        if not tail.get("stages"):
+            sys.exit(
+                "bench gate: workloads scenario {} has no tail stage "
+                "attribution".format(name)
+            )
+    gap = by_name["bursty"]["open_loop"].get("gap_p99_ns", 0)
+    if not gap > 0:
+        sys.exit(
+            "bench gate: committed bursty scenario shows no coordinated-"
+            "omission gap at p99; the open-loop correction is not biting"
+        )
+
+    fresh = load("results/BENCH_workloads.json")
+    if fresh is None:
+        print(
+            "bench gate: workloads committed artifact OK (5 scenarios, "
+            "bursty CO gap {:.1f} ms); no fresh smoke to regress".format(gap / 1e6)
+        )
+        return
+    fresh_by_name = {s.get("name"): s for s in fresh.get("scenarios", [])}
+    for name in WORKLOAD_SCENARIOS:
+        if name not in fresh_by_name:
+            sys.exit("bench gate: fresh workloads smoke lacks scenario {}".format(name))
+        got = fresh_by_name[name]["open_loop"]["corrected"]["p999"]
+        base = by_name[name]["open_loop"]["corrected"]["p999"]
+        bound = base * factor + floor_ms * 1e6
+        if got > bound:
+            sys.exit(
+                "bench gate: workloads {} corrected p999 regressed — "
+                "{:.1f} ms vs bound {:.1f} ms (committed {:.1f} ms * {} "
+                "+ {} ms floor)".format(
+                    name, got / 1e6, bound / 1e6, base / 1e6, factor, floor_ms
+                )
+            )
+    print(
+        "bench gate: workloads OK (5 scenarios; bursty CO gap {:.1f} ms; "
+        "fresh p999s within {}x + {} ms of committed)".format(
+            gap / 1e6, factor, floor_ms
+        )
+    )
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument(
         "--check",
-        choices=["hotpath", "broker", "overhead", "telemetry", "control", "all"],
+        choices=[
+            "hotpath",
+            "broker",
+            "overhead",
+            "telemetry",
+            "control",
+            "workloads",
+            "all",
+        ],
         default="all",
     )
     opts = parser.parse_args()
@@ -361,6 +490,8 @@ def main():
         check_telemetry()
     if opts.check in ("control", "all"):
         check_control()
+    if opts.check in ("workloads", "all"):
+        check_workloads()
     ratio = float(os.environ.get("BENCH_GATE_RATIO", "0.25"))
     if ratio <= 0:
         print("bench gate: disabled (BENCH_GATE_RATIO<=0)")

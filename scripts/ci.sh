@@ -187,6 +187,59 @@ echo "######## broker smoke (sharded rings + zero-copy path)"
 BROKER_MS=100 BROKER_MIRROR=0 \
   cargo run --release -p dlhub-bench --bin broker >/dev/null
 
+echo "######## workloads smoke (open-loop observatory, seed matrix)"
+# Short windows and a small catalog; WORKLOADS_MIRROR=0 keeps the
+# smoke runs from clobbering the committed full-length
+# BENCH_workloads.json. Seed 7 runs twice: the schedule fingerprints
+# in the two artifacts must be byte-identical (the reproducibility
+# contract), and a second seed proves the fingerprints actually
+# depend on the seed.
+for seed in 7 7 1848; do
+  echo "-- workloads seed ${seed}"
+  WORKLOADS_MS=300 WORKLOADS_FANOUT=120 WORKLOADS_SEED="${seed}" WORKLOADS_MIRROR=0 \
+    cargo run --release -p dlhub-bench --bin workloads >/dev/null
+  cp results/BENCH_workloads.json "results/BENCH_workloads.seed${seed}.run$((fp_run=${fp_run:-0}+1)).json"
+done
+python3 - <<'EOF'
+import json, sys
+def fingerprints(path):
+    doc = json.load(open(path))
+    return {s["name"]: s["schedule_fingerprint"] for s in doc["scenarios"]}
+a = fingerprints("results/BENCH_workloads.seed7.run1.json")
+b = fingerprints("results/BENCH_workloads.seed7.run2.json")
+c = fingerprints("results/BENCH_workloads.seed1848.run3.json")
+if a != b:
+    sys.exit("ci: seed 7 schedules differ across runs: {} vs {}".format(a, b))
+if a == c:
+    sys.exit("ci: seed 7 and seed 1848 produced identical schedules")
+doc = json.load(open("results/BENCH_workloads.json"))
+names = {s["name"] for s in doc["scenarios"]}
+want = {"steady-poisson", "diurnal", "bursty", "zipf-fanout", "hostile-tenant"}
+if not want <= names:
+    sys.exit("ci: workloads smoke missing scenarios: {}".format(want - names))
+for s in doc["scenarios"]:
+    ol = s["open_loop"]
+    if not s.get("completed", 0) > 0:
+        sys.exit("ci: scenario {} completed nothing".format(s["name"]))
+    for q in ("p50", "p99", "p999"):
+        if ol["corrected"][q] < ol["uncorrected"][q]:
+            sys.exit(
+                "ci: scenario {} corrected {} below uncorrected".format(s["name"], q)
+            )
+    if not (s.get("attribution") or {}).get("tail", {}).get("stages"):
+        sys.exit("ci: scenario {} has no tail attribution".format(s["name"]))
+print(
+    "ci: workloads smoke OK (schedules replay byte-identically per "
+    "seed; {} scenarios; bursty CO gap {:.2f} ms)".format(
+        len(names),
+        next(s for s in doc["scenarios"] if s["name"] == "bursty")["open_loop"][
+            "gap_p99_ns"
+        ]
+        / 1e6,
+    )
+)
+EOF
+
 echo "######## bench regression gates"
 # Compares the smoke runs against the committed BENCH_hotpath.json and
 # BENCH_broker.json with generous noise floors (BENCH_GATE_RATIO /
